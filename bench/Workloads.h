@@ -1,0 +1,137 @@
+//===- bench/Workloads.h - Synthetic workload generators --------*- C++ -*-===//
+///
+/// \file
+/// Parameterized families of contracts, policies, repositories and
+/// networks used by the benchmark binaries (experiments B1–B6 in
+/// DESIGN.md). Generators are deterministic in their parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_BENCH_WORKLOADS_H
+#define SUS_BENCH_WORKLOADS_H
+
+#include "hist/HistContext.h"
+#include "plan/Plan.h"
+#include "policy/Prelude.h"
+
+#include <string>
+#include <vector>
+
+namespace sus {
+namespace bench {
+
+/// A chain of N sends followed by termination: a1!.a2!...aN!.
+inline const hist::Expr *sendChain(hist::HistContext &Ctx, unsigned N) {
+  const hist::Expr *E = Ctx.empty();
+  for (unsigned I = N; I > 0; --I)
+    E = Ctx.send("ch" + std::to_string(I - 1), E);
+  return E;
+}
+
+/// The matching chain of receives.
+inline const hist::Expr *recvChain(hist::HistContext &Ctx, unsigned N) {
+  const hist::Expr *E = Ctx.empty();
+  for (unsigned I = N; I > 0; --I)
+    E = Ctx.receive("ch" + std::to_string(I - 1), E);
+  return E;
+}
+
+/// An internal choice over W channels, each answering with Done?.
+inline const hist::Expr *wideSelect(hist::HistContext &Ctx, unsigned W) {
+  std::vector<hist::ChoiceBranch> Branches;
+  Branches.reserve(W);
+  for (unsigned I = 0; I < W; ++I)
+    Branches.push_back(
+        {hist::CommAction::output(Ctx.symbol("opt" + std::to_string(I))),
+         Ctx.receive("Done", Ctx.empty())});
+  return Ctx.intChoice(std::move(Branches));
+}
+
+/// The matching external choice over W channels.
+inline const hist::Expr *wideBranch(hist::HistContext &Ctx, unsigned W,
+                                    bool DropLast = false) {
+  std::vector<hist::ChoiceBranch> Branches;
+  for (unsigned I = 0; I < (DropLast ? W - 1 : W); ++I)
+    Branches.push_back(
+        {hist::CommAction::input(Ctx.symbol("opt" + std::to_string(I))),
+         Ctx.send("Done", Ctx.empty())});
+  return Ctx.extChoice(std::move(Branches));
+}
+
+/// A K-phase recursive protocol: µh. p0!.q0?.p1!.q1?...h.
+inline const hist::Expr *recursiveProtocol(hist::HistContext &Ctx,
+                                           unsigned Phases, bool Sender) {
+  const hist::Expr *Body = Ctx.var("h");
+  for (unsigned I = Phases; I > 0; --I) {
+    std::string P = "p" + std::to_string(I - 1);
+    std::string Q = "q" + std::to_string(I - 1);
+    if (Sender)
+      Body = Ctx.send(P, Ctx.receive(Q, Body));
+    else
+      Body = Ctx.receive(P, Ctx.send(Q, Body));
+  }
+  return Ctx.mu("h", Body);
+}
+
+/// An event sequence of length N over `NumNames` distinct event names.
+inline const hist::Expr *eventChain(hist::HistContext &Ctx, unsigned N,
+                                    unsigned NumNames = 8) {
+  std::vector<const hist::Expr *> Parts;
+  Parts.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Parts.push_back(Ctx.event("ev" + std::to_string(I % NumNames),
+                              static_cast<int64_t>(I)));
+  return Ctx.seq(Parts);
+}
+
+/// Wraps \p Body in N nested framings of distinct policies named
+/// "pol0".."pol<N-1>".
+inline const hist::Expr *nestedFramings(hist::HistContext &Ctx,
+                                        const hist::Expr *Body, unsigned N) {
+  const hist::Expr *E = Body;
+  for (unsigned I = 0; I < N; ++I) {
+    hist::PolicyRef Ref;
+    Ref.Name = Ctx.symbol("pol" + std::to_string(I));
+    E = Ctx.framing(Ref, E);
+  }
+  return E;
+}
+
+/// Registers "pol0".."pol<N-1>" as at-most-K policies over event "evHot".
+inline void registerPolicies(policy::PolicyRegistry &Registry,
+                             StringInterner &In, unsigned N, unsigned K) {
+  for (unsigned I = 0; I < N; ++I)
+    Registry.add(policy::makeAtMostPolicy(In, "pol" + std::to_string(I),
+                                          "evHot", K));
+}
+
+/// A repository of \p NumServices echo services "svc0".. listening on Ping
+/// and answering Pong; `Bad` ones answer on an unmatched channel.
+inline plan::Repository echoRepository(hist::HistContext &Ctx,
+                                       unsigned NumServices,
+                                       unsigned NumBad) {
+  plan::Repository Repo;
+  for (unsigned I = 0; I < NumServices; ++I) {
+    const char *Answer = I < NumBad ? "Quux" : "Pong";
+    const hist::Expr *Svc =
+        Ctx.receive("Ping", Ctx.send(Answer, Ctx.empty()));
+    Repo.add(Ctx.symbol("svc" + std::to_string(I)), Svc);
+  }
+  return Repo;
+}
+
+/// A client issuing \p NumRequests echo requests in sequence.
+inline const hist::Expr *echoClient(hist::HistContext &Ctx,
+                                    unsigned NumRequests) {
+  std::vector<const hist::Expr *> Parts;
+  for (unsigned I = 0; I < NumRequests; ++I)
+    Parts.push_back(Ctx.request(
+        100 + I, hist::PolicyRef(),
+        Ctx.send("Ping", Ctx.receive("Pong", Ctx.empty()))));
+  return Ctx.seq(Parts);
+}
+
+} // namespace bench
+} // namespace sus
+
+#endif // SUS_BENCH_WORKLOADS_H

@@ -1,0 +1,97 @@
+//===- bench/bench_automata.cpp - B5: automata substrate ops --------------===//
+///
+/// \file
+/// Experiment B5 (DESIGN.md): scaling of the finite-automata substrate the
+/// model checking rests on — determinization, product, minimization,
+/// emptiness — over seeded random NFAs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ops.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace sus::automata;
+
+namespace {
+
+Nfa randomNfa(std::mt19937 &Rng, unsigned NumStates, unsigned NumSymbols,
+              double EdgeFactor) {
+  Nfa N;
+  for (unsigned I = 0; I < NumStates; ++I)
+    N.addState(Rng() % 5 == 0);
+  N.setStart(0);
+  unsigned NumEdges = static_cast<unsigned>(NumStates * EdgeFactor);
+  for (unsigned I = 0; I < NumEdges; ++I)
+    N.addEdge(Rng() % NumStates, Rng() % NumSymbols, Rng() % NumStates);
+  return N;
+}
+
+void BM_Determinize(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(42);
+  Nfa A = randomNfa(Rng, N, 4, 3.0);
+  size_t States = 0;
+  for (auto _ : State) {
+    Dfa D = determinize(A);
+    States = D.numStates();
+    benchmark::DoNotOptimize(D.numStates());
+  }
+  State.counters["dfa_states"] = static_cast<double>(States);
+}
+BENCHMARK(BM_Determinize)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_Intersect(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(7);
+  Dfa A = determinize(randomNfa(Rng, N, 4, 2.5));
+  Dfa B = determinize(randomNfa(Rng, N, 4, 2.5));
+  for (auto _ : State) {
+    Dfa I = intersect(A, B);
+    benchmark::DoNotOptimize(I.numStates());
+  }
+}
+BENCHMARK(BM_Intersect)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_Minimize(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(11);
+  Dfa D = determinize(randomNfa(Rng, N, 3, 2.5));
+  size_t MinStates = 0;
+  for (auto _ : State) {
+    Dfa M = minimize(D);
+    MinStates = M.numStates();
+    benchmark::DoNotOptimize(M.numStates());
+  }
+  State.counters["min_states"] = static_cast<double>(MinStates);
+}
+BENCHMARK(BM_Minimize)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_EmptinessWitness(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(23);
+  Dfa D = determinize(randomNfa(Rng, N, 4, 2.0));
+  for (auto _ : State) {
+    auto W = shortestWitness(D);
+    benchmark::DoNotOptimize(W.has_value());
+  }
+}
+BENCHMARK(BM_EmptinessWitness)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_Equivalence(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(31);
+  Dfa A = determinize(randomNfa(Rng, N, 3, 2.0));
+  Dfa B = minimize(A); // Equivalent by construction.
+  for (auto _ : State) {
+    bool Eq = equivalent(A, B);
+    benchmark::DoNotOptimize(Eq);
+  }
+}
+BENCHMARK(BM_Equivalence)->RangeMultiplier(2)->Range(8, 64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+//===- bench/bench_compliance.cpp - B1: compliance-check scaling ----------===//
+///
+/// \file
+/// Experiment B1 (DESIGN.md): cost of the §4 compliance model check (the
+/// H1 ⊗ H2 product automaton) as contracts grow in depth, width and
+/// recursion, plus the cost asymmetry between compliant runs (whole space
+/// explored) and non-compliant ones (early counterexample).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+#include "contract/Compliance.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sus;
+using namespace sus::bench;
+
+namespace {
+
+void BM_ComplianceChainDepth(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    auto R = contract::checkCompliance(Ctx, sendChain(Ctx, N),
+                                       recvChain(Ctx, N));
+    benchmark::DoNotOptimize(R.Compliant);
+    State.counters["states"] = static_cast<double>(R.ExploredStates);
+    if (!R.Compliant)
+      State.SkipWithError("chain must be compliant");
+  }
+}
+BENCHMARK(BM_ComplianceChainDepth)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_ComplianceChoiceWidth(benchmark::State &State) {
+  unsigned W = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    auto R = contract::checkCompliance(Ctx, wideBranch(Ctx, W),
+                                       wideSelect(Ctx, W));
+    benchmark::DoNotOptimize(R.Compliant);
+    State.counters["states"] = static_cast<double>(R.ExploredStates);
+  }
+}
+BENCHMARK(BM_ComplianceChoiceWidth)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_ComplianceRecursivePhases(benchmark::State &State) {
+  unsigned K = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    auto R = contract::checkCompliance(
+        Ctx, recursiveProtocol(Ctx, K, /*Sender=*/true),
+        recursiveProtocol(Ctx, K, /*Sender=*/false));
+    benchmark::DoNotOptimize(R.Compliant);
+    State.counters["states"] = static_cast<double>(R.ExploredStates);
+  }
+}
+BENCHMARK(BM_ComplianceRecursivePhases)->RangeMultiplier(4)->Range(2, 512);
+
+/// Non-compliance detected at the end of a long chain: the witness is the
+/// whole chain.
+void BM_NonComplianceLateWitness(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    // Server is one receive short.
+    auto R = contract::checkCompliance(Ctx, sendChain(Ctx, N),
+                                       recvChain(Ctx, N - 1));
+    benchmark::DoNotOptimize(R.Compliant);
+    if (R.Compliant)
+      State.SkipWithError("must be non-compliant");
+    State.counters["witness_len"] =
+        static_cast<double>(R.Witness ? R.Witness->Path.size() : 0);
+  }
+}
+BENCHMARK(BM_NonComplianceLateWitness)->RangeMultiplier(4)->Range(4, 1024);
+
+/// Non-compliance visible in the very first ready set (the §2 Del shape):
+/// detection cost is constant regardless of the residual protocol size.
+void BM_NonComplianceEarlyDel(benchmark::State &State) {
+  unsigned W = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    auto R = contract::checkCompliance(
+        Ctx, wideBranch(Ctx, W, /*DropLast=*/true), wideSelect(Ctx, W));
+    benchmark::DoNotOptimize(R.Compliant);
+    if (R.Compliant)
+      State.SkipWithError("must be non-compliant");
+  }
+}
+BENCHMARK(BM_NonComplianceEarlyDel)->RangeMultiplier(4)->Range(4, 1024);
+
+/// Cross-validation cost: the literal Def. 4 checker computes ready sets
+/// at every pair — measurably heavier than the Def. 5 product (same
+/// verdicts; see ContractTest cross-validation).
+void BM_DirectCheckerChainDepth(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    bool C = contract::checkComplianceDirect(Ctx, sendChain(Ctx, N),
+                                             recvChain(Ctx, N));
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_DirectCheckerChainDepth)->RangeMultiplier(4)->Range(4, 1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

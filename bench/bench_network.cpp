@@ -1,0 +1,142 @@
+//===- bench/bench_network.cpp - B4: interpreter throughput ---------------===//
+///
+/// \file
+/// Experiment B4 (DESIGN.md): run-time cost of the network semantics, and
+/// the headline §5 payoff — executing a *verified* plan with the monitor
+/// switched off versus keeping it on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+#include "core/HotelExample.h"
+#include "net/Explorer.h"
+#include "net/Interpreter.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sus;
+using namespace sus::bench;
+
+namespace {
+
+/// The paper's two-client network, monitored vs unmonitored.
+void BM_HotelNetworkRun(benchmark::State &State) {
+  bool Monitor = State.range(0) != 0;
+  hist::HistContext Ctx;
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+  uint64_t Seed = 1;
+  size_t Steps = 0;
+  for (auto _ : State) {
+    net::InterpreterOptions Opts;
+    Opts.MonitorEnabled = Monitor;
+    net::Interpreter I(Ctx, Ex.Repo, Ex.Registry,
+                       {{Ex.LC1, Ex.C1, Ex.pi1()},
+                        {Ex.LC2, Ex.C2, Ex.pi2Valid()}},
+                       Opts);
+    net::RunStats Stats = I.run(Seed++);
+    Steps += Stats.StepsTaken;
+    benchmark::DoNotOptimize(Stats.AllCompleted);
+  }
+  State.counters["steps/iter"] =
+      static_cast<double>(Steps) / static_cast<double>(State.iterations());
+}
+BENCHMARK(BM_HotelNetworkRun)->Arg(0)->Arg(1);
+
+/// Scaling in the number of parallel clients.
+void BM_ManyClients(benchmark::State &State) {
+  unsigned NumClients = static_cast<unsigned>(State.range(0));
+  bool Monitor = State.range(1) != 0;
+  hist::HistContext Ctx;
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+
+  std::vector<net::NetworkComponent> Components;
+  for (unsigned I = 0; I < NumClients; ++I)
+    Components.push_back({Ex.LC1, Ex.C1, Ex.pi1()});
+
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    net::InterpreterOptions Opts;
+    Opts.MonitorEnabled = Monitor;
+    net::Interpreter I(Ctx, Ex.Repo, Ex.Registry, Components, Opts);
+    net::RunStats Stats = I.run(Seed++);
+    benchmark::DoNotOptimize(Stats.StepsTaken);
+  }
+}
+BENCHMARK(BM_ManyClients)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({16, 0});
+
+/// Long sessions: an N-ping echo conversation inside one session.
+void BM_LongSession(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  hist::HistContext Ctx;
+  policy::PolicyRegistry Registry;
+
+  // Client: open { ping!pong? x N } ; service: matching loop unrolled.
+  const hist::Expr *CBody = Ctx.empty();
+  const hist::Expr *SBody = Ctx.empty();
+  for (unsigned I = 0; I < N; ++I) {
+    CBody = Ctx.send("Ping", Ctx.receive("Pong", CBody));
+    SBody = Ctx.receive("Ping", Ctx.send("Pong", SBody));
+  }
+  plan::Repository Repo;
+  Repo.add(Ctx.symbol("echo"), SBody);
+  const hist::Expr *Client = Ctx.request(1, hist::PolicyRef(), CBody);
+  plan::Plan Pi;
+  Pi.bind(1, Ctx.symbol("echo"));
+
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    net::Interpreter I(Ctx, Repo, Registry,
+                       {{Ctx.symbol("c"), Client, Pi}},
+                       net::InterpreterOptions{});
+    net::RunStats Stats = I.run(Seed++);
+    benchmark::DoNotOptimize(Stats.StepsTaken);
+  }
+  State.counters["msgs"] = 2.0 * N;
+}
+BENCHMARK(BM_LongSession)->RangeMultiplier(4)->Range(4, 256);
+
+/// Committed-choice mode overhead on the compliant hotel plan.
+void BM_CommittedChoiceMode(benchmark::State &State) {
+  bool Committed = State.range(0) != 0;
+  hist::HistContext Ctx;
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    net::InterpreterOptions Opts;
+    Opts.CommittedInternalChoice = Committed;
+    net::Interpreter I(Ctx, Ex.Repo, Ex.Registry,
+                       {{Ex.LC1, Ex.C1, Ex.pi1()}}, Opts);
+    net::RunStats Stats = I.run(Seed++);
+    benchmark::DoNotOptimize(Stats.AllCompleted);
+  }
+}
+BENCHMARK(BM_CommittedChoiceMode)->Arg(0)->Arg(1);
+
+/// Whole-network exhaustive exploration vs. client count (interleaving
+/// blow-up; the price of cross-component capacity-deadlock detection).
+void BM_ExploreNetwork(benchmark::State &State) {
+  unsigned NumClients = static_cast<unsigned>(State.range(0));
+  hist::HistContext Ctx;
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+  std::vector<net::NetworkComponent> Components;
+  for (unsigned I = 0; I < NumClients; ++I)
+    Components.push_back({Ex.LC1, Ex.C1, Ex.pi1()});
+  size_t States = 0;
+  for (auto _ : State) {
+    auto R = net::exploreNetwork(Ctx, Ex.Repo, Components);
+    States = R.States;
+    benchmark::DoNotOptimize(R.CanComplete);
+  }
+  State.counters["states"] = static_cast<double>(States);
+}
+BENCHMARK(BM_ExploreNetwork)->DenseRange(1, 4, 1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+//===- bench/bench_plans.cpp - B3: plan construction scaling --------------===//
+///
+/// \file
+/// Experiment B3 (DESIGN.md): cost of constructing valid plans (§5) as the
+/// repository and the request count grow; the crossover between exhaustive
+/// enumeration and compliance-pruned search.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+#include "core/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sus;
+using namespace sus::bench;
+
+namespace {
+
+/// Pure enumeration (no checking): candidate explosion R^Q.
+void BM_EnumerateOnly(benchmark::State &State) {
+  unsigned R = static_cast<unsigned>(State.range(0));
+  unsigned Q = static_cast<unsigned>(State.range(1));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    plan::Repository Repo = echoRepository(Ctx, R, 0);
+    const hist::Expr *Client = echoClient(Ctx, Q);
+    auto Result = plan::enumeratePlans(Client, Repo);
+    benchmark::DoNotOptimize(Result.Plans.size());
+    State.counters["plans"] = static_cast<double>(Result.Plans.size());
+  }
+}
+BENCHMARK(BM_EnumerateOnly)
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({8, 2})
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Args({16, 3});
+
+/// The full §5 procedure: exhaustive (check every candidate) vs pruned
+/// (discard non-compliant bindings during enumeration). Half of the
+/// repository is non-compliant, so pruning cuts the space by 2^Q.
+void BM_VerifyClient(benchmark::State &State) {
+  unsigned R = static_cast<unsigned>(State.range(0));
+  unsigned Q = static_cast<unsigned>(State.range(1));
+  bool Prune = State.range(2) != 0;
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    plan::Repository Repo = echoRepository(Ctx, R, R / 2);
+    policy::PolicyRegistry Registry;
+    const hist::Expr *Client = echoClient(Ctx, Q);
+
+    core::VerifierOptions Opts;
+    Opts.PruneWithCompliance = Prune;
+    core::Verifier V(Ctx, Repo, Registry, Opts);
+    auto Report = V.verifyClient(Client, Ctx.symbol("c"));
+    benchmark::DoNotOptimize(Report.Verdicts.size());
+    State.counters["candidates"] =
+        static_cast<double>(Report.CandidateCount);
+    State.counters["valid"] =
+        static_cast<double>(Report.validPlans().size());
+  }
+}
+BENCHMARK(BM_VerifyClient)
+    ->Args({4, 2, 0})
+    ->Args({4, 2, 1})
+    ->Args({8, 2, 0})
+    ->Args({8, 2, 1})
+    ->Args({8, 3, 0})
+    ->Args({8, 3, 1})
+    ->Args({16, 2, 0})
+    ->Args({16, 2, 1});
+
+/// Single-plan verification cost (compliance + security) as the nested
+/// session chain deepens: a client calling a broker calling a broker ...
+void BM_CheckPlanNestedDepth(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    plan::Repository Repo;
+    // brokerK forwards to brokerK+1; the last one answers directly.
+    for (unsigned I = 0; I < Depth; ++I) {
+      const hist::Expr *Inner =
+          I + 1 < Depth
+              ? Ctx.request(200 + I + 1, hist::PolicyRef(),
+                            Ctx.send("Ping",
+                                     Ctx.receive("Pong", Ctx.empty())))
+              : Ctx.empty();
+      const hist::Expr *Svc = Ctx.receive(
+          "Ping", Ctx.seq(Inner, Ctx.send("Pong", Ctx.empty())));
+      Repo.add(Ctx.symbol("hop" + std::to_string(I)), Svc);
+    }
+    const hist::Expr *Client =
+        Ctx.request(200, hist::PolicyRef(),
+                    Ctx.send("Ping", Ctx.receive("Pong", Ctx.empty())));
+    plan::Plan Pi;
+    for (unsigned I = 0; I < Depth; ++I)
+      Pi.bind(200 + I, Ctx.symbol("hop" + std::to_string(I)));
+
+    policy::PolicyRegistry Registry;
+    core::Verifier V(Ctx, Repo, Registry);
+    auto Verdict = V.checkPlan(Client, Ctx.symbol("c"), Pi);
+    benchmark::DoNotOptimize(Verdict.isValid());
+    State.counters["sec_states"] =
+        static_cast<double>(Verdict.Security.ExploredStates);
+  }
+}
+BENCHMARK(BM_CheckPlanNestedDepth)->DenseRange(1, 13, 3);
+
+} // namespace
+
+BENCHMARK_MAIN();

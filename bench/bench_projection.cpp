@@ -1,0 +1,130 @@
+//===- bench/bench_projection.cpp - B6: expression-pass throughput --------===//
+///
+/// \file
+/// Experiment B6 (DESIGN.md): throughput of the syntax-directed passes —
+/// projection H!, ready sets, well-formedness, the BPA rendering, LTS
+/// materialization and the λ effect extraction — as expressions grow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+#include "bpa/FromHist.h"
+#include "contract/Project.h"
+#include "contract/ReadySets.h"
+#include "hist/TransitionSystem.h"
+#include "hist/WellFormed.h"
+#include "lambda/TypeEffect.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sus;
+using namespace sus::bench;
+
+namespace {
+
+/// A mixed expression: events, framings and communications interleaved.
+const hist::Expr *mixedExpr(hist::HistContext &Ctx, unsigned N) {
+  std::vector<const hist::Expr *> Parts;
+  hist::PolicyRef Ref;
+  Ref.Name = Ctx.symbol("pol0");
+  for (unsigned I = 0; I < N; ++I) {
+    Parts.push_back(Ctx.event("ev" + std::to_string(I % 8),
+                              static_cast<int64_t>(I)));
+    Parts.push_back(Ctx.framing(Ref, Ctx.event("framed")));
+    Parts.push_back(
+        Ctx.send("c" + std::to_string(I % 4),
+                 Ctx.receive("d" + std::to_string(I % 4), Ctx.empty())));
+  }
+  return Ctx.seq(Parts);
+}
+
+void BM_Projection(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    const hist::Expr *E = mixedExpr(Ctx, N);
+    benchmark::DoNotOptimize(contract::project(Ctx, E));
+  }
+}
+BENCHMARK(BM_Projection)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_ReadySets(benchmark::State &State) {
+  unsigned W = static_cast<unsigned>(State.range(0));
+  hist::HistContext Ctx;
+  const hist::Expr *E = wideSelect(Ctx, W);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(contract::readySets(E));
+}
+BENCHMARK(BM_ReadySets)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_WellFormed(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  hist::HistContext Ctx;
+  const hist::Expr *E = mixedExpr(Ctx, N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hist::isWellFormed(Ctx, E));
+}
+BENCHMARK(BM_WellFormed)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_BpaRendering(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    bpa::BpaContext Bpa;
+    const hist::Expr *E = mixedExpr(Ctx, N);
+    benchmark::DoNotOptimize(bpa::fromHist(Bpa, Ctx, E));
+  }
+}
+BENCHMARK(BM_BpaRendering)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_LtsMaterialization(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  hist::HistContext Ctx;
+  const hist::Expr *E = mixedExpr(Ctx, N);
+  size_t States = 0;
+  for (auto _ : State) {
+    hist::TransitionSystem Ts(Ctx, E);
+    States = Ts.numStates();
+    benchmark::DoNotOptimize(Ts.numStates());
+  }
+  State.counters["lts_states"] = static_cast<double>(States);
+}
+BENCHMARK(BM_LtsMaterialization)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_LambdaEffectExtraction(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    hist::HistContext Ctx;
+    lambda::LambdaContext L(Ctx);
+    DiagnosticEngine Diags;
+    lambda::EffectSystem ES(L, Diags);
+    // A chain of N event;send;recv blocks.
+    const lambda::Term *T = L.unit();
+    for (unsigned I = 0; I < N; ++I)
+      T = L.seq(L.event("ev" + std::to_string(I % 8)),
+                L.seq(L.send("c" + std::to_string(I % 4)),
+                      L.seq(L.recv("d" + std::to_string(I % 4)), T)));
+    auto R = ES.infer(T);
+    benchmark::DoNotOptimize(R.has_value());
+  }
+}
+BENCHMARK(BM_LambdaEffectExtraction)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_HashConsingSharing(benchmark::State &State) {
+  // Rebuilding the same expression N times touches the uniquing table
+  // only: measures hash-consing hit cost.
+  unsigned N = static_cast<unsigned>(State.range(0));
+  hist::HistContext Ctx;
+  const hist::Expr *First = mixedExpr(Ctx, N);
+  for (auto _ : State) {
+    const hist::Expr *Again = mixedExpr(Ctx, N);
+    if (Again != First)
+      State.SkipWithError("hash-consing must share");
+    benchmark::DoNotOptimize(Again);
+  }
+}
+BENCHMARK(BM_HashConsingSharing)->RangeMultiplier(4)->Range(4, 256);
+
+} // namespace
+
+BENCHMARK_MAIN();

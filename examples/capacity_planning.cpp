@@ -1,0 +1,90 @@
+//===- examples/capacity_planning.cpp - replication capacity analysis -----===//
+///
+/// \file
+/// The paper assumes services replicate unboundedly and lists bounded
+/// availability as future work (§5). This example shows what changes when
+/// capacities are finite: two clients, each individually verified, can
+/// deadlock each other by grabbing service slots in opposite orders — the
+/// dining-philosophers pattern. The whole-network explorer proves the
+/// deadlock reachable, pinpoints the fatal schedule, and confirms that
+/// one more replica removes it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "hist/Printer.h"
+#include "net/Explorer.h"
+#include "net/Interpreter.h"
+
+#include <iostream>
+
+using namespace sus;
+using namespace sus::hist;
+
+int main() {
+  HistContext Ctx;
+  policy::PolicyRegistry Registry; // No security policies: pure progress.
+
+  const Expr *Echo = Ctx.receive("Ping", Ctx.send("Pong", Ctx.empty()));
+  plan::Loc L1 = Ctx.symbol("svc1"), L2 = Ctx.symbol("svc2");
+
+  // Each client holds a session on one service while calling the other.
+  auto MakeClient = [&](hist::RequestId Outer, hist::RequestId Inner) {
+    const Expr *InnerReq = Ctx.request(
+        Inner, PolicyRef(),
+        Ctx.send("Ping", Ctx.receive("Pong", Ctx.empty())));
+    return Ctx.request(
+        Outer, PolicyRef(),
+        Ctx.seq(InnerReq,
+                Ctx.send("Ping", Ctx.receive("Pong", Ctx.empty()))));
+  };
+  const Expr *A = MakeClient(10, 11);
+  const Expr *B = MakeClient(20, 21);
+  plan::Plan PiA, PiB;
+  PiA.bind(10, L1);
+  PiA.bind(11, L2);
+  PiB.bind(20, L2);
+  PiB.bind(21, L1);
+
+  std::cout << "client A: " << print(Ctx, A) << "   plan "
+            << PiA.str(Ctx.interner()) << "\n";
+  std::cout << "client B: " << print(Ctx, B) << "   plan "
+            << PiB.str(Ctx.interner()) << "\n\n";
+
+  for (unsigned Capacity : {1u, 2u}) {
+    plan::Repository Repo;
+    Repo.add(L1, Echo, Capacity);
+    Repo.add(L2, Echo, Capacity);
+
+    // Each client alone is perfectly fine.
+    core::Verifier V(Ctx, Repo, Registry);
+    bool AValid = V.checkPlan(A, Ctx.symbol("a"), PiA).isValid();
+    bool BValid = V.checkPlan(B, Ctx.symbol("b"), PiB).isValid();
+
+    // Together?
+    auto R = net::exploreNetwork(Ctx, Repo,
+                                 {{Ctx.symbol("a"), A, PiA},
+                                  {Ctx.symbol("b"), B, PiB}});
+
+    std::cout << "capacity " << Capacity << " per service:\n";
+    std::cout << "  per-client verification: A "
+              << (AValid ? "valid" : "invalid") << ", B "
+              << (BValid ? "valid" : "invalid") << "\n";
+    std::cout << "  network exploration (" << R.States << " states): "
+              << (R.CanComplete ? "can complete" : "cannot complete")
+              << ", deadlock "
+              << (R.DeadlockReachable ? "REACHABLE" : "unreachable")
+              << "\n";
+    if (R.DeadlockReachable) {
+      std::cout << "  fatal schedule:\n";
+      for (const std::string &Line : R.DeadlockTrace)
+        std::cout << "    --> " << Line << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "Verdict: with one replica each, individually-valid plans "
+               "can still wedge the network;\none extra replica per "
+               "service removes the contention entirely.\n";
+  return 0;
+}

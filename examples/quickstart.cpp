@@ -1,0 +1,110 @@
+//===- examples/quickstart.cpp - a 5-minute tour of the library ----------===//
+///
+/// \file
+/// Builds a tiny client/service pair, checks compliance (§4), attaches a
+/// security policy (Fig. 1 style), statically validates a plan (§3.1/§5),
+/// and finally runs the network with the monitor switched off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "contract/Compliance.h"
+#include "core/Verifier.h"
+#include "hist/Printer.h"
+#include "net/Interpreter.h"
+#include "policy/Prelude.h"
+
+#include <iostream>
+
+using namespace sus;
+using namespace sus::hist;
+
+int main() {
+  HistContext Ctx;
+
+  // --- 1. Behaviours -----------------------------------------------------
+  // A storage service: log the access, then either acknowledge or refuse.
+  const Expr *Storage = Ctx.receive(
+      "Put", Ctx.seq(Ctx.event("write", 1),
+                     Ctx.intChoice({
+                         {CommAction::output(Ctx.symbol("Ack")), Ctx.empty()},
+                         {CommAction::output(Ctx.symbol("Nak")), Ctx.empty()},
+                     })));
+
+  // A client: open a session governed by a policy, send Put, await both
+  // possible answers, close.
+  PolicyRef NoWriteAfterRead;
+  NoWriteAfterRead.Name = Ctx.symbol("noWaR");
+  const Expr *Client = Ctx.seq(
+      Ctx.event("read", 1),
+      Ctx.request(1, NoWriteAfterRead,
+                  Ctx.send("Put", Ctx.extChoice({
+                                      {CommAction::input(Ctx.symbol("Ack")),
+                                       Ctx.empty()},
+                                      {CommAction::input(Ctx.symbol("Nak")),
+                                       Ctx.empty()},
+                                  }))));
+
+  std::cout << "client:  " << print(Ctx, Client) << "\n";
+  std::cout << "service: " << print(Ctx, Storage) << "\n\n";
+
+  // --- 2. Compliance (§4) -------------------------------------------------
+  auto Sites = plan::extractRequests(Client);
+  auto Compliance =
+      contract::checkServiceCompliance(Ctx, Sites[0].body(), Storage);
+  std::cout << "compliance: " << (Compliance.Compliant ? "yes" : "no")
+            << " (" << Compliance.ExploredStates << " product states)\n";
+
+  // --- 3. Security (§3.1) -------------------------------------------------
+  policy::PolicyRegistry Registry;
+  Registry.add(policy::makeNeverAfterPolicy(Ctx.interner(), "noWaR",
+                                            "read", "write"));
+
+  plan::Repository Repo;
+  plan::Loc LStore = Ctx.symbol("store");
+  Repo.add(LStore, Storage);
+
+  plan::Plan Pi;
+  Pi.bind(1, LStore);
+
+  auto Security = validity::checkPlanValidity(Ctx, Client, Ctx.symbol("c"),
+                                              Pi, Repo, Registry);
+  std::cout << "security:   " << (Security.Valid ? "valid" : "VIOLATION");
+  if (!Security.Valid && Security.Policy)
+    std::cout << " of " << Security.Policy->str(Ctx.interner());
+  std::cout << "\n";
+
+  // The client read before the session, and the service writes inside the
+  // policy's scope: history dependence makes this plan invalid. Fix the
+  // client by dropping the initial read.
+  const Expr *FixedClient = Ctx.request(
+      1, NoWriteAfterRead,
+      Ctx.send("Put", Ctx.extChoice({
+                          {CommAction::input(Ctx.symbol("Ack")), Ctx.empty()},
+                          {CommAction::input(Ctx.symbol("Nak")), Ctx.empty()},
+                      })));
+  auto Fixed = validity::checkPlanValidity(Ctx, FixedClient,
+                                           Ctx.symbol("c"), Pi, Repo,
+                                           Registry);
+  std::cout << "fixed:      " << (Fixed.Valid ? "valid" : "violation")
+            << "\n\n";
+
+  // --- 4. The §5 procedure end to end ------------------------------------
+  core::Verifier Verifier(Ctx, Repo, Registry);
+  auto Report = Verifier.verifyClient(FixedClient, Ctx.symbol("c"));
+  core::printReport(Report, Ctx, std::cout);
+
+  // --- 5. Run monitor-free (§5: "switch off any run-time monitor") -------
+  auto Valid = Report.validPlans();
+  if (!Valid.empty()) {
+    net::InterpreterOptions Opts;
+    Opts.MonitorEnabled = false;
+    net::Interpreter I(Ctx, Repo, Registry,
+                       {{Ctx.symbol("c"), FixedClient, Valid[0]}}, Opts);
+    net::RunStats Stats = I.run(/*Seed=*/42);
+    std::cout << "\nrun: " << Stats.StepsTaken << " steps, "
+              << (Stats.AllCompleted ? "completed" : "stuck")
+              << ", violations: " << Stats.Violations << "\n";
+    std::cout << "history: " << I.history(0).str(Ctx.interner()) << "\n";
+  }
+  return 0;
+}

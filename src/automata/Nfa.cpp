@@ -1,0 +1,141 @@
+//===- automata/Nfa.cpp - Nondeterministic finite automata ---------------===//
+
+#include "automata/Nfa.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sus;
+using namespace sus::automata;
+
+StateId Nfa::addState(bool IsAccepting) {
+  Edges.emplace_back();
+  Eps.emplace_back();
+  Accepting.push_back(IsAccepting);
+  return static_cast<StateId>(Edges.size() - 1);
+}
+
+void Nfa::setAccepting(StateId S, bool IsAccepting) {
+  assert(S < Accepting.size() && "state out of range");
+  Accepting[S] = IsAccepting;
+}
+
+void Nfa::addEdge(StateId S, SymbolCode Sym, StateId T) {
+  assert(S < Edges.size() && T < Edges.size() && "state out of range");
+  Edges[S].push_back({Sym, T});
+}
+
+void Nfa::addEpsilon(StateId S, StateId T) {
+  assert(S < Eps.size() && T < Eps.size() && "state out of range");
+  Eps[S].push_back(T);
+}
+
+std::set<SymbolCode> Nfa::alphabet() const {
+  std::set<SymbolCode> Result;
+  for (const auto &Out : Edges)
+    for (const NfaEdge &E : Out)
+      Result.insert(E.Symbol);
+  return Result;
+}
+
+std::vector<StateId> Nfa::epsilonClosure(std::vector<StateId> States) const {
+  std::vector<bool> Seen(Edges.size(), false);
+  std::vector<StateId> Work = States;
+  for (StateId S : States)
+    Seen[S] = true;
+  while (!Work.empty()) {
+    StateId S = Work.back();
+    Work.pop_back();
+    for (StateId T : Eps[S]) {
+      if (Seen[T])
+        continue;
+      Seen[T] = true;
+      States.push_back(T);
+      Work.push_back(T);
+    }
+  }
+  std::sort(States.begin(), States.end());
+  States.erase(std::unique(States.begin(), States.end()), States.end());
+  return States;
+}
+
+bool Nfa::accepts(const std::vector<SymbolCode> &Word) const {
+  std::vector<StateId> Current = epsilonClosure({Start});
+  for (SymbolCode Sym : Word) {
+    std::vector<StateId> Next;
+    for (StateId S : Current)
+      for (const NfaEdge &E : Edges[S])
+        if (E.Symbol == Sym)
+          Next.push_back(E.Target);
+    Current = epsilonClosure(std::move(Next));
+    if (Current.empty())
+      return false;
+  }
+  for (StateId S : Current)
+    if (Accepting[S])
+      return true;
+  return false;
+}
+
+StateId Dfa::addState(bool IsAccepting) {
+  Trans.emplace_back();
+  AcceptingStates.push_back(IsAccepting);
+  return static_cast<StateId>(Trans.size() - 1);
+}
+
+void Dfa::setAccepting(StateId S, bool IsAccepting) {
+  assert(S < AcceptingStates.size() && "state out of range");
+  AcceptingStates[S] = IsAccepting;
+}
+
+void Dfa::setEdge(StateId S, SymbolCode Sym, StateId T) {
+  assert(S < Trans.size() && T < Trans.size() && "state out of range");
+  auto &Out = Trans[S];
+  auto It = std::lower_bound(
+      Out.begin(), Out.end(), Sym,
+      [](const NfaEdge &E, SymbolCode C) { return E.Symbol < C; });
+  if (It != Out.end() && It->Symbol == Sym) {
+    It->Target = T;
+    return;
+  }
+  Out.insert(It, {Sym, T});
+}
+
+StateId Dfa::step(StateId S, SymbolCode Sym) const {
+  assert(S < Trans.size() && "state out of range");
+  const auto &Out = Trans[S];
+  auto It = std::lower_bound(
+      Out.begin(), Out.end(), Sym,
+      [](const NfaEdge &E, SymbolCode C) { return E.Symbol < C; });
+  if (It == Out.end() || It->Symbol != Sym)
+    return NoState;
+  return It->Target;
+}
+
+StateId Dfa::run(const std::vector<SymbolCode> &Word) const {
+  StateId S = Start;
+  for (SymbolCode Sym : Word) {
+    S = step(S, Sym);
+    if (S == NoState)
+      return NoState;
+  }
+  return S;
+}
+
+bool Dfa::accepts(const std::vector<SymbolCode> &Word) const {
+  StateId S = run(Word);
+  return S != NoState && AcceptingStates[S];
+}
+
+std::vector<NfaEdge> Dfa::edges(StateId S) const {
+  assert(S < Trans.size() && "state out of range");
+  return Trans[S];
+}
+
+std::set<SymbolCode> Dfa::alphabet() const {
+  std::set<SymbolCode> Result;
+  for (const auto &Out : Trans)
+    for (const NfaEdge &E : Out)
+      Result.insert(E.Symbol);
+  return Result;
+}

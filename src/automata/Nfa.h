@@ -1,0 +1,116 @@
+//===- automata/Nfa.h - Nondeterministic finite automata --------*- C++ -*-===//
+///
+/// \file
+/// A generic NFA over a 32-bit symbol alphabet, with epsilon moves. Symbols
+/// are opaque codes; callers (policies, compliance products, the BPA
+/// rendering) map their labels onto them. This substrate backs the
+/// model-checking machinery of §3.1 and §4 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_AUTOMATA_NFA_H
+#define SUS_AUTOMATA_NFA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace sus {
+namespace automata {
+
+/// Index of a state inside an Nfa or Dfa.
+using StateId = uint32_t;
+
+/// Alphabet symbol code.
+using SymbolCode = uint32_t;
+
+/// One labelled transition.
+struct NfaEdge {
+  SymbolCode Symbol;
+  StateId Target;
+};
+
+/// Nondeterministic finite automaton with a single start state and a set of
+/// accepting states. Epsilon transitions are kept separately.
+class Nfa {
+public:
+  /// Creates a fresh state; returns its id.
+  StateId addState(bool Accepting = false);
+
+  /// Marks or unmarks \p S as accepting.
+  void setAccepting(StateId S, bool Accepting = true);
+
+  /// Sets the unique start state.
+  void setStart(StateId S) { Start = S; }
+
+  /// Adds a transition S --Sym--> T.
+  void addEdge(StateId S, SymbolCode Sym, StateId T);
+
+  /// Adds an epsilon transition S --ε--> T.
+  void addEpsilon(StateId S, StateId T);
+
+  StateId start() const { return Start; }
+  size_t numStates() const { return Edges.size(); }
+  bool isAccepting(StateId S) const { return Accepting[S]; }
+  const std::vector<NfaEdge> &edges(StateId S) const { return Edges[S]; }
+  const std::vector<StateId> &epsilons(StateId S) const { return Eps[S]; }
+
+  /// The set of symbols that appear on any edge (the effective alphabet).
+  std::set<SymbolCode> alphabet() const;
+
+  /// Returns true if the automaton accepts \p Word.
+  bool accepts(const std::vector<SymbolCode> &Word) const;
+
+  /// Epsilon closure of a state set (in-place canonical sorted form).
+  std::vector<StateId> epsilonClosure(std::vector<StateId> States) const;
+
+private:
+  std::vector<std::vector<NfaEdge>> Edges;
+  std::vector<std::vector<StateId>> Eps;
+  std::vector<bool> Accepting;
+  StateId Start = 0;
+};
+
+/// Deterministic finite automaton. Transitions are total only if the
+/// builder completed them; `step` returns `NoState` on a missing edge.
+class Dfa {
+public:
+  /// Sentinel for "no transition".
+  static constexpr StateId NoState = ~0u;
+
+  StateId addState(bool IsAccepting = false);
+  void setAccepting(StateId S, bool IsAccepting = true);
+  void setStart(StateId S) { Start = S; }
+  void setEdge(StateId S, SymbolCode Sym, StateId T);
+
+  StateId start() const { return Start; }
+  size_t numStates() const { return AcceptingStates.size(); }
+  bool isAccepting(StateId S) const { return AcceptingStates[S]; }
+
+  /// Follows one transition; NoState when undefined.
+  StateId step(StateId S, SymbolCode Sym) const;
+
+  /// Runs the whole word from the start state; NoState if it falls off.
+  StateId run(const std::vector<SymbolCode> &Word) const;
+
+  /// Returns true if the automaton accepts \p Word (missing edge rejects).
+  bool accepts(const std::vector<SymbolCode> &Word) const;
+
+  /// All (symbol, target) pairs out of \p S, sorted by symbol.
+  std::vector<NfaEdge> edges(StateId S) const;
+
+  /// The set of symbols that appear on any edge.
+  std::set<SymbolCode> alphabet() const;
+
+private:
+  // Per-state sorted (symbol -> target) vectors.
+  std::vector<std::vector<NfaEdge>> Trans;
+  std::vector<bool> AcceptingStates;
+  StateId Start = 0;
+};
+
+} // namespace automata
+} // namespace sus
+
+#endif // SUS_AUTOMATA_NFA_H

@@ -1,0 +1,282 @@
+//===- automata/Ops.cpp - Automata algorithms ----------------------------===//
+
+#include "automata/Ops.h"
+
+#include "support/HashUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace sus;
+using namespace sus::automata;
+
+Dfa sus::automata::determinize(const Nfa &N) {
+  Dfa Result;
+  std::map<std::vector<StateId>, StateId> Index;
+  std::deque<std::vector<StateId>> Work;
+
+  auto InternState = [&](std::vector<StateId> Set) -> StateId {
+    auto It = Index.find(Set);
+    if (It != Index.end())
+      return It->second;
+    bool Accepting = false;
+    for (StateId S : Set)
+      if (N.isAccepting(S)) {
+        Accepting = true;
+        break;
+      }
+    StateId Id = Result.addState(Accepting);
+    Index.emplace(Set, Id);
+    Work.push_back(std::move(Set));
+    return Id;
+  };
+
+  StateId StartId = InternState(N.epsilonClosure({N.start()}));
+  Result.setStart(StartId);
+
+  while (!Work.empty()) {
+    std::vector<StateId> Set = Work.front();
+    Work.pop_front();
+    StateId From = Index.at(Set);
+
+    // Group successors by symbol.
+    std::map<SymbolCode, std::vector<StateId>> BySymbol;
+    for (StateId S : Set)
+      for (const NfaEdge &E : N.edges(S))
+        BySymbol[E.Symbol].push_back(E.Target);
+
+    for (auto &[Sym, Targets] : BySymbol) {
+      StateId To = InternState(N.epsilonClosure(std::move(Targets)));
+      Result.setEdge(From, Sym, To);
+    }
+  }
+  return Result;
+}
+
+Dfa sus::automata::complete(const Dfa &D,
+                            const std::set<SymbolCode> &Alphabet) {
+  Dfa Result;
+  for (StateId S = 0; S < D.numStates(); ++S)
+    Result.addState(D.isAccepting(S));
+  StateId Sink = Result.addState(false);
+  Result.setStart(D.start());
+
+  for (StateId S = 0; S < D.numStates(); ++S) {
+    for (const NfaEdge &E : D.edges(S))
+      Result.setEdge(S, E.Symbol, E.Target);
+    for (SymbolCode Sym : Alphabet)
+      if (D.step(S, Sym) == Dfa::NoState)
+        Result.setEdge(S, Sym, Sink);
+  }
+  for (SymbolCode Sym : Alphabet)
+    Result.setEdge(Sink, Sym, Sink);
+  return Result;
+}
+
+Dfa sus::automata::complement(const Dfa &D,
+                              const std::set<SymbolCode> &Alphabet) {
+  std::set<SymbolCode> Joint = Alphabet;
+  for (SymbolCode Sym : D.alphabet())
+    Joint.insert(Sym);
+  Dfa Completed = complete(D, Joint);
+  for (StateId S = 0; S < Completed.numStates(); ++S)
+    Completed.setAccepting(S, !Completed.isAccepting(S));
+  return Completed;
+}
+
+namespace {
+
+/// Shared reachable-product construction; acceptance is a callback so
+/// intersection and union reuse it.
+template <typename AcceptFn>
+Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
+  Dfa Result;
+  std::map<std::pair<StateId, StateId>, StateId> Index;
+  std::deque<std::pair<StateId, StateId>> Work;
+
+  auto InternState = [&](StateId SA, StateId SB) -> StateId {
+    auto Key = std::make_pair(SA, SB);
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    StateId Id = Result.addState(Accept(SA, SB));
+    Index.emplace(Key, Id);
+    Work.push_back(Key);
+    return Id;
+  };
+
+  Result.setStart(InternState(A.start(), B.start()));
+  while (!Work.empty()) {
+    auto [SA, SB] = Work.front();
+    Work.pop_front();
+    StateId From = Index.at({SA, SB});
+    for (const NfaEdge &E : A.edges(SA)) {
+      StateId TB = B.step(SB, E.Symbol);
+      if (TB == Dfa::NoState)
+        continue;
+      Result.setEdge(From, E.Symbol, InternState(E.Target, TB));
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
+  return productImpl(A, B, [&](StateId SA, StateId SB) {
+    return A.isAccepting(SA) && B.isAccepting(SB);
+  });
+}
+
+Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
+  std::set<SymbolCode> Joint = A.alphabet();
+  for (SymbolCode Sym : B.alphabet())
+    Joint.insert(Sym);
+  Dfa CA = complete(A, Joint);
+  Dfa CB = complete(B, Joint);
+  return productImpl(CA, CB, [&](StateId SA, StateId SB) {
+    return CA.isAccepting(SA) || CB.isAccepting(SB);
+  });
+}
+
+std::optional<std::vector<SymbolCode>>
+sus::automata::shortestWitness(const Dfa &D) {
+  struct Pred {
+    StateId From;
+    SymbolCode Symbol;
+  };
+  std::vector<std::optional<Pred>> Preds(D.numStates());
+  std::vector<bool> Seen(D.numStates(), false);
+  std::deque<StateId> Work;
+  Seen[D.start()] = true;
+  Work.push_back(D.start());
+
+  StateId Found = Dfa::NoState;
+  if (D.isAccepting(D.start()))
+    Found = D.start();
+
+  while (Found == Dfa::NoState && !Work.empty()) {
+    StateId S = Work.front();
+    Work.pop_front();
+    for (const NfaEdge &E : D.edges(S)) {
+      if (Seen[E.Target])
+        continue;
+      Seen[E.Target] = true;
+      Preds[E.Target] = Pred{S, E.Symbol};
+      if (D.isAccepting(E.Target)) {
+        Found = E.Target;
+        break;
+      }
+      Work.push_back(E.Target);
+    }
+  }
+  if (Found == Dfa::NoState)
+    return std::nullopt;
+
+  std::vector<SymbolCode> Word;
+  for (StateId S = Found; Preds[S]; S = Preds[S]->From)
+    Word.push_back(Preds[S]->Symbol);
+  std::reverse(Word.begin(), Word.end());
+  return Word;
+}
+
+bool sus::automata::isEmpty(const Dfa &D) {
+  return !shortestWitness(D).has_value();
+}
+
+Dfa sus::automata::minimize(const Dfa &D) {
+  std::set<SymbolCode> Alphabet = D.alphabet();
+  Dfa C = complete(D, Alphabet);
+  // Re-collect: completion may have added a sink but no new symbols.
+  std::vector<SymbolCode> Syms(Alphabet.begin(), Alphabet.end());
+  size_t N = C.numStates();
+
+  // Drop unreachable states first so the partition refinement only sees the
+  // live part.
+  std::vector<bool> Reach(N, false);
+  std::deque<StateId> Work;
+  Reach[C.start()] = true;
+  Work.push_back(C.start());
+  while (!Work.empty()) {
+    StateId S = Work.front();
+    Work.pop_front();
+    for (const NfaEdge &E : C.edges(S))
+      if (!Reach[E.Target]) {
+        Reach[E.Target] = true;
+        Work.push_back(E.Target);
+      }
+  }
+
+  // Moore-style partition refinement (O(n^2 * |Σ|) worst case, simple and
+  // deterministic; automata here are small).
+  std::vector<unsigned> Class(N, 0);
+  for (StateId S = 0; S < N; ++S)
+    Class[S] = C.isAccepting(S) ? 1 : 0;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Signature of a state: (class, class of successor per symbol).
+    std::map<std::vector<unsigned>, unsigned> SigIndex;
+    std::vector<unsigned> NewClass(N, 0);
+    for (StateId S = 0; S < N; ++S) {
+      if (!Reach[S])
+        continue;
+      std::vector<unsigned> Sig;
+      Sig.reserve(Syms.size() + 1);
+      Sig.push_back(Class[S]);
+      for (SymbolCode Sym : Syms) {
+        StateId T = C.step(S, Sym);
+        assert(T != Dfa::NoState && "completed DFA must be total");
+        Sig.push_back(Class[T]);
+      }
+      auto [It, Inserted] =
+          SigIndex.emplace(std::move(Sig), SigIndex.size());
+      (void)Inserted;
+      NewClass[S] = It->second;
+    }
+    for (StateId S = 0; S < N; ++S)
+      if (Reach[S] && NewClass[S] != Class[S])
+        Changed = true;
+    Class = std::move(NewClass);
+  }
+
+  // Build the quotient automaton over reachable classes.
+  std::map<unsigned, StateId> ClassState;
+  Dfa Result;
+  auto InternClass = [&](StateId Rep) -> StateId {
+    unsigned Cl = Class[Rep];
+    auto It = ClassState.find(Cl);
+    if (It != ClassState.end())
+      return It->second;
+    StateId Id = Result.addState(C.isAccepting(Rep));
+    ClassState.emplace(Cl, Id);
+    return Id;
+  };
+
+  Result.setStart(InternClass(C.start()));
+  for (StateId S = 0; S < N; ++S) {
+    if (!Reach[S])
+      continue;
+    StateId From = InternClass(S);
+    for (SymbolCode Sym : Syms) {
+      StateId T = C.step(S, Sym);
+      Result.setEdge(From, Sym, InternClass(T));
+    }
+  }
+  return Result;
+}
+
+bool sus::automata::equivalent(const Dfa &A, const Dfa &B) {
+  std::set<SymbolCode> Joint = A.alphabet();
+  for (SymbolCode Sym : B.alphabet())
+    Joint.insert(Sym);
+  Dfa NotB = complement(B, Joint);
+  if (!isEmpty(intersect(A, NotB)))
+    return false;
+  Dfa NotA = complement(A, Joint);
+  return isEmpty(intersect(B, NotA));
+}

@@ -1,0 +1,60 @@
+//===- automata/Ops.h - Automata algorithms ---------------------*- C++ -*-===//
+///
+/// \file
+/// The classic constructions the verifier needs: subset-construction
+/// determinization, completion, complement, product (intersection and
+/// union), emptiness with witness extraction, Hopcroft minimization and
+/// language-equivalence checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_AUTOMATA_OPS_H
+#define SUS_AUTOMATA_OPS_H
+
+#include "automata/Nfa.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace sus {
+namespace automata {
+
+/// Subset construction. The result is deterministic but not necessarily
+/// complete (undefined transitions reject).
+Dfa determinize(const Nfa &N);
+
+/// Adds a non-accepting sink so that every state has a transition on every
+/// symbol in \p Alphabet.
+Dfa complete(const Dfa &D, const std::set<SymbolCode> &Alphabet);
+
+/// Complement w.r.t. \p Alphabet (completes first, then flips acceptance).
+Dfa complement(const Dfa &D, const std::set<SymbolCode> &Alphabet);
+
+/// Product automaton accepting the intersection of the two languages.
+/// Only the reachable part is built.
+Dfa intersect(const Dfa &A, const Dfa &B);
+
+/// Product automaton accepting the union of the two languages; both inputs
+/// are completed over the joint alphabet first.
+Dfa unite(const Dfa &A, const Dfa &B);
+
+/// Returns a shortest accepted word if the language is non-empty, else
+/// std::nullopt. (BFS over reachable states.)
+std::optional<std::vector<SymbolCode>> shortestWitness(const Dfa &D);
+
+/// Returns true if the language of \p D is empty.
+bool isEmpty(const Dfa &D);
+
+/// Hopcroft minimization. The input is completed over its own alphabet
+/// first; the result is the canonical minimal complete DFA (minus any
+/// unreachable states).
+Dfa minimize(const Dfa &D);
+
+/// Language equivalence via symmetric-difference emptiness.
+bool equivalent(const Dfa &A, const Dfa &B);
+
+} // namespace automata
+} // namespace sus
+
+#endif // SUS_AUTOMATA_OPS_H

@@ -1,0 +1,39 @@
+//===- bpa/FromHist.h - Rendering history expressions as BPA ----*- C++ -*-===//
+///
+/// \file
+/// The §3.1 rendering: a history expression becomes a BPA process whose
+/// traces are exactly the expression's label sequences. µ-binders become
+/// process-variable definitions; requests and framings expand to their
+/// open/close action sandwiches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_BPA_FROMHIST_H
+#define SUS_BPA_FROMHIST_H
+
+#include "bpa/Bpa.h"
+#include "hist/HistContext.h"
+
+namespace sus {
+namespace bpa {
+
+/// Translates \p E into \p Bpa (installing definitions for every µ) and
+/// returns the root term.
+const Term *fromHist(BpaContext &Bpa, hist::HistContext &Ctx,
+                     const hist::Expr *E);
+
+/// The finite-state extraction: explores the BPA transition system up to
+/// \p MaxStates states.
+struct BpaLts {
+  std::vector<const Term *> States;
+  std::vector<std::vector<std::pair<hist::Label, uint32_t>>> Edges;
+  bool Regular = true; ///< False when MaxStates was hit (non-regular or
+                       ///< too large to extract).
+};
+
+BpaLts toLts(BpaContext &Bpa, const Term *Root, size_t MaxStates = 1 << 16);
+
+} // namespace bpa
+} // namespace sus
+
+#endif // SUS_BPA_FROMHIST_H

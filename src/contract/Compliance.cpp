@@ -1,0 +1,103 @@
+//===- contract/Compliance.cpp - The compliance relation ⊢ ----------------===//
+
+#include "contract/Compliance.h"
+
+#include "contract/ReadySets.h"
+#include "support/HashUtil.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::contract;
+
+std::string ComplianceWitness::str(const HistContext &Ctx) const {
+  std::string Out;
+  for (size_t I = 0; I < Path.size(); ++I) {
+    if (I != 0)
+      Out += " . ";
+    Out += Path[I].str(Ctx.interner());
+  }
+  if (!Path.empty())
+    Out += " --> ";
+  Out += "stuck: client = ";
+  Out += print(Ctx, ClientStuck);
+  Out += ", server = ";
+  Out += print(Ctx, ServerStuck);
+  return Out;
+}
+
+ComplianceResult sus::contract::checkCompliance(HistContext &Ctx,
+                                                const Expr *ClientContract,
+                                                const Expr *ServerContract) {
+  ComplianceProduct Product(Ctx, ClientContract, ServerContract);
+  ComplianceResult Result;
+  Result.ExploredStates = Product.numStates();
+  Result.Compliant = Product.isEmptyLanguage() && Product.isComplete();
+  if (std::optional<ComplianceProduct::StateIndex> Final =
+          Product.firstFinal()) {
+    ComplianceWitness W;
+    W.Path = Product.pathTo(*Final);
+    W.ClientStuck = Product.state(*Final).Client;
+    W.ServerStuck = Product.state(*Final).Server;
+    Result.Witness = std::move(W);
+  }
+  return Result;
+}
+
+ComplianceResult sus::contract::checkServiceCompliance(HistContext &Ctx,
+                                                       const Expr *Client,
+                                                       const Expr *Server) {
+  return checkCompliance(Ctx, project(Ctx, Client), project(Ctx, Server));
+}
+
+bool sus::contract::checkComplianceDirect(HistContext &Ctx,
+                                          const Expr *ClientContract,
+                                          const Expr *ServerContract) {
+  struct PairHash {
+    size_t operator()(const std::pair<const Expr *, const Expr *> &P) const {
+      return hashAll(reinterpret_cast<uintptr_t>(P.first),
+                     reinterpret_cast<uintptr_t>(P.second));
+    }
+  };
+  std::unordered_set<std::pair<const Expr *, const Expr *>, PairHash> Seen;
+  std::deque<std::pair<const Expr *, const Expr *>> Work;
+
+  Seen.insert({ClientContract, ServerContract});
+  Work.push_back({ClientContract, ServerContract});
+
+  while (!Work.empty()) {
+    auto [C, S] = Work.front();
+    Work.pop_front();
+
+    // Condition (1) of Def. 4 over all ready-set pairs.
+    std::vector<ReadySet> ClientSets = readySets(C);
+    std::vector<ReadySet> ServerSets = readySets(S);
+    for (const ReadySet &CS : ClientSets) {
+      if (CS.empty())
+        continue; // The client has completed its operations.
+      for (const ReadySet &SS : ServerSets)
+        if (!canSynchronize(CS, SS))
+          return false;
+    }
+
+    // Condition (2): compliance is preserved under synchronized steps.
+    std::vector<Transition> ClientSteps = derive(Ctx, C);
+    std::vector<Transition> ServerSteps = derive(Ctx, S);
+    for (const Transition &CT : ClientSteps) {
+      if (!CT.L.isComm())
+        continue;
+      for (const Transition &ST : ServerSteps) {
+        if (!ST.L.isComm())
+          continue;
+        if (ST.L.asComm() != CT.L.asComm().complement())
+          continue;
+        auto Key = std::make_pair(CT.Target, ST.Target);
+        if (Seen.insert(Key).second)
+          Work.push_back(Key);
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,73 @@
+//===- contract/Compliance.h - The compliance relation ⊢ --------*- C++ -*-===//
+///
+/// \file
+/// Service compliance (Def. 4): Hc ⊢ Hs when, writing H1 = Hc! and
+/// H2 = Hs!, (1) whenever H1 ⇓ C and H2 ⇓ S, either C = ∅ (the client can
+/// terminate) or C ∩ S̄ ≠ ∅ (they can synchronize), and (2) compliance is
+/// preserved by every synchronized step. This header offers:
+///
+///  - checkCompliance: the Thm. 1 model checker via the product automaton,
+///    with a concrete witness path to a stuck state on failure;
+///  - checkComplianceDirect: a ready-set-based coinductive decision
+///    procedure following Def. 4 literally, used to cross-validate the
+///    product construction (Lemma 1) in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CONTRACT_COMPLIANCE_H
+#define SUS_CONTRACT_COMPLIANCE_H
+
+#include "contract/ComplianceProduct.h"
+#include "contract/Project.h"
+#include "hist/HistContext.h"
+#include "hist/Printer.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sus {
+namespace contract {
+
+/// A concrete run demonstrating non-compliance.
+struct ComplianceWitness {
+  /// Client-side actions synchronized before getting stuck.
+  std::vector<hist::CommAction> Path;
+  /// The residual contracts at the stuck state.
+  const hist::Expr *ClientStuck = nullptr;
+  const hist::Expr *ServerStuck = nullptr;
+
+  /// Human-readable rendering, e.g. "Req! . IdC? --> stuck: ...".
+  std::string str(const hist::HistContext &Ctx) const;
+};
+
+/// Outcome of a compliance check.
+struct ComplianceResult {
+  bool Compliant = false;
+  std::optional<ComplianceWitness> Witness;
+  size_t ExploredStates = 0;
+
+  explicit operator bool() const { return Compliant; }
+};
+
+/// Checks H1 ⊢ H2 for two *contracts* via the product automaton (Thm. 1).
+ComplianceResult checkCompliance(hist::HistContext &Ctx,
+                                 const hist::Expr *ClientContract,
+                                 const hist::Expr *ServerContract);
+
+/// Projects both sides and checks Hc! ⊢ Hs! — the §4 procedure for a
+/// client/request body against a candidate service.
+ComplianceResult checkServiceCompliance(hist::HistContext &Ctx,
+                                        const hist::Expr *Client,
+                                        const hist::Expr *Server);
+
+/// Literal Def. 4 decision procedure over ready sets (no product
+/// automaton); exposed for cross-validation.
+bool checkComplianceDirect(hist::HistContext &Ctx,
+                           const hist::Expr *ClientContract,
+                           const hist::Expr *ServerContract);
+
+} // namespace contract
+} // namespace sus
+
+#endif // SUS_CONTRACT_COMPLIANCE_H

@@ -1,0 +1,105 @@
+//===- contract/ComplianceProduct.h - Product automaton (Def. 5) -*- C++ -*-===//
+///
+/// \file
+/// The product automaton H1 ⊗ H2 of Definition 5. States are pairs of
+/// contract derivatives; a τ-transition synchronizes an action of one party
+/// with the co-action of the other; *final* states are the stuck
+/// configurations, characterized state-locally:
+///
+///   ⟨H1,H2⟩ ∈ F  iff  H1 ≠ ε ∧ (¬(i) ∨ ¬(ii)) where
+///     (i)  ∃a. H1 --ā--> ∨ H2 --ā-->            (someone can send)
+///     (ii) every output either party can fire has a matching input on
+///          the other side.
+///
+/// Theorem 1: H1 ⊢ H2 iff L(H1 ⊗ H2) = ∅, i.e. no final state is
+/// reachable. Because the final-state predicate inspects one state at a
+/// time, compliance is an invariant property (Thm. 2) and hence a safety
+/// property (Cor. 1) — this class *is* that model checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CONTRACT_COMPLIANCEPRODUCT_H
+#define SUS_CONTRACT_COMPLIANCEPRODUCT_H
+
+#include "automata/Nfa.h"
+#include "hist/Derive.h"
+#include "hist/HistContext.h"
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sus {
+namespace contract {
+
+/// The reachable part of H1 ⊗ H2.
+class ComplianceProduct {
+public:
+  using StateIndex = uint32_t;
+
+  struct State {
+    const hist::Expr *Client;
+    const hist::Expr *Server;
+    bool Final; ///< Stuck configuration (Def. 5's F).
+  };
+
+  struct Edge {
+    /// Formally the label is τ; we remember the client-side action that
+    /// synchronized, for witness readability.
+    hist::CommAction ClientAction;
+    StateIndex Target;
+  };
+
+  /// Builds the product of two *contracts* (use project() first).
+  /// Exploration is capped at \p MaxStates.
+  ComplianceProduct(hist::HistContext &Ctx, const hist::Expr *Client,
+                    const hist::Expr *Server, size_t MaxStates = 1 << 20);
+
+  /// True if no final (stuck) state is reachable: L(H1 ⊗ H2) = ∅.
+  bool isEmptyLanguage() const { return !FirstFinal.has_value(); }
+
+  /// False if exploration hit MaxStates (then emptiness is not decided).
+  bool isComplete() const { return Complete; }
+
+  size_t numStates() const { return States.size(); }
+  const State &state(StateIndex I) const { return States[I]; }
+  const std::vector<Edge> &edges(StateIndex I) const { return Out[I]; }
+  StateIndex startIndex() const { return 0; }
+
+  /// Index of some reachable final state, if any.
+  std::optional<StateIndex> firstFinal() const { return FirstFinal; }
+
+  /// Shortest synchronization path from the start to \p Target.
+  std::vector<hist::CommAction> pathTo(StateIndex Target) const;
+
+  /// Renders the product as a classic DFA over a single-letter (τ)
+  /// alphabet, with final states accepting — the automaton of Thm. 1 whose
+  /// language emptiness is checked.
+  automata::Dfa toDfa() const;
+
+  /// Emits the product as a Graphviz digraph; stuck states are doubled
+  /// and red, edges carry the synchronized client action.
+  void printDot(const hist::HistContext &Ctx, std::ostream &OS,
+                const std::string &Name = "product") const;
+
+private:
+  std::vector<State> States;
+  std::vector<std::vector<Edge>> Out;
+  std::vector<std::optional<std::pair<StateIndex, hist::CommAction>>> Pred;
+  std::optional<StateIndex> FirstFinal;
+  bool Complete = true;
+};
+
+/// Decides Def. 5's final-state predicate for the pair ⟨C, S⟩, given their
+/// one-step derivatives.
+bool isStuckPair(const hist::Expr *Client,
+                 const std::vector<hist::Transition> &ClientSteps,
+                 const std::vector<hist::Transition> &ServerSteps);
+
+} // namespace contract
+} // namespace sus
+
+#endif // SUS_CONTRACT_COMPLIANCEPRODUCT_H

@@ -1,0 +1,28 @@
+//===- contract/Dual.h - Dual contracts -------------------------*- C++ -*-===//
+///
+/// \file
+/// The syntactic dual of a contract: every output becomes an input and
+/// vice versa, so internal choices become external ones. The dual is the
+/// canonical compliant partner — for any contract C in our (guarded,
+/// tail-recursive) fragment, C ⊢ dual(C) holds; the property suite checks
+/// this against the §4 model checker on randomly generated contracts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CONTRACT_DUAL_H
+#define SUS_CONTRACT_DUAL_H
+
+#include "hist/Expr.h"
+#include "hist/HistContext.h"
+
+namespace sus {
+namespace contract {
+
+/// Computes the dual contract. \p E must be in the contract fragment
+/// (see isContract()); events/framings/requests are not dualizable.
+const hist::Expr *dualContract(hist::HistContext &Ctx, const hist::Expr *E);
+
+} // namespace contract
+} // namespace sus
+
+#endif // SUS_CONTRACT_DUAL_H

@@ -1,0 +1,43 @@
+//===- contract/ReadySets.h - Observable ready sets (Def. 3) ----*- C++ -*-===//
+///
+/// \file
+/// Observable ready sets H ⇓ S of Definition 3: the sets of communication
+/// actions a contract is ready to perform. An internal choice offers one
+/// output at a time (one singleton ready set per branch); an external
+/// choice offers all its inputs at once (one combined ready set):
+///
+///   ε ⇓ ∅     h ⇓ ∅     ⊕ᵢ āᵢ.Hᵢ ⇓ {āᵢ}     Σᵢ aᵢ.Hᵢ ⇓ ∪ᵢ{aᵢ}
+///   µh.H ⇓ S if H ⇓ S
+///   H·H′ ⇓ S if H ⇓ S, S ≠ ∅;   H·H′ ⇓ S if H ⇓ ∅ and H′ ⇓ S
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CONTRACT_READYSETS_H
+#define SUS_CONTRACT_READYSETS_H
+
+#include "hist/Expr.h"
+#include "hist/HistContext.h"
+
+#include <set>
+#include <vector>
+
+namespace sus {
+namespace contract {
+
+/// One observable ready set.
+using ReadySet = std::set<hist::CommAction>;
+
+/// All S with H ⇓ S, deduplicated, in a deterministic order.
+/// \p E must be in the contract fragment (see isContract()).
+std::vector<ReadySet> readySets(const hist::Expr *E);
+
+/// The complement set  S̄ = {ā | a ∈ S}.
+ReadySet complementSet(const ReadySet &S);
+
+/// True if the two ready sets can synchronize: C ∩ S̄ ≠ ∅.
+bool canSynchronize(const ReadySet &C, const ReadySet &S);
+
+} // namespace contract
+} // namespace sus
+
+#endif // SUS_CONTRACT_READYSETS_H

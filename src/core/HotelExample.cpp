@@ -1,0 +1,138 @@
+//===- core/HotelExample.cpp - The paper's motivating example -------------===//
+
+#include "core/HotelExample.h"
+
+#include "policy/Prelude.h"
+
+#include <algorithm>
+
+using namespace sus;
+using namespace sus::core;
+using namespace sus::hist;
+
+namespace {
+
+/// ϕ(bl, p, t) reference with a named black list.
+PolicyRef makePhi(HistContext &Ctx, std::vector<std::string_view> BlackList,
+                  int64_t Price, int64_t Rating) {
+  PolicyRef Ref;
+  Ref.Name = Ctx.symbol("phi");
+  std::vector<Value> Bl;
+  Bl.reserve(BlackList.size());
+  for (std::string_view Name : BlackList)
+    Bl.push_back(Value::name(Ctx.symbol(Name)));
+  std::sort(Bl.begin(), Bl.end());
+  Ref.Args.push_back(std::move(Bl));
+  Ref.Args.push_back({Value::integer(Price)});
+  Ref.Args.push_back({Value::integer(Rating)});
+  return Ref;
+}
+
+/// A hotel: α_sgn(id)·α_p(price)·α_ta(rating) · IdC?.(Bok! ⊕ UnA! [⊕ Del!]).
+const Expr *makeHotel(HistContext &Ctx, std::string_view Id, int64_t Price,
+                      int64_t Rating, bool OffersDelay) {
+  std::vector<ChoiceBranch> Answers = {
+      {CommAction::output(Ctx.symbol("Bok")), Ctx.empty()},
+      {CommAction::output(Ctx.symbol("UnA")), Ctx.empty()},
+  };
+  if (OffersDelay)
+    Answers.push_back({CommAction::output(Ctx.symbol("Del")), Ctx.empty()});
+  return Ctx.seq({
+      Ctx.event("sgn", Id),
+      Ctx.event("p", Price),
+      Ctx.event("ta", Rating),
+      Ctx.receive("IdC", Ctx.intChoice(std::move(Answers))),
+  });
+}
+
+/// A client: open_{r,ϕ} Req!.(CoBo?.Pay! + NoAv?) close_{r,ϕ}.
+const Expr *makeClient(HistContext &Ctx, RequestId Request, PolicyRef Phi) {
+  const Expr *Body = Ctx.send(
+      "Req", Ctx.extChoice({
+                 {CommAction::input(Ctx.symbol("CoBo")),
+                  Ctx.send("Pay", Ctx.empty())},
+                 {CommAction::input(Ctx.symbol("NoAv")), Ctx.empty()},
+             }));
+  return Ctx.request(Request, std::move(Phi), Body);
+}
+
+} // namespace
+
+plan::Plan HotelExample::pi1() const {
+  plan::Plan Pi;
+  Pi.bind(1, LBr);
+  Pi.bind(3, LS3);
+  return Pi;
+}
+
+plan::Plan HotelExample::pi2() const {
+  plan::Plan Pi;
+  Pi.bind(2, LBr);
+  Pi.bind(3, LS2);
+  return Pi;
+}
+
+plan::Plan HotelExample::pi3() const {
+  plan::Plan Pi;
+  Pi.bind(2, LBr);
+  Pi.bind(3, LS3);
+  return Pi;
+}
+
+plan::Plan HotelExample::pi2Valid() const {
+  plan::Plan Pi;
+  Pi.bind(2, LBr);
+  Pi.bind(3, LS4);
+  return Pi;
+}
+
+HotelExample sus::core::makeHotelExample(HistContext &Ctx) {
+  HotelExample Ex;
+  Ex.Ctx = &Ctx;
+
+  Ex.LC1 = Ctx.symbol("c1");
+  Ex.LC2 = Ctx.symbol("c2");
+  Ex.LBr = Ctx.symbol("br");
+  Ex.LS1 = Ctx.symbol("s1");
+  Ex.LS2 = Ctx.symbol("s2");
+  Ex.LS3 = Ctx.symbol("s3");
+  Ex.LS4 = Ctx.symbol("s4");
+
+  Ex.Phi1 = makePhi(Ctx, {"s1"}, 45, 100);
+  Ex.Phi2 = makePhi(Ctx, {"s1", "s3"}, 40, 70);
+
+  // Clients C1 and C2 (Fig. 2) differ only in the policy instantiation.
+  Ex.C1 = makeClient(Ctx, 1, Ex.Phi1);
+  Ex.C2 = makeClient(Ctx, 2, Ex.Phi2);
+
+  // Br = Req?. open_{3,∅} IdC!.(Bok? + UnA?) close_{3,∅} .
+  //      (CoBo!.Pay? ⊕ NoAv!).
+  const Expr *BrSession = Ctx.send(
+      "IdC", Ctx.extChoice({
+                 {CommAction::input(Ctx.symbol("Bok")), Ctx.empty()},
+                 {CommAction::input(Ctx.symbol("UnA")), Ctx.empty()},
+             }));
+  const Expr *BrAnswer = Ctx.intChoice({
+      {CommAction::output(Ctx.symbol("CoBo")),
+       Ctx.receive("Pay", Ctx.empty())},
+      {CommAction::output(Ctx.symbol("NoAv")), Ctx.empty()},
+  });
+  Ex.Br = Ctx.receive(
+      "Req",
+      Ctx.seq(Ctx.request(3, PolicyRef(), BrSession), BrAnswer));
+
+  // Hotels S1–S4 (Fig. 2). Only S2 offers the extra Del message.
+  Ex.S1 = makeHotel(Ctx, "s1", 45, 80, /*OffersDelay=*/false);
+  Ex.S2 = makeHotel(Ctx, "s2", 70, 100, /*OffersDelay=*/true);
+  Ex.S3 = makeHotel(Ctx, "s3", 90, 100, /*OffersDelay=*/false);
+  Ex.S4 = makeHotel(Ctx, "s4", 50, 90, /*OffersDelay=*/false);
+
+  Ex.Repo.add(Ex.LBr, Ex.Br);
+  Ex.Repo.add(Ex.LS1, Ex.S1);
+  Ex.Repo.add(Ex.LS2, Ex.S2);
+  Ex.Repo.add(Ex.LS3, Ex.S3);
+  Ex.Repo.add(Ex.LS4, Ex.S4);
+
+  Ex.Registry.add(policy::makeHotelPolicy(Ctx.interner(), "phi"));
+  return Ex;
+}

@@ -1,0 +1,63 @@
+//===- core/HotelExample.h - The paper's motivating example -----*- C++ -*-===//
+///
+/// \file
+/// The §2 hotel-booking scenario, exactly as in Fig. 2: two clients C1 and
+/// C2, a broker Br, four hotels S1–S4 and the Fig. 1 policy ϕ(bl,p,t).
+/// Shared by the examples, the test suite and the benchmarks so every
+/// paper claim is checked against one authoritative encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CORE_HOTELEXAMPLE_H
+#define SUS_CORE_HOTELEXAMPLE_H
+
+#include "hist/HistContext.h"
+#include "plan/Plan.h"
+#include "policy/UsageAutomaton.h"
+
+namespace sus {
+namespace core {
+
+/// All the pieces of the Fig. 2 example.
+struct HotelExample {
+  hist::HistContext *Ctx = nullptr;
+
+  // Locations.
+  plan::Loc LC1, LC2, LBr, LS1, LS2, LS3, LS4;
+
+  // Instantiated policies: ϕ1 = ϕ({s1},45,100), ϕ2 = ϕ({s1,s3},40,70).
+  hist::PolicyRef Phi1, Phi2;
+
+  // Behaviours.
+  const hist::Expr *C1 = nullptr;
+  const hist::Expr *C2 = nullptr;
+  const hist::Expr *Br = nullptr;
+  const hist::Expr *S1 = nullptr;
+  const hist::Expr *S2 = nullptr;
+  const hist::Expr *S3 = nullptr;
+  const hist::Expr *S4 = nullptr;
+
+  /// R = {ℓbr : Br, ℓs1 : S1, …, ℓs4 : S4}.
+  plan::Repository Repo;
+
+  /// Registry holding the Fig. 1 shape ϕ.
+  policy::PolicyRegistry Registry;
+
+  /// π1 = {1 ↦ ℓbr, 3 ↦ ℓs3} — the paper's valid plan for C1.
+  plan::Plan pi1() const;
+  /// π2 = {2 ↦ ℓbr, 3 ↦ ℓs2} — invalid: S2 is not compliant with Br.
+  plan::Plan pi2() const;
+  /// The third §2 plan: {2 ↦ ℓbr, 3 ↦ ℓs3} — compliant but S3 is
+  /// black-listed by C2, so a policy violation occurs.
+  plan::Plan pi3() const;
+  /// The only valid plan for C2: {2 ↦ ℓbr, 3 ↦ ℓs4}.
+  plan::Plan pi2Valid() const;
+};
+
+/// Builds the whole example inside \p Ctx.
+HotelExample makeHotelExample(hist::HistContext &Ctx);
+
+} // namespace core
+} // namespace sus
+
+#endif // SUS_CORE_HOTELEXAMPLE_H

@@ -1,0 +1,155 @@
+//===- core/Verifier.cpp - The §5 verification procedure ------------------===//
+
+#include "core/Verifier.h"
+
+#include "plan/RequestExtract.h"
+
+using namespace sus;
+using namespace sus::core;
+
+bool Verifier::bindingCompliant(const hist::Expr *RequestBody,
+                                const hist::Expr *Service) {
+  auto Key = std::make_pair(RequestBody, Service);
+  auto It = ComplianceMemo.find(Key);
+  if (It != ComplianceMemo.end())
+    return It->second;
+  bool Result =
+      contract::checkServiceCompliance(Ctx, RequestBody, Service).Compliant;
+  ComplianceMemo.emplace(Key, Result);
+  return Result;
+}
+
+PlanVerdict Verifier::checkPlan(const hist::Expr *Client,
+                                plan::Loc ClientLoc, const plan::Plan &Pi) {
+  PlanVerdict Verdict;
+  Verdict.Pi = Pi;
+
+  // Collect the request sites of the composed service: the client's own
+  // requests plus, transitively, those of every planned service.
+  std::vector<plan::RequestSite> Sites = plan::extractRequests(Client);
+  std::map<hist::RequestId, plan::RequestSite> ById;
+  for (size_t I = 0; I < Sites.size(); ++I) {
+    const plan::RequestSite &S = Sites[I];
+    if (!ById.count(S.id()))
+      ById.emplace(S.id(), S);
+    if (std::optional<plan::Loc> L = Pi.lookup(S.id()))
+      if (const hist::Expr *Service = Repo.find(*L))
+        for (const plan::RequestSite &Nested :
+             plan::extractRequests(Service)) {
+          if (ById.count(Nested.id()))
+            continue;
+          Sites.push_back(Nested);
+          ById.emplace(Nested.id(), Nested);
+        }
+  }
+
+  for (const auto &[Id, Site] : ById) {
+    RequestCheck Check;
+    Check.Request = Id;
+    std::optional<plan::Loc> L = Pi.lookup(Id);
+    if (!L || !Repo.find(*L)) {
+      Check.Compliant = false;
+      Verdict.RequestChecks.push_back(std::move(Check));
+      continue;
+    }
+    Check.Service = *L;
+    contract::ComplianceResult R =
+        contract::checkServiceCompliance(Ctx, Site.body(), Repo.find(*L));
+    Check.Compliant = R.Compliant;
+    Check.Witness = std::move(R.Witness);
+    Verdict.RequestChecks.push_back(std::move(Check));
+  }
+
+  validity::StaticValidityOptions VOpts;
+  VOpts.MaxStates = Options.MaxStatesPerPlan;
+  Verdict.Security = validity::checkPlanValidity(Ctx, Client, ClientLoc, Pi,
+                                                 Repo, Registry, VOpts);
+  return Verdict;
+}
+
+VerificationReport Verifier::verifyClient(const hist::Expr *Client,
+                                          plan::Loc ClientLoc) {
+  VerificationReport Report;
+
+  plan::EnumeratorOptions EOpts;
+  EOpts.MaxPlans = Options.MaxPlans;
+  if (Options.PruneWithCompliance)
+    EOpts.Filter = [this](const plan::RequestSite &Site, plan::Loc,
+                          const hist::Expr *Service) {
+      return bindingCompliant(Site.body(), Service);
+    };
+
+  plan::EnumerationResult Enumeration =
+      plan::enumeratePlans(Client, Repo, EOpts);
+  Report.CandidateCount = Enumeration.Plans.size();
+  Report.BindingsTried = Enumeration.BindingsTried;
+  Report.Truncated = Enumeration.Truncated;
+
+  for (const plan::Plan &Pi : Enumeration.Plans)
+    Report.Verdicts.push_back(checkPlan(Client, ClientLoc, Pi));
+  return Report;
+}
+
+NetworkReport Verifier::verifyNetwork(
+    const std::vector<std::pair<const hist::Expr *, plan::Loc>> &Clients) {
+  NetworkReport Report;
+  for (const auto &[Client, Loc] : Clients)
+    Report.PerClient.push_back({Loc, verifyClient(Client, Loc)});
+  return Report;
+}
+
+void sus::core::printReport(const VerificationReport &Report,
+                            const hist::HistContext &Ctx, std::ostream &OS) {
+  const StringInterner &In = Ctx.interner();
+  OS << "candidate plans: " << Report.CandidateCount
+     << " (bindings tried: " << Report.BindingsTried << ")";
+  if (Report.Truncated)
+    OS << " [truncated]";
+  OS << "\n";
+  for (const PlanVerdict &V : Report.Verdicts) {
+    OS << "  plan " << V.Pi.str(In) << ": ";
+    if (V.isValid()) {
+      OS << "VALID\n";
+      continue;
+    }
+    OS << "invalid";
+    for (const RequestCheck &C : V.RequestChecks)
+      if (!C.Compliant) {
+        OS << " [request " << C.Request << " not compliant";
+        if (C.Witness)
+          OS << ": " << C.Witness->str(Ctx);
+        OS << "]";
+      }
+    if (!V.Security.Valid) {
+      OS << " [security: ";
+      switch (V.Security.Failure) {
+      case validity::PlanFailureKind::PolicyViolation:
+        OS << "policy "
+           << (V.Security.Policy ? V.Security.Policy->str(In) : "?")
+           << " violated";
+        break;
+      case validity::PlanFailureKind::UnboundRequest:
+        OS << "request "
+           << (V.Security.Request ? std::to_string(*V.Security.Request)
+                                  : "?")
+           << " unbound";
+        break;
+      case validity::PlanFailureKind::UnknownService:
+        OS << "unknown service";
+        break;
+      case validity::PlanFailureKind::UnknownPolicy:
+        OS << "unknown policy";
+        break;
+      case validity::PlanFailureKind::StateSpaceExceeded:
+        OS << "state space exceeded";
+        break;
+      case validity::PlanFailureKind::None:
+        break;
+      }
+      OS << "]";
+    }
+    OS << "\n";
+  }
+  std::vector<plan::Plan> Valid = Report.validPlans();
+  OS << "valid plans: " << Valid.size() << "\n";
+}

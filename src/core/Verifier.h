@@ -1,0 +1,145 @@
+//===- core/Verifier.h - The §5 verification procedure ----------*- C++ -*-===//
+///
+/// \file
+/// "Given a repository R and a vector of clients, pick up one of them, say
+/// H, at a time; generate a valid plan πH for H; for each request
+/// open_{r,ϕ} H1 close_{r,ϕ} occurring in the composed service check if
+/// H1 ⊢ H2, where πH(r) = ℓ2 and ℓ2 ∈ R. If all these steps succeed,
+/// switch off any run-time monitor, and live happily: nothing bad will
+/// happen." (§5)
+///
+/// The Verifier enumerates candidate plans (optionally pruning bindings
+/// whose contracts are not compliant), checks per-request compliance via
+/// the §4 product automaton and whole-plan security via the §3.1 composed
+/// model checker, and reports every verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CORE_VERIFIER_H
+#define SUS_CORE_VERIFIER_H
+
+#include "contract/Compliance.h"
+#include "plan/Plan.h"
+#include "plan/PlanEnumerator.h"
+#include "policy/UsageAutomaton.h"
+#include "validity/StaticValidity.h"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+namespace sus {
+namespace core {
+
+/// Outcome of checking one request binding r[ℓ] for compliance.
+struct RequestCheck {
+  hist::RequestId Request = 0;
+  plan::Loc Service;
+  bool Compliant = false;
+  std::optional<contract::ComplianceWitness> Witness;
+};
+
+/// The full verdict for one candidate plan.
+struct PlanVerdict {
+  plan::Plan Pi;
+  std::vector<RequestCheck> RequestChecks;
+  validity::StaticValidityResult Security;
+
+  bool compliancePassed() const {
+    for (const RequestCheck &C : RequestChecks)
+      if (!C.Compliant)
+        return false;
+    return true;
+  }
+
+  /// A valid plan guarantees progress *and* security: the monitor can be
+  /// switched off.
+  bool isValid() const { return compliancePassed() && Security.Valid; }
+};
+
+/// Everything the verifier learned about one client.
+struct VerificationReport {
+  std::vector<PlanVerdict> Verdicts;
+  size_t CandidateCount = 0;
+  size_t BindingsTried = 0;
+  bool Truncated = false;
+
+  /// The valid plans, in enumeration order.
+  std::vector<plan::Plan> validPlans() const {
+    std::vector<plan::Plan> Out;
+    for (const PlanVerdict &V : Verdicts)
+      if (V.isValid())
+        Out.push_back(V.Pi);
+    return Out;
+  }
+};
+
+/// Verifier configuration.
+struct VerifierOptions {
+  /// Prune plan enumeration with per-binding compliance pre-checks
+  /// (sound: a non-compliant binding can never be part of a valid plan).
+  bool PruneWithCompliance = true;
+  size_t MaxPlans = 1 << 14;
+  size_t MaxStatesPerPlan = 1 << 18;
+};
+
+/// Verification of a whole network: one report per client. Components of
+/// a network do not interact (histories and sessions are per component,
+/// Def. 2), so network verification is compositional — exactly the §5
+/// "pick up one of them, say H, at a time".
+struct NetworkReport {
+  std::vector<std::pair<plan::Loc, VerificationReport>> PerClient;
+
+  /// True when every client has at least one valid plan: the whole
+  /// network can run monitor-free.
+  bool allClientsHaveValidPlans() const {
+    for (const auto &[Loc, Report] : PerClient)
+      if (Report.validPlans().empty())
+        return false;
+    return true;
+  }
+};
+
+/// The end-to-end static verifier.
+class Verifier {
+public:
+  Verifier(hist::HistContext &Ctx, const plan::Repository &Repo,
+           const policy::PolicyRegistry &Registry,
+           VerifierOptions Options = VerifierOptions())
+      : Ctx(Ctx), Repo(Repo), Registry(Registry), Options(Options) {}
+
+  /// Enumerates candidate plans for \p Client and fully checks each.
+  VerificationReport verifyClient(const hist::Expr *Client,
+                                  plan::Loc ClientLoc);
+
+  /// Verifies every client of a network, one at a time (§5).
+  NetworkReport verifyNetwork(
+      const std::vector<std::pair<const hist::Expr *, plan::Loc>> &Clients);
+
+  /// Checks one specific plan (compliance per request + security).
+  PlanVerdict checkPlan(const hist::Expr *Client, plan::Loc ClientLoc,
+                        const plan::Plan &Pi);
+
+  /// Memoized H1 ⊢ H2 between a request body and a service.
+  bool bindingCompliant(const hist::Expr *RequestBody,
+                        const hist::Expr *Service);
+
+private:
+  hist::HistContext &Ctx;
+  const plan::Repository &Repo;
+  const policy::PolicyRegistry &Registry;
+  VerifierOptions Options;
+
+  std::map<std::pair<const hist::Expr *, const hist::Expr *>, bool>
+      ComplianceMemo;
+};
+
+/// Renders a report in a compact human-readable format.
+void printReport(const VerificationReport &Report,
+                 const hist::HistContext &Ctx, std::ostream &OS);
+
+} // namespace core
+} // namespace sus
+
+#endif // SUS_CORE_VERIFIER_H

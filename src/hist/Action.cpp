@@ -1,0 +1,74 @@
+//===- hist/Action.cpp - Events, actions and transition labels -----------===//
+
+#include "hist/Action.h"
+
+using namespace sus;
+using namespace sus::hist;
+
+std::string Event::str(const StringInterner &Interner) const {
+  std::string Out = "alpha_";
+  Out += Interner.text(Name);
+  if (!Arg.isNone()) {
+    Out += "(";
+    Out += Arg.str(Interner);
+    Out += ")";
+  }
+  return Out;
+}
+
+std::string CommAction::str(const StringInterner &Interner) const {
+  std::string Out(Interner.text(Channel));
+  if (isOutput())
+    Out += "!";
+  else
+    Out += "?";
+  return Out;
+}
+
+std::string PolicyRef::str(const StringInterner &Interner) const {
+  if (isTrivial())
+    return "@";
+  std::string Out(Interner.text(Name));
+  if (Args.empty())
+    return Out;
+  Out += "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I != 0)
+      Out += ",";
+    const auto &Arg = Args[I];
+    if (Arg.size() == 1) {
+      Out += Arg.front().str(Interner);
+      continue;
+    }
+    Out += "{";
+    for (size_t J = 0; J < Arg.size(); ++J) {
+      if (J != 0)
+        Out += ",";
+      Out += Arg[J].str(Interner);
+    }
+    Out += "}";
+  }
+  Out += ")";
+  return Out;
+}
+
+std::string Label::str(const StringInterner &Interner) const {
+  switch (Kind) {
+  case LabelKind::Event:
+    return Ev.str(Interner);
+  case LabelKind::Input:
+  case LabelKind::Output:
+    return asComm().str(Interner);
+  case LabelKind::Tau:
+    return "tau";
+  case LabelKind::Open:
+    return "open_" + std::to_string(Request) + ":" + Policy.str(Interner);
+  case LabelKind::Close:
+    return "close_" + std::to_string(Request) + ":" + Policy.str(Interner);
+  case LabelKind::FrameOpen:
+    return "[" + Policy.str(Interner);
+  case LabelKind::FrameClose:
+    return Policy.str(Interner) + "]";
+  }
+  return "?";
+}

@@ -1,0 +1,294 @@
+//===- hist/Action.h - Events, actions and transition labels ----*- C++ -*-===//
+///
+/// \file
+/// The label vocabulary of the paper (§3): access events α ∈ Ev,
+/// communication actions Comm = {a, ā, τ, open_{r,ϕ}, close_{r,ϕ}} and
+/// framing actions Frm = {⌊ϕ, ⌋ϕ}. A transition label λ ranges over
+/// Comm ∪ Ev ∪ Frm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_HIST_ACTION_H
+#define SUS_HIST_ACTION_H
+
+#include "support/HashUtil.h"
+#include "support/StringInterner.h"
+#include "support/Symbol.h"
+#include "support/Value.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sus {
+namespace hist {
+
+/// An access event α(v): a name plus an optional parameter value, e.g.
+/// α_sgn(1) or α_p(45) from Fig. 1/2.
+struct Event {
+  Symbol Name;
+  Value Arg;
+
+  friend bool operator==(const Event &A, const Event &B) {
+    return A.Name == B.Name && A.Arg == B.Arg;
+  }
+  friend bool operator!=(const Event &A, const Event &B) { return !(A == B); }
+  friend bool operator<(const Event &A, const Event &B) {
+    if (A.Name != B.Name)
+      return A.Name < B.Name;
+    return A.Arg < B.Arg;
+  }
+
+  size_t hash() const { return hashAll(Name.id(), Arg.hash()); }
+
+  std::string str(const StringInterner &Interner) const;
+};
+
+/// Direction of a communication action on a channel.
+enum class Polarity : uint8_t {
+  Input,  ///< a — receive on channel a (external-choice guards).
+  Output, ///< ā — send on channel a (internal-choice guards).
+};
+
+/// A visible communication action: a channel name plus a polarity.
+struct CommAction {
+  Symbol Channel;
+  Polarity Pol = Polarity::Input;
+
+  static CommAction input(Symbol Ch) { return {Ch, Polarity::Input}; }
+  static CommAction output(Symbol Ch) { return {Ch, Polarity::Output}; }
+
+  bool isInput() const { return Pol == Polarity::Input; }
+  bool isOutput() const { return Pol == Polarity::Output; }
+
+  /// The complementary action ("co-action"): co(a) = ā, co(ā) = a.
+  CommAction complement() const {
+    return {Channel, isInput() ? Polarity::Output : Polarity::Input};
+  }
+
+  friend bool operator==(CommAction A, CommAction B) {
+    return A.Channel == B.Channel && A.Pol == B.Pol;
+  }
+  friend bool operator!=(CommAction A, CommAction B) { return !(A == B); }
+  friend bool operator<(CommAction A, CommAction B) {
+    if (A.Channel != B.Channel)
+      return A.Channel < B.Channel;
+    return static_cast<int>(A.Pol) < static_cast<int>(B.Pol);
+  }
+
+  size_t hash() const {
+    return hashAll(Channel.id(), static_cast<uint32_t>(Pol));
+  }
+
+  std::string str(const StringInterner &Interner) const;
+};
+
+/// An instantiated policy reference ϕ(v1,…,vn), e.g. ϕ({s1},45,100).
+///
+/// The history-expression layer treats policies opaquely — a name plus
+/// closed argument values; the policy layer resolves them to usage-automaton
+/// instances. Set-valued parameters are flattened to a sorted value list per
+/// argument.
+struct PolicyRef {
+  Symbol Name;
+  /// Each argument is a (sorted, duplicate-free) list of values; scalar
+  /// arguments are singleton lists, set arguments list their elements.
+  std::vector<std::vector<Value>> Args;
+
+  /// The always-satisfied policy ∅ used by requests with no constraint.
+  bool isTrivial() const { return !Name.isValid(); }
+
+  friend bool operator==(const PolicyRef &A, const PolicyRef &B) {
+    return A.Name == B.Name && A.Args == B.Args;
+  }
+  friend bool operator!=(const PolicyRef &A, const PolicyRef &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const PolicyRef &A, const PolicyRef &B) {
+    if (A.Name != B.Name)
+      return A.Name < B.Name;
+    return A.Args < B.Args;
+  }
+
+  size_t hash() const {
+    size_t Seed = hashAll(Name.id());
+    for (const auto &Arg : Args) {
+      hashCombine(Seed, Arg.size());
+      for (const Value &V : Arg)
+        hashCombine(Seed, V.hash());
+    }
+    return Seed;
+  }
+
+  std::string str(const StringInterner &Interner) const;
+};
+
+/// Identifier of a service request r ∈ Req (the r in open_{r,ϕ}).
+using RequestId = uint32_t;
+
+/// Kind discriminator for transition labels.
+enum class LabelKind : uint8_t {
+  Event,      ///< α — access event.
+  Input,      ///< a — receive.
+  Output,     ///< ā — send.
+  Tau,        ///< τ — internal synchronization.
+  Open,       ///< open_{r,ϕ} — session opening.
+  Close,      ///< close_{r,ϕ} — session closing.
+  FrameOpen,  ///< ⌊ϕ — policy framing opens.
+  FrameClose, ///< ⌋ϕ — policy framing closes.
+};
+
+/// A transition label λ ∈ Comm ∪ Ev ∪ Frm.
+class Label {
+public:
+  static Label event(Event Ev) {
+    Label L(LabelKind::Event);
+    L.Ev = Ev;
+    return L;
+  }
+  static Label comm(CommAction A) {
+    Label L(A.isInput() ? LabelKind::Input : LabelKind::Output);
+    L.Channel = A.Channel;
+    return L;
+  }
+  static Label tau() { return Label(LabelKind::Tau); }
+  static Label open(RequestId R, PolicyRef Policy) {
+    Label L(LabelKind::Open);
+    L.Request = R;
+    L.Policy = std::move(Policy);
+    return L;
+  }
+  static Label close(RequestId R, PolicyRef Policy) {
+    Label L(LabelKind::Close);
+    L.Request = R;
+    L.Policy = std::move(Policy);
+    return L;
+  }
+  static Label frameOpen(PolicyRef Policy) {
+    Label L(LabelKind::FrameOpen);
+    L.Policy = std::move(Policy);
+    return L;
+  }
+  static Label frameClose(PolicyRef Policy) {
+    Label L(LabelKind::FrameClose);
+    L.Policy = std::move(Policy);
+    return L;
+  }
+
+  LabelKind kind() const { return Kind; }
+  bool isEvent() const { return Kind == LabelKind::Event; }
+  bool isComm() const {
+    return Kind == LabelKind::Input || Kind == LabelKind::Output;
+  }
+  bool isTau() const { return Kind == LabelKind::Tau; }
+  bool isOpen() const { return Kind == LabelKind::Open; }
+  bool isClose() const { return Kind == LabelKind::Close; }
+  bool isFraming() const {
+    return Kind == LabelKind::FrameOpen || Kind == LabelKind::FrameClose;
+  }
+
+  /// True for labels that are appended to the execution history η
+  /// (γ ∈ Ev ∪ Frm in rule Access).
+  bool isHistoryRelevant() const { return isEvent() || isFraming(); }
+
+  const Event &asEvent() const {
+    assert(isEvent() && "not an event label");
+    return Ev;
+  }
+  CommAction asComm() const {
+    assert(isComm() && "not a communication label");
+    return {Channel, Kind == LabelKind::Input ? Polarity::Input
+                                              : Polarity::Output};
+  }
+  RequestId request() const {
+    assert((isOpen() || isClose()) && "no request on this label");
+    return Request;
+  }
+  const PolicyRef &policy() const {
+    assert((isOpen() || isClose() || isFraming()) &&
+           "no policy on this label");
+    return Policy;
+  }
+
+  friend bool operator==(const Label &A, const Label &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    switch (A.Kind) {
+    case LabelKind::Event:
+      return A.Ev == B.Ev;
+    case LabelKind::Input:
+    case LabelKind::Output:
+      return A.Channel == B.Channel;
+    case LabelKind::Tau:
+      return true;
+    case LabelKind::Open:
+    case LabelKind::Close:
+      return A.Request == B.Request && A.Policy == B.Policy;
+    case LabelKind::FrameOpen:
+    case LabelKind::FrameClose:
+      return A.Policy == B.Policy;
+    }
+    return false;
+  }
+  friend bool operator!=(const Label &A, const Label &B) { return !(A == B); }
+
+  size_t hash() const {
+    size_t Seed = static_cast<size_t>(Kind);
+    switch (Kind) {
+    case LabelKind::Event:
+      hashCombine(Seed, Ev.hash());
+      break;
+    case LabelKind::Input:
+    case LabelKind::Output:
+      hashCombine(Seed, Channel.id());
+      break;
+    case LabelKind::Tau:
+      break;
+    case LabelKind::Open:
+    case LabelKind::Close:
+      hashCombine(Seed, Request);
+      hashCombine(Seed, Policy.hash());
+      break;
+    case LabelKind::FrameOpen:
+    case LabelKind::FrameClose:
+      hashCombine(Seed, Policy.hash());
+      break;
+    }
+    return Seed;
+  }
+
+  std::string str(const StringInterner &Interner) const;
+
+private:
+  explicit Label(LabelKind K) : Kind(K) {}
+
+  LabelKind Kind;
+  Event Ev;
+  Symbol Channel;
+  RequestId Request = 0;
+  PolicyRef Policy;
+};
+
+} // namespace hist
+} // namespace sus
+
+namespace std {
+template <> struct hash<sus::hist::Label> {
+  size_t operator()(const sus::hist::Label &L) const noexcept {
+    return L.hash();
+  }
+};
+template <> struct hash<sus::hist::Event> {
+  size_t operator()(const sus::hist::Event &E) const noexcept {
+    return E.hash();
+  }
+};
+template <> struct hash<sus::hist::CommAction> {
+  size_t operator()(const sus::hist::CommAction &A) const noexcept {
+    return A.hash();
+  }
+};
+} // namespace std
+
+#endif // SUS_HIST_ACTION_H

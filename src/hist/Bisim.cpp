@@ -1,0 +1,76 @@
+//===- hist/Bisim.cpp - Strong bisimulation on expression LTSs ------------===//
+
+#include "hist/Bisim.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace sus;
+using namespace sus::hist;
+
+bool sus::hist::bisimilar(HistContext &Ctx, const Expr *A, const Expr *B,
+                          size_t MaxStates) {
+  TransitionSystem TsA(Ctx, A, MaxStates);
+  TransitionSystem TsB(Ctx, B, MaxStates);
+  if (!TsA.isComplete() || !TsB.isComplete())
+    return false;
+
+  // Disjoint union: indices [0, |A|) from A, [|A|, |A|+|B|) from B.
+  size_t N = TsA.numStates() + TsB.numStates();
+  auto EdgesOf = [&](size_t S) {
+    std::vector<std::pair<Label, size_t>> Out;
+    if (S < TsA.numStates()) {
+      for (const TransitionSystem::Edge &E :
+           TsA.edges(static_cast<uint32_t>(S)))
+        Out.push_back({E.L, E.Target});
+    } else {
+      for (const TransitionSystem::Edge &E :
+           TsB.edges(static_cast<uint32_t>(S - TsA.numStates())))
+        Out.push_back({E.L, E.Target + TsA.numStates()});
+    }
+    return Out;
+  };
+
+  // Partition refinement on signatures. Labels are interned into dense
+  // codes for deterministic signatures.
+  std::vector<Label> LabelTable;
+  auto LabelCode = [&](const Label &L) -> size_t {
+    for (size_t I = 0; I < LabelTable.size(); ++I)
+      if (LabelTable[I] == L)
+        return I;
+    LabelTable.push_back(L);
+    return LabelTable.size() - 1;
+  };
+
+  std::vector<unsigned> Class(N, 0);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::map<std::vector<size_t>, unsigned> SigIndex;
+    std::vector<unsigned> NewClass(N, 0);
+    for (size_t S = 0; S < N; ++S) {
+      // Signature: current class + sorted set of (label, target class).
+      std::vector<size_t> Sig;
+      Sig.push_back(Class[S]);
+      std::vector<std::pair<size_t, size_t>> Moves;
+      for (auto &[L, T] : EdgesOf(S))
+        Moves.push_back({LabelCode(L), Class[T]});
+      std::sort(Moves.begin(), Moves.end());
+      Moves.erase(std::unique(Moves.begin(), Moves.end()), Moves.end());
+      for (auto &[LC, TC] : Moves) {
+        Sig.push_back(LC + 1);
+        Sig.push_back(TC);
+      }
+      auto [It, Inserted] = SigIndex.emplace(std::move(Sig), SigIndex.size());
+      (void)Inserted;
+      NewClass[S] = It->second;
+    }
+    for (size_t S = 0; S < N; ++S)
+      if (NewClass[S] != Class[S])
+        Changed = true;
+    Class = std::move(NewClass);
+  }
+
+  return Class[TsA.rootIndex()] == Class[TsA.numStates() + TsB.rootIndex()];
+}

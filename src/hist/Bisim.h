@@ -1,0 +1,29 @@
+//===- hist/Bisim.h - Strong bisimulation on expression LTSs ----*- C++ -*-===//
+///
+/// \file
+/// Strong bisimilarity between two history expressions' (finite)
+/// transition systems, via naive partition refinement on the disjoint
+/// union. Used to relate differently-shaped but behaviourally equal
+/// expressions — e.g. an effect extracted by the λ type-and-effect system
+/// versus the hand-written Fig. 2 expression.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_HIST_BISIM_H
+#define SUS_HIST_BISIM_H
+
+#include "hist/HistContext.h"
+#include "hist/TransitionSystem.h"
+
+namespace sus {
+namespace hist {
+
+/// True if \p A and \p B are strongly bisimilar (same branching behaviour
+/// over identical labels). Both LTSs must be finite (well-formed input).
+bool bisimilar(HistContext &Ctx, const Expr *A, const Expr *B,
+               size_t MaxStates = 1 << 18);
+
+} // namespace hist
+} // namespace sus
+
+#endif // SUS_HIST_BISIM_H

@@ -1,0 +1,311 @@
+//===- hist/Expr.h - History expression AST ---------------------*- C++ -*-===//
+///
+/// \file
+/// The history-expression AST of Definition 1:
+///
+///   H ::= ε | h | µh.H | Σᵢ aᵢ.Hᵢ | ⊕ᵢ āᵢ.Hᵢ | α | H·H
+///       | open_{r,ϕ} H close_{r,ϕ} | ϕ⟦H⟧
+///
+/// plus the two residual markers the operational semantics produces:
+/// `close_{r,ϕ}` (after S-Open fires) and `⌋ϕ` (after P-Open fires). A
+/// standalone `⌊ϕ` marker is also provided for the ϕ⟦H⟧ ≡ ⌊ϕ·H·⌋ϕ reading.
+///
+/// Nodes are immutable, arena-allocated and hash-consed by HistContext, so
+/// pointer equality is structural equality. The structural congruence
+/// ε·H ≡ H ≡ H·ε is applied at construction time, and sequences are kept
+/// right-nested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_HIST_EXPR_H
+#define SUS_HIST_EXPR_H
+
+#include "hist/Action.h"
+#include "support/Casting.h"
+#include "support/Symbol.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sus {
+
+class Arena;
+
+namespace hist {
+
+class HistContext;
+
+/// Kind discriminator for Expr nodes (LLVM-style RTTI).
+enum class ExprKind : uint8_t {
+  Empty,      ///< ε
+  Var,        ///< h — recursion variable.
+  Mu,         ///< µh.H — guarded tail recursion.
+  Event,      ///< α — access event.
+  Seq,        ///< H·H′ — sequential composition.
+  ExtChoice,  ///< Σᵢ aᵢ.Hᵢ — external choice (input-guarded).
+  IntChoice,  ///< ⊕ᵢ āᵢ.Hᵢ — internal choice (output-guarded).
+  Request,    ///< open_{r,ϕ} H close_{r,ϕ} — service request.
+  Framing,    ///< ϕ⟦H⟧ — security framing.
+  CloseMark,  ///< close_{r,ϕ} residual marker.
+  FrameOpen,  ///< ⌊ϕ marker.
+  FrameClose, ///< ⌋ϕ residual marker.
+};
+
+/// Base class of all history-expression nodes.
+///
+/// Nodes are created exclusively through HistContext; two structurally
+/// equal nodes from the same context are the same pointer.
+class Expr {
+public:
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+
+  ExprKind kind() const { return Kind; }
+
+  /// True for ε.
+  bool isEmpty() const { return Kind == ExprKind::Empty; }
+
+  /// Structural hash (computed once at interning time).
+  size_t hash() const { return HashValue; }
+
+protected:
+  Expr(ExprKind K, size_t Hash) : Kind(K), HashValue(Hash) {}
+  ~Expr() = default;
+
+private:
+  ExprKind Kind;
+  size_t HashValue;
+};
+
+/// ε — the expression that cannot do anything.
+class EmptyExpr : public Expr {
+public:
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Empty; }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  explicit EmptyExpr(size_t Hash) : Expr(ExprKind::Empty, Hash) {}
+};
+
+/// h — a recursion variable bound by an enclosing µ.
+class VarExpr : public Expr {
+public:
+  Symbol name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  VarExpr(Symbol Name, size_t Hash) : Expr(ExprKind::Var, Hash), Name(Name) {}
+  Symbol Name;
+};
+
+/// µh.H — infinite behaviour; restricted to guarded tail recursion.
+class MuExpr : public Expr {
+public:
+  Symbol var() const { return Var; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Mu; }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  MuExpr(Symbol Var, const Expr *Body, size_t Hash)
+      : Expr(ExprKind::Mu, Hash), Var(Var), Body(Body) {}
+  Symbol Var;
+  const Expr *Body;
+};
+
+/// α — an access event.
+class EventExpr : public Expr {
+public:
+  const Event &event() const { return Ev; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Event; }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  EventExpr(Event Ev, size_t Hash) : Expr(ExprKind::Event, Hash), Ev(Ev) {}
+  Event Ev;
+};
+
+/// H·H′ — sequential composition (kept right-nested; neither side is ε).
+class SeqExpr : public Expr {
+public:
+  const Expr *head() const { return Head; }
+  const Expr *tail() const { return Tail; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Seq; }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  SeqExpr(const Expr *Head, const Expr *Tail, size_t Hash)
+      : Expr(ExprKind::Seq, Hash), Head(Head), Tail(Tail) {}
+  const Expr *Head;
+  const Expr *Tail;
+};
+
+/// One guarded branch of a choice: an action prefix and a continuation.
+struct ChoiceBranch {
+  CommAction Guard;
+  const Expr *Body;
+
+  friend bool operator==(const ChoiceBranch &A, const ChoiceBranch &B) {
+    return A.Guard == B.Guard && A.Body == B.Body;
+  }
+};
+
+/// Common base of the two choice forms.
+class ChoiceExpr : public Expr {
+public:
+  const std::vector<ChoiceBranch> &branches() const { return Branches; }
+  size_t numBranches() const { return Branches.size(); }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ExtChoice ||
+           E->kind() == ExprKind::IntChoice;
+  }
+
+protected:
+  ChoiceExpr(ExprKind K, std::vector<ChoiceBranch> Branches, size_t Hash)
+      : Expr(K, Hash), Branches(std::move(Branches)) {}
+
+private:
+  std::vector<ChoiceBranch> Branches;
+};
+
+/// Σᵢ aᵢ.Hᵢ — external choice; the received message drives the branch.
+class ExtChoiceExpr : public ChoiceExpr {
+public:
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ExtChoice;
+  }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  ExtChoiceExpr(std::vector<ChoiceBranch> Branches, size_t Hash)
+      : ChoiceExpr(ExprKind::ExtChoice, std::move(Branches), Hash) {}
+};
+
+/// ⊕ᵢ āᵢ.Hᵢ — internal choice; the sender decides on its own.
+class IntChoiceExpr : public ChoiceExpr {
+public:
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IntChoice;
+  }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  IntChoiceExpr(std::vector<ChoiceBranch> Branches, size_t Hash)
+      : ChoiceExpr(ExprKind::IntChoice, std::move(Branches), Hash) {}
+};
+
+/// open_{r,ϕ} H close_{r,ϕ} — a service request: open a session identified
+/// by r under policy ϕ, run H, close the session.
+class RequestExpr : public Expr {
+public:
+  RequestId request() const { return Request; }
+  const PolicyRef &policy() const { return Policy; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Request;
+  }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  RequestExpr(RequestId Request, PolicyRef Policy, const Expr *Body,
+              size_t Hash)
+      : Expr(ExprKind::Request, Hash), Request(Request),
+        Policy(std::move(Policy)), Body(Body) {}
+  RequestId Request;
+  PolicyRef Policy;
+  const Expr *Body;
+};
+
+/// ϕ⟦H⟧ — while H runs, ϕ must be enforced (history-dependently).
+class FramingExpr : public Expr {
+public:
+  const PolicyRef &policy() const { return Policy; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Framing;
+  }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  FramingExpr(PolicyRef Policy, const Expr *Body, size_t Hash)
+      : Expr(ExprKind::Framing, Hash), Policy(std::move(Policy)),
+        Body(Body) {}
+  PolicyRef Policy;
+  const Expr *Body;
+};
+
+/// close_{r,ϕ} — the residual of a request after S-Open fired.
+class CloseMarkExpr : public Expr {
+public:
+  RequestId request() const { return Request; }
+  const PolicyRef &policy() const { return Policy; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::CloseMark;
+  }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  CloseMarkExpr(RequestId Request, PolicyRef Policy, size_t Hash)
+      : Expr(ExprKind::CloseMark, Hash), Request(Request),
+        Policy(std::move(Policy)) {}
+  RequestId Request;
+  PolicyRef Policy;
+};
+
+/// ⌊ϕ — framing opening marker (the ϕ⟦H⟧ ≡ ⌊ϕ·H·⌋ϕ reading).
+class FrameOpenExpr : public Expr {
+public:
+  const PolicyRef &policy() const { return Policy; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FrameOpen;
+  }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  FrameOpenExpr(PolicyRef Policy, size_t Hash)
+      : Expr(ExprKind::FrameOpen, Hash), Policy(std::move(Policy)) {}
+  PolicyRef Policy;
+};
+
+/// ⌋ϕ — framing closing marker (the residual of P-Open).
+class FrameCloseExpr : public Expr {
+public:
+  const PolicyRef &policy() const { return Policy; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FrameClose;
+  }
+
+private:
+  friend class HistContext;
+  friend class sus::Arena;
+  FrameCloseExpr(PolicyRef Policy, size_t Hash)
+      : Expr(ExprKind::FrameClose, Hash), Policy(std::move(Policy)) {}
+  PolicyRef Policy;
+};
+
+} // namespace hist
+} // namespace sus
+
+#endif // SUS_HIST_EXPR_H

@@ -1,0 +1,46 @@
+//===- hist/Printer.h - Rendering history expressions -----------*- C++ -*-===//
+///
+/// \file
+/// Renders history expressions in the SUS surface syntax (parsed back by
+/// syntax/HistParser, so print→parse round-trips to the same hash-consed
+/// node). The grammar, in order of loosening precedence:
+///
+///   expr    := 'mu' IDENT '.' expr | choice
+///   choice  := seq ( '+' seq )* | seq ( '<+>' seq )*
+///   seq     := prefix ( ';' prefix )*
+///   prefix  := IDENT ('?'|'!') '.' prefix | primary
+///   primary := 'eps' | '%' IDENT [ '(' value ')' ]
+///            | 'open' NUM [ '@' policyref ] '{' expr '}'
+///            | 'close' NUM [ '@' policyref ]
+///            | 'fopen' policyref | 'fclose' policyref
+///            | policyref '[' expr ']' | IDENT | '(' expr ')'
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_HIST_PRINTER_H
+#define SUS_HIST_PRINTER_H
+
+#include "hist/Expr.h"
+#include "hist/HistContext.h"
+#include "hist/TransitionSystem.h"
+
+#include <ostream>
+#include <string>
+
+namespace sus {
+namespace hist {
+
+/// Renders \p E in the surface syntax.
+std::string print(const HistContext &Ctx, const Expr *E);
+
+/// Stream variant of print().
+void print(const HistContext &Ctx, const Expr *E, std::ostream &OS);
+
+/// Emits the reachable LTS of an expression as a Graphviz digraph.
+void printDot(const HistContext &Ctx, const TransitionSystem &Ts,
+              std::ostream &OS, const std::string &Name = "lts");
+
+} // namespace hist
+} // namespace sus
+
+#endif // SUS_HIST_PRINTER_H

@@ -1,0 +1,59 @@
+//===- hist/TraceEquiv.cpp - Trace equivalence of expressions -------------===//
+
+#include "hist/TraceEquiv.h"
+
+#include "automata/Ops.h"
+
+#include <algorithm>
+
+using namespace sus;
+using namespace sus::hist;
+
+automata::SymbolCode LabelTable::code(const Label &L) {
+  for (size_t I = 0; I < Labels.size(); ++I)
+    if (Labels[I] == L)
+      return static_cast<automata::SymbolCode>(I);
+  Labels.push_back(L);
+  return static_cast<automata::SymbolCode>(Labels.size() - 1);
+}
+
+automata::Nfa sus::hist::toNfa(HistContext &Ctx, const Expr *E,
+                               LabelTable &Table, size_t MaxStates) {
+  TransitionSystem Ts(Ctx, E, MaxStates);
+  automata::Nfa N;
+  for (size_t I = 0; I < Ts.numStates(); ++I)
+    N.addState(/*Accepting=*/true);
+  N.setStart(Ts.rootIndex());
+  for (TransitionSystem::StateIndex I = 0; I < Ts.numStates(); ++I)
+    for (const TransitionSystem::Edge &Edge :
+         Ts.edges(static_cast<TransitionSystem::StateIndex>(I)))
+      N.addEdge(I, Table.code(Edge.L), Edge.Target);
+  return N;
+}
+
+bool sus::hist::canPerform(HistContext &Ctx, const Expr *E,
+                           const std::vector<Label> &Word) {
+  std::vector<const Expr *> Current = {E};
+  for (const Label &L : Word) {
+    std::vector<const Expr *> Next;
+    for (const Expr *S : Current)
+      for (const Transition &T : derive(Ctx, S))
+        if (T.L == L)
+          Next.push_back(T.Target);
+    std::sort(Next.begin(), Next.end());
+    Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+    if (Next.empty())
+      return false;
+    Current = std::move(Next);
+  }
+  return true;
+}
+
+bool sus::hist::traceEquivalent(HistContext &Ctx, const Expr *A,
+                                const Expr *B, size_t MaxStates) {
+  LabelTable Table;
+  automata::Nfa NA = toNfa(Ctx, A, Table, MaxStates);
+  automata::Nfa NB = toNfa(Ctx, B, Table, MaxStates);
+  return automata::equivalent(automata::determinize(NA),
+                              automata::determinize(NB));
+}

@@ -1,0 +1,55 @@
+//===- hist/TraceEquiv.h - Trace equivalence of expressions -----*- C++ -*-===//
+///
+/// \file
+/// Trace (prefix-language) equivalence of two history expressions, decided
+/// through the automata substrate: materialize both LTSs, intern labels
+/// into a shared alphabet, make every state accepting (traces are
+/// prefix-closed), determinize and compare languages. Coarser than strong
+/// bisimilarity (hist/Bisim.h): it identifies expressions that differ only
+/// in the timing of internal-choice commitment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_HIST_TRACEEQUIV_H
+#define SUS_HIST_TRACEEQUIV_H
+
+#include "automata/Nfa.h"
+#include "hist/HistContext.h"
+#include "hist/TransitionSystem.h"
+
+#include <vector>
+
+namespace sus {
+namespace hist {
+
+/// Interns labels into dense automata symbol codes.
+class LabelTable {
+public:
+  automata::SymbolCode code(const Label &L);
+  const Label &label(automata::SymbolCode C) const { return Labels[C]; }
+  size_t size() const { return Labels.size(); }
+
+private:
+  std::vector<Label> Labels;
+};
+
+/// Renders the reachable LTS of \p E as an NFA over \p Table's codes; all
+/// states accept (prefix-closed trace language).
+automata::Nfa toNfa(HistContext &Ctx, const Expr *E, LabelTable &Table,
+                    size_t MaxStates = 1 << 18);
+
+/// True if \p A and \p B have the same (prefix-closed) trace language.
+bool traceEquivalent(HistContext &Ctx, const Expr *A, const Expr *B,
+                     size_t MaxStates = 1 << 18);
+
+/// True if \p E can perform exactly the label sequence \p Word (i.e. the
+/// word is a trace prefix of E). Decides by subset-walking derivatives —
+/// no LTS materialization, so it also works on expressions with large or
+/// infinite state spaces, as long as the word is finite.
+bool canPerform(HistContext &Ctx, const Expr *E,
+                const std::vector<Label> &Word);
+
+} // namespace hist
+} // namespace sus
+
+#endif // SUS_HIST_TRACEEQUIV_H

@@ -1,0 +1,50 @@
+//===- hist/TransitionSystem.cpp - Reachable LTS of an expression --------===//
+
+#include "hist/TransitionSystem.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace sus;
+using namespace sus::hist;
+
+TransitionSystem::TransitionSystem(HistContext &Ctx, const Expr *Root,
+                                   size_t MaxStates) {
+  std::deque<const Expr *> Work;
+
+  auto InternState = [&](const Expr *E) -> StateIndex {
+    auto It = Index.find(E);
+    if (It != Index.end())
+      return It->second;
+    StateIndex I = static_cast<StateIndex>(States.size());
+    States.push_back(E);
+    Out.emplace_back();
+    Index.emplace(E, I);
+    Work.push_back(E);
+    return I;
+  };
+
+  InternState(Root);
+  while (!Work.empty()) {
+    const Expr *E = Work.front();
+    Work.pop_front();
+    StateIndex From = Index.at(E);
+    for (Transition &T : derive(Ctx, E)) {
+      if (States.size() >= MaxStates && !Index.count(T.Target)) {
+        Complete = false;
+        continue;
+      }
+      // Sequence the interning before indexing Out: InternState may grow
+      // Out and invalidate references into it.
+      StateIndex To = InternState(T.Target);
+      Out[From].push_back({T.L, To});
+      ++EdgeCount;
+    }
+  }
+}
+
+TransitionSystem::StateIndex TransitionSystem::indexOf(const Expr *E) const {
+  auto It = Index.find(E);
+  assert(It != Index.end() && "expression is not a reachable state");
+  return It->second;
+}

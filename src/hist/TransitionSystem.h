@@ -1,0 +1,67 @@
+//===- hist/TransitionSystem.h - Reachable LTS of an expression -*- C++ -*-===//
+///
+/// \file
+/// Materializes the labelled transition system reachable from a history
+/// expression under the stand-alone semantics. For well-formed expressions
+/// this is finite (guarded tail recursion + hash-consing), which is the
+/// property §4 relies on: "the transition system of H! is finite state".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_HIST_TRANSITIONSYSTEM_H
+#define SUS_HIST_TRANSITIONSYSTEM_H
+
+#include "hist/Derive.h"
+#include "hist/HistContext.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sus {
+namespace hist {
+
+/// The reachable LTS of one expression. States are identified both by
+/// dense indices and by their hash-consed expression pointer.
+class TransitionSystem {
+public:
+  using StateIndex = uint32_t;
+
+  struct Edge {
+    Label L;
+    StateIndex Target;
+  };
+
+  /// Builds the LTS reachable from \p Root, exploring at most
+  /// \p MaxStates states.
+  TransitionSystem(HistContext &Ctx, const Expr *Root,
+                   size_t MaxStates = 1 << 20);
+
+  /// False if exploration was truncated by MaxStates (ill-formed input).
+  bool isComplete() const { return Complete; }
+
+  size_t numStates() const { return States.size(); }
+  size_t numEdges() const { return EdgeCount; }
+
+  StateIndex rootIndex() const { return 0; }
+  const Expr *state(StateIndex I) const { return States[I]; }
+  const std::vector<Edge> &edges(StateIndex I) const { return Out[I]; }
+
+  /// The dense index of a reachable expression; asserts on misses.
+  StateIndex indexOf(const Expr *E) const;
+
+  /// True if \p E is a reachable state of this LTS.
+  bool contains(const Expr *E) const { return Index.count(E) != 0; }
+
+private:
+  std::vector<const Expr *> States;
+  std::vector<std::vector<Edge>> Out;
+  std::unordered_map<const Expr *, StateIndex> Index;
+  size_t EdgeCount = 0;
+  bool Complete = true;
+};
+
+} // namespace hist
+} // namespace sus
+
+#endif // SUS_HIST_TRANSITIONSYSTEM_H

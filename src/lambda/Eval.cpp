@@ -1,0 +1,250 @@
+//===- lambda/Eval.cpp - Executing service programs ------------------------===//
+
+#include "lambda/Eval.h"
+
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::lambda;
+
+namespace {
+
+struct Closure;
+
+/// Run-time values: unit, booleans and closures.
+struct RtValue {
+  enum class Kind { Unit, Bool, Closure } K = Kind::Unit;
+  bool B = false;
+  std::shared_ptr<Closure> C;
+};
+
+/// An environment frame (persistent, shared between closures).
+struct EnvNode {
+  Symbol Name;
+  RtValue V;
+  std::shared_ptr<EnvNode> Next;
+};
+using Env = std::shared_ptr<EnvNode>;
+
+struct Closure {
+  Symbol Param;
+  const Term *Body;
+  Env Captured;
+};
+
+const RtValue *lookup(const Env &E, Symbol Name) {
+  for (const EnvNode *N = E.get(); N; N = N->Next.get())
+    if (N->Name == Name)
+      return &N->V;
+  return nullptr;
+}
+
+Env bind(Env E, Symbol Name, RtValue V) {
+  return std::make_shared<EnvNode>(EnvNode{Name, std::move(V), std::move(E)});
+}
+
+/// Evaluation result: a value, a pending jump, or failure.
+struct StepResult {
+  enum class Kind { Value, Jump, Error, OutOfFuel } K = Kind::Error;
+  RtValue V;
+  Symbol JumpTarget;
+
+  static StepResult value(RtValue V) {
+    StepResult R;
+    R.K = Kind::Value;
+    R.V = std::move(V);
+    return R;
+  }
+  static StepResult jump(Symbol Target) {
+    StepResult R;
+    R.K = Kind::Jump;
+    R.JumpTarget = Target;
+    return R;
+  }
+  static StepResult error() { return StepResult(); }
+  static StepResult outOfFuel() {
+    StepResult R;
+    R.K = Kind::OutOfFuel;
+    return R;
+  }
+};
+
+class Evaluator {
+public:
+  Evaluator(EvalOracle &Oracle, std::vector<Label> &Trace, size_t Fuel)
+      : Oracle(Oracle), Trace(Trace), Fuel(Fuel) {}
+
+  StepResult eval(const Term *T, Env E) {
+    switch (T->kind()) {
+    case TermKind::Unit:
+      return StepResult::value(RtValue{});
+
+    case TermKind::BoolLit: {
+      RtValue V;
+      V.K = RtValue::Kind::Bool;
+      V.B = cast<BoolLitTerm>(T)->value();
+      return StepResult::value(std::move(V));
+    }
+
+    case TermKind::Var: {
+      const RtValue *V = lookup(E, cast<VarTerm>(T)->name());
+      if (!V)
+        return StepResult::error();
+      return StepResult::value(*V);
+    }
+
+    case TermKind::Lambda: {
+      const auto *L = cast<LambdaTerm>(T);
+      RtValue V;
+      V.K = RtValue::Kind::Closure;
+      V.C = std::make_shared<Closure>(Closure{L->param(), L->body(), E});
+      return StepResult::value(std::move(V));
+    }
+
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      StepResult Fn = eval(A->fn(), E);
+      if (Fn.K != StepResult::Kind::Value)
+        return Fn;
+      StepResult Arg = eval(A->arg(), E);
+      if (Arg.K != StepResult::Kind::Value)
+        return Arg;
+      if (Fn.V.K != RtValue::Kind::Closure)
+        return StepResult::error();
+      Env Inner = bind(Fn.V.C->Captured, Fn.V.C->Param, std::move(Arg.V));
+      return eval(Fn.V.C->Body, Inner);
+    }
+
+    case TermKind::Seq: {
+      const auto *S = cast<SeqTerm>(T);
+      StepResult A = eval(S->first(), E);
+      if (A.K != StepResult::Kind::Value)
+        return A;
+      return eval(S->second(), E);
+    }
+
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      StepResult C = eval(I->cond(), E);
+      if (C.K != StepResult::Kind::Value)
+        return C;
+      if (C.V.K != RtValue::Kind::Bool)
+        return StepResult::error();
+      return eval(C.V.B ? I->thenBranch() : I->elseBranch(), E);
+    }
+
+    case TermKind::Event: {
+      if (!emit(Label::event(cast<EventTerm>(T)->event())))
+        return StepResult::outOfFuel();
+      return StepResult::value(RtValue{});
+    }
+
+    case TermKind::Send:
+    case TermKind::Recv: {
+      const auto *Cm = cast<CommTerm>(T);
+      CommAction Act = Cm->isSend() ? CommAction::output(Cm->channel())
+                                    : CommAction::input(Cm->channel());
+      if (!emit(Label::comm(Act)))
+        return StepResult::outOfFuel();
+      return StepResult::value(RtValue{});
+    }
+
+    case TermKind::Select:
+    case TermKind::Branch: {
+      const auto *Ch = cast<ChoiceTerm>(T);
+      std::vector<Symbol> Channels;
+      Channels.reserve(Ch->arms().size());
+      for (const CommArm &Arm : Ch->arms())
+        Channels.push_back(Arm.Channel);
+      size_t Pick = Ch->isSelect() ? Oracle.chooseSelect(Channels)
+                                   : Oracle.chooseBranch(Channels);
+      if (Pick >= Channels.size())
+        return StepResult::error();
+      CommAction Act = Ch->isSelect()
+                           ? CommAction::output(Channels[Pick])
+                           : CommAction::input(Channels[Pick]);
+      if (!emit(Label::comm(Act)))
+        return StepResult::outOfFuel();
+      return eval(Ch->arms()[Pick].Body, E);
+    }
+
+    case TermKind::Request: {
+      const auto *R = cast<RequestTerm>(T);
+      if (!emit(Label::open(R->request(), R->policy())))
+        return StepResult::outOfFuel();
+      StepResult Body = eval(R->body(), E);
+      if (Body.K != StepResult::Kind::Value)
+        return Body;
+      if (!emit(Label::close(R->request(), R->policy())))
+        return StepResult::outOfFuel();
+      return StepResult::value(RtValue{});
+    }
+
+    case TermKind::Framing: {
+      const auto *F = cast<FramingTerm>(T);
+      if (!emit(Label::frameOpen(F->policy())))
+        return StepResult::outOfFuel();
+      StepResult Body = eval(F->body(), E);
+      if (Body.K != StepResult::Kind::Value)
+        return Body;
+      if (!emit(Label::frameClose(F->policy())))
+        return StepResult::outOfFuel();
+      return Body;
+    }
+
+    case TermKind::Rec: {
+      const auto *R = cast<RecTerm>(T);
+      while (true) {
+        StepResult Body = eval(R->body(), E);
+        if (Body.K == StepResult::Kind::Jump &&
+            Body.JumpTarget == R->var())
+          continue; // Loop.
+        return Body; // Value, error, fuel, or an outer jump.
+      }
+    }
+
+    case TermKind::Jump:
+      return StepResult::jump(cast<JumpTerm>(T)->var());
+    }
+    return StepResult::error();
+  }
+
+private:
+  /// Appends a label; false when the fuel budget is exhausted.
+  bool emit(Label L) {
+    if (Trace.size() >= Fuel)
+      return false;
+    Trace.push_back(std::move(L));
+    return true;
+  }
+
+  EvalOracle &Oracle;
+  std::vector<Label> &Trace;
+  size_t Fuel;
+};
+
+} // namespace
+
+EvalOutcome sus::lambda::evaluate(LambdaContext &Ctx, const Term *T,
+                                  EvalOracle &Oracle, size_t Fuel) {
+  (void)Ctx;
+  EvalOutcome Outcome;
+  Evaluator Ev(Oracle, Outcome.Trace, Fuel);
+  StepResult R = Ev.eval(T, nullptr);
+  switch (R.K) {
+  case StepResult::Kind::Value:
+    Outcome.Status = EvalStatus::Completed;
+    break;
+  case StepResult::Kind::OutOfFuel:
+    Outcome.Status = EvalStatus::OutOfFuel;
+    break;
+  case StepResult::Kind::Jump:
+  case StepResult::Kind::Error:
+    Outcome.Status = EvalStatus::Error;
+    break;
+  }
+  return Outcome;
+}

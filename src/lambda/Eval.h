@@ -1,0 +1,85 @@
+//===- lambda/Eval.h - Executing service programs ---------------*- C++ -*-===//
+///
+/// \file
+/// A definitional evaluator for the λ service calculus. Execution emits
+/// the labels the program performs — events, communications, session
+/// open/close, framings — against an *oracle* that resolves the choices
+/// the environment makes (which message arrives at a branch, which branch
+/// a select commits to).
+///
+/// The point is the [Bartoletti–Degano–Ferrari] effect-soundness theorem
+/// the paper's §3 relies on: every trace a well-typed program emits is a
+/// trace of its extracted history expression. The test suite checks this
+/// property over random programs and oracles (see canPerform() in
+/// hist/TraceEquiv.h for the trace-membership side).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_LAMBDA_EVAL_H
+#define SUS_LAMBDA_EVAL_H
+
+#include "hist/Action.h"
+#include "lambda/LambdaContext.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace sus {
+namespace lambda {
+
+/// Resolves environment-driven choices during evaluation.
+class EvalOracle {
+public:
+  virtual ~EvalOracle() = default;
+
+  /// The arm a `select` commits to (the program's own choice, but left to
+  /// the oracle so tests can explore schedules).
+  virtual size_t chooseSelect(const std::vector<Symbol> &Channels) = 0;
+
+  /// The arm of a `branch` the environment's message selects.
+  virtual size_t chooseBranch(const std::vector<Symbol> &Channels) = 0;
+};
+
+/// An oracle driven by a callback (handy for tests and tools).
+class CallbackOracle : public EvalOracle {
+public:
+  using Chooser = std::function<size_t(const std::vector<Symbol> &)>;
+  CallbackOracle(Chooser Select, Chooser Branch)
+      : Select(std::move(Select)), Branch(std::move(Branch)) {}
+
+  size_t chooseSelect(const std::vector<Symbol> &Channels) override {
+    return Select(Channels);
+  }
+  size_t chooseBranch(const std::vector<Symbol> &Channels) override {
+    return Branch(Channels);
+  }
+
+private:
+  Chooser Select;
+  Chooser Branch;
+};
+
+/// Why an evaluation stopped.
+enum class EvalStatus {
+  Completed,  ///< Reduced to a value.
+  OutOfFuel,  ///< Step budget exhausted (e.g. a productive infinite loop).
+  Error,      ///< Dynamic type error (impossible for well-typed programs).
+};
+
+/// The observable outcome of a run.
+struct EvalOutcome {
+  EvalStatus Status = EvalStatus::Error;
+  /// The emitted labels, in order (a history-expression trace).
+  std::vector<hist::Label> Trace;
+};
+
+/// Evaluates the closed term \p T, consulting \p Oracle, emitting at most
+/// \p Fuel labels.
+EvalOutcome evaluate(LambdaContext &Ctx, const Term *T, EvalOracle &Oracle,
+                     size_t Fuel = 4096);
+
+} // namespace lambda
+} // namespace sus
+
+#endif // SUS_LAMBDA_EVAL_H

@@ -1,0 +1,131 @@
+//===- lambda/LambdaContext.cpp - Term/type factory ------------------------===//
+
+#include "lambda/LambdaContext.h"
+
+#include <cassert>
+
+using namespace sus;
+using namespace sus::lambda;
+
+const Type *Type::param() const {
+  assert(isArrow() && "param() on a non-arrow type");
+  return Param;
+}
+
+const Type *Type::result() const {
+  assert(isArrow() && "result() on a non-arrow type");
+  return Result;
+}
+
+const hist::Expr *Type::latentEffect() const {
+  assert(isArrow() && "latentEffect() on a non-arrow type");
+  return Latent;
+}
+
+const Type *LambdaContext::unitType() {
+  if (!UnitTy)
+    UnitTy = Nodes.create<Type>(TypeKind::Unit, nullptr, nullptr, nullptr);
+  return UnitTy;
+}
+
+const Type *LambdaContext::boolType() {
+  if (!BoolTy)
+    BoolTy = Nodes.create<Type>(TypeKind::Bool, nullptr, nullptr, nullptr);
+  return BoolTy;
+}
+
+const Type *LambdaContext::arrow(const Type *Param, const Type *Result,
+                                 const hist::Expr *Latent) {
+  auto Key = std::make_tuple(Param, Result, Latent);
+  auto It = Arrows.find(Key);
+  if (It != Arrows.end())
+    return It->second;
+  const Type *T =
+      Nodes.create<Type>(TypeKind::Arrow, Param, Result, Latent);
+  Arrows.emplace(Key, T);
+  return T;
+}
+
+const Term *LambdaContext::unit() { return Nodes.create<UnitTerm>(); }
+
+const Term *LambdaContext::boolLit(bool V) {
+  return Nodes.create<BoolLitTerm>(V);
+}
+
+const Term *LambdaContext::var(std::string_view Name) {
+  return Nodes.create<VarTerm>(symbol(Name));
+}
+
+const Term *LambdaContext::lambda(std::string_view Param,
+                                  const Type *ParamType, const Term *Body) {
+  return Nodes.create<LambdaTerm>(symbol(Param), ParamType, Body);
+}
+
+const Term *LambdaContext::app(const Term *Fn, const Term *Arg) {
+  return Nodes.create<AppTerm>(Fn, Arg);
+}
+
+const Term *LambdaContext::seq(const Term *A, const Term *B) {
+  return Nodes.create<SeqTerm>(A, B);
+}
+
+const Term *LambdaContext::ifTerm(const Term *C, const Term *Then,
+                                  const Term *Else) {
+  return Nodes.create<IfTerm>(C, Then, Else);
+}
+
+const Term *LambdaContext::event(hist::Event Ev) {
+  return Nodes.create<EventTerm>(Ev);
+}
+
+const Term *LambdaContext::event(std::string_view Name) {
+  return Nodes.create<EventTerm>(hist::Event{symbol(Name), Value()});
+}
+
+const Term *LambdaContext::event(std::string_view Name, int64_t Arg) {
+  return Nodes.create<EventTerm>(
+      hist::Event{symbol(Name), Value::integer(Arg)});
+}
+
+const Term *LambdaContext::event(std::string_view Name,
+                                 std::string_view Arg) {
+  return Nodes.create<EventTerm>(
+      hist::Event{symbol(Name), Value::name(symbol(Arg))});
+}
+
+const Term *LambdaContext::send(std::string_view Channel) {
+  return Nodes.create<CommTerm>(TermKind::Send, symbol(Channel));
+}
+
+const Term *LambdaContext::recv(std::string_view Channel) {
+  return Nodes.create<CommTerm>(TermKind::Recv, symbol(Channel));
+}
+
+const Term *LambdaContext::select(std::vector<CommArm> Arms) {
+  assert(!Arms.empty() && "select requires at least one arm");
+  return Nodes.create<ChoiceTerm>(TermKind::Select, std::move(Arms));
+}
+
+const Term *LambdaContext::branch(std::vector<CommArm> Arms) {
+  assert(!Arms.empty() && "branch requires at least one arm");
+  return Nodes.create<ChoiceTerm>(TermKind::Branch, std::move(Arms));
+}
+
+const Term *LambdaContext::request(hist::RequestId Request,
+                                   hist::PolicyRef Policy,
+                                   const Term *Body) {
+  return Nodes.create<RequestTerm>(Request, std::move(Policy), Body);
+}
+
+const Term *LambdaContext::framing(hist::PolicyRef Policy,
+                                   const Term *Body) {
+  return Nodes.create<FramingTerm>(std::move(Policy), Body);
+}
+
+const Term *LambdaContext::rec(std::string_view Var, const Term *Body) {
+  return Nodes.create<RecTerm>(symbol(Var), Body);
+}
+
+const Term *LambdaContext::jump(std::string_view Var) {
+  return Nodes.create<JumpTerm>(symbol(Var));
+}

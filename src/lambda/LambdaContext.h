@@ -1,0 +1,83 @@
+//===- lambda/LambdaContext.h - Term/type factory ----------------*- C++ -*-===//
+///
+/// \file
+/// Owns λ terms and (hash-consed) types. Shares the StringInterner of the
+/// associated hist::HistContext so channel and event names agree between
+/// the calculus and its extracted effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_LAMBDA_LAMBDACONTEXT_H
+#define SUS_LAMBDA_LAMBDACONTEXT_H
+
+#include "hist/HistContext.h"
+#include "lambda/Term.h"
+#include "lambda/Type.h"
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace sus {
+namespace lambda {
+
+/// Factory/owner of λ terms and types for one verification session.
+class LambdaContext {
+public:
+  explicit LambdaContext(hist::HistContext &Hist) : Hist(Hist) {}
+  LambdaContext(const LambdaContext &) = delete;
+  LambdaContext &operator=(const LambdaContext &) = delete;
+
+  hist::HistContext &hist() { return Hist; }
+  StringInterner &interner() { return Hist.interner(); }
+  Symbol symbol(std::string_view Name) { return Hist.symbol(Name); }
+
+  // Types (hash-consed).
+  const Type *unitType();
+  const Type *boolType();
+  const Type *arrow(const Type *Param, const Type *Result,
+                    const hist::Expr *Latent);
+
+  // Terms.
+  const Term *unit();
+  const Term *boolLit(bool V);
+  const Term *var(std::string_view Name);
+  const Term *lambda(std::string_view Param, const Type *ParamType,
+                     const Term *Body);
+  const Term *app(const Term *Fn, const Term *Arg);
+  const Term *seq(const Term *A, const Term *B);
+  const Term *ifTerm(const Term *C, const Term *Then, const Term *Else);
+  const Term *event(hist::Event Ev);
+  const Term *event(std::string_view Name);
+  const Term *event(std::string_view Name, int64_t Arg);
+  const Term *event(std::string_view Name, std::string_view Arg);
+  const Term *send(std::string_view Channel);
+  const Term *recv(std::string_view Channel);
+  const Term *select(std::vector<CommArm> Arms);
+  const Term *branch(std::vector<CommArm> Arms);
+  const Term *request(hist::RequestId Request, hist::PolicyRef Policy,
+                      const Term *Body);
+  const Term *framing(hist::PolicyRef Policy, const Term *Body);
+  const Term *rec(std::string_view Var, const Term *Body);
+  const Term *jump(std::string_view Var);
+
+  /// Convenience: a select/branch arm.
+  CommArm arm(std::string_view Channel, const Term *Body) {
+    return CommArm{symbol(Channel), Body};
+  }
+
+private:
+  hist::HistContext &Hist;
+  Arena Nodes;
+
+  const Type *UnitTy = nullptr;
+  const Type *BoolTy = nullptr;
+  std::map<std::tuple<const Type *, const Type *, const hist::Expr *>,
+           const Type *>
+      Arrows;
+};
+
+} // namespace lambda
+} // namespace sus
+
+#endif // SUS_LAMBDA_LAMBDACONTEXT_H

@@ -1,0 +1,306 @@
+//===- lambda/Term.h - The service calculus ---------------------*- C++ -*-===//
+///
+/// \file
+/// The λ-calculus service language of [Bartoletti–Degano–Ferrari], which
+/// the paper's §3 builds on ("services are represented by λ-expressions,
+/// and a type and effect system extracts their abstract behaviour, in the
+/// form of history expressions"). The calculus offers access events,
+/// security framings, service requests, message passing with select/branch
+/// (mapping exactly onto ⊕/Σ) and explicit tail recursion:
+///
+///   t ::= unit | true | false | x | λx:τ. t | t t | t ; t
+///       | if t then t else t | event[α(v)] | send[ch] | recv[ch]
+///       | select { chᵢ! → tᵢ } | branch { chᵢ? → tᵢ }
+///       | req[r,ϕ]{ t } | frame[ϕ]{ t } | rec h { t } | jump h
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_LAMBDA_TERM_H
+#define SUS_LAMBDA_TERM_H
+
+#include "hist/Action.h"
+#include "support/Arena.h"
+#include "support/Casting.h"
+
+#include <string>
+#include <vector>
+
+namespace sus {
+namespace lambda {
+
+class LambdaContext;
+class Type;
+
+/// Kind discriminator for terms.
+enum class TermKind : uint8_t {
+  Unit,
+  BoolLit,
+  Var,
+  Lambda,
+  App,
+  Seq,
+  If,
+  Event,
+  Send,
+  Recv,
+  Select,
+  Branch,
+  Request,
+  Framing,
+  Rec,
+  Jump,
+};
+
+/// Base class of all λ terms. Terms are immutable and arena-allocated by
+/// LambdaContext (no hash-consing: identity does not matter here).
+class Term {
+public:
+  Term(const Term &) = delete;
+  Term &operator=(const Term &) = delete;
+
+  TermKind kind() const { return Kind; }
+
+protected:
+  explicit Term(TermKind K) : Kind(K) {}
+  ~Term() = default;
+
+private:
+  TermKind Kind;
+};
+
+/// unit.
+class UnitTerm : public Term {
+public:
+  static bool classof(const Term *T) { return T->kind() == TermKind::Unit; }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  UnitTerm() : Term(TermKind::Unit) {}
+};
+
+/// true / false.
+class BoolLitTerm : public Term {
+public:
+  bool value() const { return V; }
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::BoolLit;
+  }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  explicit BoolLitTerm(bool V) : Term(TermKind::BoolLit), V(V) {}
+  bool V;
+};
+
+/// x.
+class VarTerm : public Term {
+public:
+  Symbol name() const { return Name; }
+  static bool classof(const Term *T) { return T->kind() == TermKind::Var; }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  explicit VarTerm(Symbol Name) : Term(TermKind::Var), Name(Name) {}
+  Symbol Name;
+};
+
+/// λx:τ. body.
+class LambdaTerm : public Term {
+public:
+  Symbol param() const { return Param; }
+  const Type *paramType() const { return ParamType; }
+  const Term *body() const { return Body; }
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::Lambda;
+  }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  LambdaTerm(Symbol Param, const Type *ParamType, const Term *Body)
+      : Term(TermKind::Lambda), Param(Param), ParamType(ParamType),
+        Body(Body) {}
+  Symbol Param;
+  const Type *ParamType;
+  const Term *Body;
+};
+
+/// f a.
+class AppTerm : public Term {
+public:
+  const Term *fn() const { return Fn; }
+  const Term *arg() const { return Arg; }
+  static bool classof(const Term *T) { return T->kind() == TermKind::App; }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  AppTerm(const Term *Fn, const Term *Arg)
+      : Term(TermKind::App), Fn(Fn), Arg(Arg) {}
+  const Term *Fn;
+  const Term *Arg;
+};
+
+/// a ; b.
+class SeqTerm : public Term {
+public:
+  const Term *first() const { return A; }
+  const Term *second() const { return B; }
+  static bool classof(const Term *T) { return T->kind() == TermKind::Seq; }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  SeqTerm(const Term *A, const Term *B) : Term(TermKind::Seq), A(A), B(B) {}
+  const Term *A;
+  const Term *B;
+};
+
+/// if c then t else e.
+class IfTerm : public Term {
+public:
+  const Term *cond() const { return C; }
+  const Term *thenBranch() const { return T_; }
+  const Term *elseBranch() const { return E; }
+  static bool classof(const Term *T) { return T->kind() == TermKind::If; }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  IfTerm(const Term *C, const Term *T, const Term *E)
+      : Term(TermKind::If), C(C), T_(T), E(E) {}
+  const Term *C;
+  const Term *T_;
+  const Term *E;
+};
+
+/// event[α(v)].
+class EventTerm : public Term {
+public:
+  const hist::Event &event() const { return Ev; }
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::Event;
+  }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  explicit EventTerm(hist::Event Ev) : Term(TermKind::Event), Ev(Ev) {}
+  hist::Event Ev;
+};
+
+/// send[ch] / recv[ch] — one message, unit payload.
+class CommTerm : public Term {
+public:
+  Symbol channel() const { return Channel; }
+  bool isSend() const { return kind() == TermKind::Send; }
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::Send || T->kind() == TermKind::Recv;
+  }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  CommTerm(TermKind K, Symbol Channel) : Term(K), Channel(Channel) {}
+  Symbol Channel;
+};
+
+/// One arm of a select/branch.
+struct CommArm {
+  Symbol Channel;
+  const Term *Body;
+};
+
+/// select { chᵢ! → tᵢ } / branch { chᵢ? → tᵢ }.
+class ChoiceTerm : public Term {
+public:
+  const std::vector<CommArm> &arms() const { return Arms; }
+  bool isSelect() const { return kind() == TermKind::Select; }
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::Select || T->kind() == TermKind::Branch;
+  }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  ChoiceTerm(TermKind K, std::vector<CommArm> Arms)
+      : Term(K), Arms(std::move(Arms)) {}
+  std::vector<CommArm> Arms;
+};
+
+/// req[r,ϕ]{ body }.
+class RequestTerm : public Term {
+public:
+  hist::RequestId request() const { return Request; }
+  const hist::PolicyRef &policy() const { return Policy; }
+  const Term *body() const { return Body; }
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::Request;
+  }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  RequestTerm(hist::RequestId Request, hist::PolicyRef Policy,
+              const Term *Body)
+      : Term(TermKind::Request), Request(Request),
+        Policy(std::move(Policy)), Body(Body) {}
+  hist::RequestId Request;
+  hist::PolicyRef Policy;
+  const Term *Body;
+};
+
+/// frame[ϕ]{ body }.
+class FramingTerm : public Term {
+public:
+  const hist::PolicyRef &policy() const { return Policy; }
+  const Term *body() const { return Body; }
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::Framing;
+  }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  FramingTerm(hist::PolicyRef Policy, const Term *Body)
+      : Term(TermKind::Framing), Policy(std::move(Policy)), Body(Body) {}
+  hist::PolicyRef Policy;
+  const Term *Body;
+};
+
+/// rec h { body } — explicit tail loop.
+class RecTerm : public Term {
+public:
+  Symbol var() const { return Var; }
+  const Term *body() const { return Body; }
+  static bool classof(const Term *T) { return T->kind() == TermKind::Rec; }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  RecTerm(Symbol Var, const Term *Body)
+      : Term(TermKind::Rec), Var(Var), Body(Body) {}
+  Symbol Var;
+  const Term *Body;
+};
+
+/// jump h — continue the enclosing rec h loop.
+class JumpTerm : public Term {
+public:
+  Symbol var() const { return Var; }
+  static bool classof(const Term *T) { return T->kind() == TermKind::Jump; }
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  explicit JumpTerm(Symbol Var) : Term(TermKind::Jump), Var(Var) {}
+  Symbol Var;
+};
+
+} // namespace lambda
+} // namespace sus
+
+#endif // SUS_LAMBDA_TERM_H

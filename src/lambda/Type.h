@@ -1,0 +1,63 @@
+//===- lambda/Type.h - Types with latent effects ----------------*- C++ -*-===//
+///
+/// \file
+/// The simple types of the service calculus. Function types carry a
+/// *latent effect*: the history expression released when the function is
+/// applied (τ --H--> τ′ in [Bartoletti–Degano–Ferrari]). Types are
+/// hash-consed by LambdaContext, so type equality is pointer equality —
+/// and latent-effect equality is hash-consed expression equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_LAMBDA_TYPE_H
+#define SUS_LAMBDA_TYPE_H
+
+#include "hist/Expr.h"
+
+#include <cstdint>
+
+namespace sus {
+namespace lambda {
+
+class LambdaContext;
+
+/// Kind discriminator for types.
+enum class TypeKind : uint8_t {
+  Unit,
+  Bool,
+  Arrow, ///< τ --H--> τ′ with latent effect H.
+};
+
+/// A hash-consed simple type.
+class Type {
+public:
+  Type(const Type &) = delete;
+  Type &operator=(const Type &) = delete;
+
+  TypeKind kind() const { return Kind; }
+  bool isUnit() const { return Kind == TypeKind::Unit; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isArrow() const { return Kind == TypeKind::Arrow; }
+
+  /// Arrow accessors (assert on other kinds).
+  const Type *param() const;
+  const Type *result() const;
+  const hist::Expr *latentEffect() const;
+
+private:
+  friend class LambdaContext;
+  friend class sus::Arena;
+  Type(TypeKind K, const Type *Param, const Type *Result,
+       const hist::Expr *Latent)
+      : Kind(K), Param(Param), Result(Result), Latent(Latent) {}
+
+  TypeKind Kind;
+  const Type *Param;
+  const Type *Result;
+  const hist::Expr *Latent;
+};
+
+} // namespace lambda
+} // namespace sus
+
+#endif // SUS_LAMBDA_TYPE_H

@@ -1,0 +1,64 @@
+//===- lambda/TypeEffect.h - The type-and-effect system ---------*- C++ -*-===//
+///
+/// \file
+/// The type-and-effect system extracting history expressions from service
+/// code (§3: "a type and effect system extracts their abstract behaviour,
+/// in the form of history expressions"). Judgements have the shape
+/// Γ ⊢ t : τ ▷ H. Effects compose sequentially; `if` requires its branches
+/// to agree on both type and effect (nondeterminism is expressed with
+/// select/branch, keeping effects inside the paper's Def. 1 grammar);
+/// `rec h { … jump h … }` produces µh.H with the paper's guarded-tail
+/// restriction checked on the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_LAMBDA_TYPEEFFECT_H
+#define SUS_LAMBDA_TYPEEFFECT_H
+
+#include "lambda/LambdaContext.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+namespace sus {
+namespace lambda {
+
+/// The result of inferring one term.
+struct TypeAndEffect {
+  const Type *Ty = nullptr;
+  const hist::Expr *Effect = nullptr;
+};
+
+/// Infers types and extracts effects; reports violations into Diags.
+class EffectSystem {
+public:
+  EffectSystem(LambdaContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  /// Γ ⊢ t : τ ▷ H, with an empty initial Γ. std::nullopt on type error.
+  std::optional<TypeAndEffect> infer(const Term *T);
+
+  /// Infers a whole service: the term must be closed, its type Unit, and
+  /// the extracted effect closed and well-formed (guarded tail
+  /// recursion). Returns the effect.
+  std::optional<const hist::Expr *> inferServiceEffect(const Term *T);
+
+private:
+  struct Env {
+    std::map<Symbol, const Type *> Vars;
+    std::set<Symbol> RecVars;
+  };
+
+  std::optional<TypeAndEffect> inferIn(const Term *T, Env &E);
+  const char *typeName(const Type *T) const;
+
+  LambdaContext &Ctx;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace lambda
+} // namespace sus
+
+#endif // SUS_LAMBDA_TYPEEFFECT_H

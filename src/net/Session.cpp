@@ -1,0 +1,30 @@
+//===- net/Session.cpp - Run-time session trees ---------------------------===//
+
+#include "net/Session.h"
+
+#include "hist/Printer.h"
+
+using namespace sus;
+using namespace sus::net;
+
+std::unique_ptr<Session> Session::clone() const {
+  auto S = std::make_unique<Session>();
+  S->IsLeaf = IsLeaf;
+  S->Location = Location;
+  S->Behavior = Behavior;
+  if (Left)
+    S->Left = Left->clone();
+  if (Right)
+    S->Right = Right->clone();
+  return S;
+}
+
+std::string Session::str(const hist::HistContext &Ctx) const {
+  if (IsLeaf) {
+    std::string Out(Ctx.interner().text(Location));
+    Out += ": ";
+    Out += hist::print(Ctx, Behavior);
+    return Out;
+  }
+  return "[" + Left->str(Ctx) + ", " + Right->str(Ctx) + "]";
+}

@@ -1,0 +1,63 @@
+//===- net/Session.h - Run-time session trees -------------------*- C++ -*-===//
+///
+/// \file
+/// The run-time counterpart of Definition 2's sessions: S ::= ℓ:H | [S,S].
+/// Unlike the hash-consed trees of the static checker, these are mutable
+/// owned trees — the interpreter updates them in place as the network
+/// evolves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_NET_SESSION_H
+#define SUS_NET_SESSION_H
+
+#include "hist/Expr.h"
+#include "hist/HistContext.h"
+#include "plan/Plan.h"
+
+#include <memory>
+#include <string>
+
+namespace sus {
+namespace net {
+
+/// A node of a session tree.
+struct Session {
+  bool IsLeaf = true;
+  plan::Loc Location;                 ///< Leaf: where the behaviour runs.
+  const hist::Expr *Behavior = nullptr; ///< Leaf: the residual expression.
+  std::unique_ptr<Session> Left;      ///< Pair: the session opener side.
+  std::unique_ptr<Session> Right;     ///< Pair: the serving side.
+
+  static std::unique_ptr<Session> leaf(plan::Loc L, const hist::Expr *H) {
+    auto S = std::make_unique<Session>();
+    S->IsLeaf = true;
+    S->Location = L;
+    S->Behavior = H;
+    return S;
+  }
+
+  static std::unique_ptr<Session> pair(std::unique_ptr<Session> A,
+                                       std::unique_ptr<Session> B) {
+    auto S = std::make_unique<Session>();
+    S->IsLeaf = false;
+    S->Left = std::move(A);
+    S->Right = std::move(B);
+    return S;
+  }
+
+  std::unique_ptr<Session> clone() const;
+
+  /// True when the tree is a single leaf whose behaviour is ε.
+  bool isTerminated() const {
+    return IsLeaf && Behavior && Behavior->isEmpty();
+  }
+
+  /// Renders like the paper's configurations: "[l_c1: H, [l_br: H', ...]]".
+  std::string str(const hist::HistContext &Ctx) const;
+};
+
+} // namespace net
+} // namespace sus
+
+#endif // SUS_NET_SESSION_H

@@ -1,0 +1,21 @@
+//===- plan/Plan.cpp - Plans and service repositories ---------------------===//
+
+#include "plan/Plan.h"
+
+using namespace sus;
+using namespace sus::plan;
+
+std::string Plan::str(const StringInterner &Interner) const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[R, L] : Binding) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += std::to_string(R);
+    Out += " -> ";
+    Out += Interner.text(L);
+  }
+  Out += "}";
+  return Out;
+}

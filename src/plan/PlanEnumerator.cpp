@@ -1,0 +1,87 @@
+//===- plan/PlanEnumerator.cpp - Candidate plan enumeration ---------------===//
+
+#include "plan/PlanEnumerator.h"
+
+#include <set>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::plan;
+
+namespace {
+
+class Enumerator {
+public:
+  Enumerator(const Repository &Repo, const EnumeratorOptions &Options,
+             EnumerationResult &Result)
+      : Repo(Repo), Options(Options), Result(Result) {}
+
+  void run(const Expr *Client) {
+    std::vector<RequestSite> Pending = extractRequests(Client);
+    Plan Empty;
+    std::set<RequestId> Seen;
+    for (const RequestSite &S : Pending)
+      Seen.insert(S.id());
+    search(Empty, std::move(Pending), std::move(Seen));
+  }
+
+private:
+  void search(Plan Current, std::vector<RequestSite> Pending,
+              std::set<RequestId> Seen) {
+    if (Result.Truncated)
+      return;
+    if (Pending.empty()) {
+      if (Result.Plans.size() >= Options.MaxPlans) {
+        Result.Truncated = true;
+        return;
+      }
+      Result.Plans.push_back(std::move(Current));
+      return;
+    }
+
+    RequestSite Site = Pending.back();
+    Pending.pop_back();
+
+    if (Current.covers(Site.id())) {
+      // Already bound on this branch (shared id, e.g. a recursive
+      // service); keep the existing binding.
+      search(std::move(Current), std::move(Pending), std::move(Seen));
+      return;
+    }
+
+    for (const auto &[Location, Service] : Repo.services()) {
+      ++Result.BindingsTried;
+      if (Options.Filter && !Options.Filter(Site, Location, Service))
+        continue;
+
+      Plan Next = Current;
+      Next.bind(Site.id(), Location);
+
+      // Chase the chosen service's own requests.
+      std::vector<RequestSite> NextPending = Pending;
+      std::set<RequestId> NextSeen = Seen;
+      for (const RequestSite &S : extractRequests(Service))
+        if (NextSeen.insert(S.id()).second)
+          NextPending.push_back(S);
+
+      search(std::move(Next), std::move(NextPending), std::move(NextSeen));
+      if (Result.Truncated)
+        return;
+    }
+  }
+
+  const Repository &Repo;
+  const EnumeratorOptions &Options;
+  EnumerationResult &Result;
+};
+
+} // namespace
+
+EnumerationResult sus::plan::enumeratePlans(const Expr *Client,
+                                            const Repository &Repo,
+                                            const EnumeratorOptions &Options) {
+  EnumerationResult Result;
+  Enumerator E(Repo, Options, Result);
+  E.run(Client);
+  return Result;
+}

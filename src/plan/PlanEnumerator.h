@@ -1,0 +1,52 @@
+//===- plan/PlanEnumerator.h - Candidate plan enumeration -------*- C++ -*-===//
+///
+/// \file
+/// Enumerates the candidate plans for a client over a repository: every
+/// request of the client is bound to a published location, and requests are
+/// chased *transitively* — binding r[ℓ] adds ℓ's own requests to the
+/// worklist (the paper's broker opens request 3 on behalf of the client's
+/// request 1). A filter hook allows early pruning (e.g. discard bindings
+/// whose contracts are not compliant) before the exponential blow-up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_PLAN_PLANENUMERATOR_H
+#define SUS_PLAN_PLANENUMERATOR_H
+
+#include "plan/Plan.h"
+#include "plan/RequestExtract.h"
+
+#include <functional>
+#include <vector>
+
+namespace sus {
+namespace plan {
+
+/// Tuning knobs for enumeration.
+struct EnumeratorOptions {
+  /// Stop after this many complete plans.
+  size_t MaxPlans = 1 << 16;
+
+  /// Optional pruning predicate: return false to reject binding
+  /// \p Site -> \p Location (whose published service is \p Service).
+  std::function<bool(const RequestSite &Site, Loc Location,
+                     const hist::Expr *Service)>
+      Filter;
+};
+
+/// Result of enumeration.
+struct EnumerationResult {
+  std::vector<Plan> Plans;
+  bool Truncated = false;  ///< Hit MaxPlans.
+  size_t BindingsTried = 0; ///< Search effort (for the B3 benchmark).
+};
+
+/// Enumerates complete plans for \p Client over \p Repo.
+EnumerationResult enumeratePlans(const hist::Expr *Client,
+                                 const Repository &Repo,
+                                 const EnumeratorOptions &Options = {});
+
+} // namespace plan
+} // namespace sus
+
+#endif // SUS_PLAN_PLANENUMERATOR_H

@@ -1,0 +1,43 @@
+//===- plan/RequestExtract.h - Collecting service requests ------*- C++ -*-===//
+///
+/// \file
+/// "First we manipulate the syntactic structure of a service in order to
+/// identify and pick up all the requests, i.e. the subterms of the form
+/// open_{r,ϕ} H1 close_{r,ϕ}" (§4). Extraction is syntactic and includes
+/// requests nested inside other requests' bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_PLAN_REQUESTEXTRACT_H
+#define SUS_PLAN_REQUESTEXTRACT_H
+
+#include "hist/Expr.h"
+
+#include <vector>
+
+namespace sus {
+namespace plan {
+
+/// One extracted request site.
+struct RequestSite {
+  const hist::RequestExpr *Site;
+
+  hist::RequestId id() const { return Site->request(); }
+  const hist::PolicyRef &policy() const { return Site->policy(); }
+  const hist::Expr *body() const { return Site->body(); }
+};
+
+/// Collects every open_{r,ϕ}…close_{r,ϕ} subterm of \p E, outermost first,
+/// in left-to-right syntactic order. Each distinct subterm is reported
+/// once (expressions are hash-consed).
+std::vector<RequestSite> extractRequests(const hist::Expr *E);
+
+/// The immediate (non-nested) requests only: requests occurring in \p E
+/// but not inside another request's body. These are the sessions \p E
+/// itself opens; nested ones are opened by the callee services.
+std::vector<RequestSite> extractTopLevelRequests(const hist::Expr *E);
+
+} // namespace plan
+} // namespace sus
+
+#endif // SUS_PLAN_REQUESTEXTRACT_H

@@ -1,0 +1,122 @@
+//===- policy/FramedAutomaton.cpp - The framed monitors of §3.1 -----------===//
+
+#include "policy/FramedAutomaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::policy;
+
+bool FramedAutomaton::encode(const History &Eta, const PolicyRef &Phi,
+                             std::vector<automata::SymbolCode> &Out) const {
+  Out.clear();
+  for (const Label &L : Eta.items()) {
+    switch (L.kind()) {
+    case LabelKind::Event: {
+      auto It = std::find(Universe.begin(), Universe.end(), L.asEvent());
+      if (It == Universe.end())
+        return false;
+      Out.push_back(
+          static_cast<automata::SymbolCode>(It - Universe.begin()));
+      break;
+    }
+    case LabelKind::FrameOpen:
+      if (L.policy() == Phi)
+        Out.push_back(openCode());
+      break;
+    case LabelKind::FrameClose:
+      if (L.policy() == Phi)
+        Out.push_back(closeCode());
+      break;
+    default:
+      break;
+    }
+  }
+  return true;
+}
+
+bool FramedAutomaton::violates(const History &Eta,
+                               const PolicyRef &Phi) const {
+  std::vector<automata::SymbolCode> Word;
+  bool Ok = encode(Eta, Phi, Word);
+  assert(Ok && "history mentions events outside the universe");
+  (void)Ok;
+  // The violation language is prefix-detecting: the violation state is
+  // absorbing and accepting, so membership of the whole word suffices.
+  return Automaton.accepts(Word);
+}
+
+FramedAutomaton
+sus::policy::buildFramedAutomaton(const PolicyInstance &Instance,
+                                  std::vector<hist::Event> Universe,
+                                  unsigned MaxActivation) {
+  assert(MaxActivation >= 1 && "need at least one activation level");
+
+  // Reuse the subset compilation for the event part.
+  CompiledPolicy Compiled = compilePolicy(Instance, std::move(Universe));
+
+  FramedAutomaton Result;
+  Result.Universe = Compiled.Universe;
+
+  const size_t NumEvents = Result.Universe.size();
+  const automata::SymbolCode Open = Result.openCode();
+  const automata::SymbolCode Close = Result.closeCode();
+
+  // States: (compiled state, activation count 0..MaxActivation) plus an
+  // absorbing violation state.
+  std::map<std::pair<automata::StateId, unsigned>, automata::StateId> Index;
+  std::deque<std::pair<automata::StateId, unsigned>> Work;
+
+  automata::StateId Violation = Result.Automaton.addState(true);
+  for (size_t C = 0; C <= NumEvents + 1; ++C)
+    Result.Automaton.setEdge(Violation, static_cast<automata::SymbolCode>(C),
+                             Violation);
+
+  auto Intern = [&](automata::StateId Q, unsigned Act) {
+    auto Key = std::make_pair(Q, Act);
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    automata::StateId Id = Result.Automaton.addState(false);
+    Index.emplace(Key, Id);
+    Work.push_back(Key);
+    return Id;
+  };
+
+  Result.Automaton.setStart(Intern(Compiled.Automaton.start(), 0));
+  while (!Work.empty()) {
+    auto [Q, Act] = Work.front();
+    Work.pop_front();
+    automata::StateId From = Index.at({Q, Act});
+    bool Offending = Compiled.Automaton.isAccepting(Q);
+
+    // Events: step the policy automaton; while active, stepping into an
+    // offending state is a violation.
+    for (size_t C = 0; C < NumEvents; ++C) {
+      automata::StateId QNext =
+          Compiled.Automaton.step(Q, static_cast<automata::SymbolCode>(C));
+      assert(QNext != automata::Dfa::NoState && "compiled DFA is total");
+      bool NextOffending = Compiled.Automaton.isAccepting(QNext);
+      automata::StateId To = (Act > 0 && NextOffending)
+                                 ? Violation
+                                 : Intern(QNext, Act);
+      Result.Automaton.setEdge(From, static_cast<automata::SymbolCode>(C),
+                               To);
+    }
+
+    // ⌊ϕ: history dependence — activating over an already-offending past
+    // violates immediately.
+    unsigned Raised = Act < MaxActivation ? Act + 1 : MaxActivation;
+    Result.Automaton.setEdge(From, Open,
+                             Offending ? Violation : Intern(Q, Raised));
+
+    // ⌋ϕ.
+    unsigned Lowered = Act > 0 ? Act - 1 : 0;
+    Result.Automaton.setEdge(From, Close, Intern(Q, Lowered));
+  }
+  return Result;
+}

@@ -1,0 +1,68 @@
+//===- policy/FramedAutomaton.h - The framed monitors of §3.1 ---*- C++ -*-===//
+///
+/// \file
+/// The "specially-tailored finite state automata" of §3.1: for a policy
+/// instance ϕ, the framed automaton Aϕ[] reads whole histories — events
+/// *and* the framing actions ⌊ϕ/⌋ϕ — and accepts exactly the histories
+/// that violate ϕ-validity. Its states pair the (subset-constructed)
+/// usage-automaton state with the current activation count of ϕ, plus an
+/// absorbing violation state; validity of η is then ordinary automaton
+/// language membership:
+///
+///   |= η   iff   for every mentioned ϕ, η ∉ L(Aϕ[])
+///
+/// Framing depth is finite after the [4] regularization (0/1 per policy);
+/// the construction tracks counts up to a configurable bound to also
+/// handle dynamically re-opened frames.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_POLICY_FRAMEDAUTOMATON_H
+#define SUS_POLICY_FRAMEDAUTOMATON_H
+
+#include "automata/Nfa.h"
+#include "policy/Compile.h"
+#include "policy/History.h"
+
+#include <vector>
+
+namespace sus {
+namespace policy {
+
+/// A framed monitor Aϕ[] over the alphabet  Universe ∪ {⌊ϕ, ⌋ϕ}.
+struct FramedAutomaton {
+  automata::Dfa Automaton; ///< Accepting = history violates ϕ-validity.
+  std::vector<hist::Event> Universe;
+
+  /// Symbol codes: events are [0, Universe.size()); then ⌊ϕ and ⌋ϕ.
+  automata::SymbolCode openCode() const {
+    return static_cast<automata::SymbolCode>(Universe.size());
+  }
+  automata::SymbolCode closeCode() const {
+    return static_cast<automata::SymbolCode>(Universe.size() + 1);
+  }
+
+  /// Encodes a history for this automaton. Events must come from the
+  /// universe; framings of *other* policies are skipped (they do not
+  /// affect ϕ-validity). Returns false if an event is outside the
+  /// universe.
+  bool encode(const History &Eta, const hist::PolicyRef &Phi,
+              std::vector<automata::SymbolCode> &Out) const;
+
+  /// True if \p Eta violates ϕ-validity according to the automaton.
+  /// Events outside the universe make this fail an assert.
+  bool violates(const History &Eta, const hist::PolicyRef &Phi) const;
+};
+
+/// Builds Aϕ[] for \p Instance over \p Universe. \p MaxActivation bounds
+/// the tracked nesting of ϕ frames (deeper re-openings saturate, which is
+/// exact as long as real nesting stays below the bound; regularized
+/// expressions need only 1).
+FramedAutomaton buildFramedAutomaton(const PolicyInstance &Instance,
+                                     std::vector<hist::Event> Universe,
+                                     unsigned MaxActivation = 8);
+
+} // namespace policy
+} // namespace sus
+
+#endif // SUS_POLICY_FRAMEDAUTOMATON_H

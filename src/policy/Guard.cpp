@@ -1,0 +1,217 @@
+//===- policy/Guard.cpp - Usage-automaton edge guards --------------------===//
+
+#include "policy/Guard.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sus;
+using namespace sus::policy;
+
+bool sus::policy::evalCmp(CmpOp Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case CmpOp::LT:
+    return A < B;
+  case CmpOp::LE:
+    return A <= B;
+  case CmpOp::GT:
+    return A > B;
+  case CmpOp::GE:
+    return A >= B;
+  case CmpOp::EQ:
+    return A == B;
+  case CmpOp::NE:
+    return A != B;
+  }
+  return false;
+}
+
+const char *sus::policy::cmpOpSpelling(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::LT:
+    return "<";
+  case CmpOp::LE:
+    return "<=";
+  case CmpOp::GT:
+    return ">";
+  case CmpOp::GE:
+    return ">=";
+  case CmpOp::EQ:
+    return "==";
+  case CmpOp::NE:
+    return "!=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool valueInList(const Value &V, const std::vector<Value> &Values) {
+  return std::find(Values.begin(), Values.end(), V) != Values.end();
+}
+
+} // namespace
+
+bool GuardAtom::eval(const Value &Arg, const PolicyArgs &Args) const {
+  switch (K) {
+  case Kind::True:
+    return true;
+  case Kind::InParam:
+  case Kind::NotInParam: {
+    if (ParamIndex >= Args.size())
+      return false;
+    bool In = valueInList(Arg, Args[ParamIndex]);
+    return K == Kind::InParam ? In : !In;
+  }
+  case Kind::CmpParam: {
+    if (ParamIndex >= Args.size() || Args[ParamIndex].size() != 1)
+      return false;
+    const Value &Param = Args[ParamIndex].front();
+    if (!Arg.isInt() || !Param.isInt())
+      return false;
+    return evalCmp(Op, Arg.asInt(), Param.asInt());
+  }
+  case Kind::CmpConst: {
+    assert(Constants.size() == 1 && "CmpConst takes one constant");
+    if (!Arg.isInt() || !Constants.front().isInt())
+      return false;
+    return evalCmp(Op, Arg.asInt(), Constants.front().asInt());
+  }
+  case Kind::InConst:
+    return valueInList(Arg, Constants);
+  case Kind::NotInConst:
+    return !valueInList(Arg, Constants);
+  }
+  return false;
+}
+
+std::string GuardAtom::str(const StringInterner &Interner,
+                           const std::vector<Symbol> &ParamNames) const {
+  auto ParamName = [&](unsigned I) -> std::string {
+    if (I < ParamNames.size())
+      return std::string(Interner.text(ParamNames[I]));
+    return "$" + std::to_string(I);
+  };
+  auto ConstList = [&]() {
+    std::string Out = "{";
+    for (size_t I = 0; I < Constants.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += Constants[I].str(Interner);
+    }
+    return Out + "}";
+  };
+
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::InParam:
+    return "x in " + ParamName(ParamIndex);
+  case Kind::NotInParam:
+    return "x not in " + ParamName(ParamIndex);
+  case Kind::CmpParam:
+    return std::string("x ") + cmpOpSpelling(Op) + " " +
+           ParamName(ParamIndex);
+  case Kind::CmpConst:
+    return std::string("x ") + cmpOpSpelling(Op) + " " +
+           Constants.front().str(Interner);
+  case Kind::InConst:
+    return "x in " + ConstList();
+  case Kind::NotInConst:
+    return "x not in " + ConstList();
+  }
+  return "?";
+}
+
+Guard Guard::inParam(unsigned ParamIndex) {
+  Guard G;
+  GuardAtom A;
+  A.K = GuardAtom::Kind::InParam;
+  A.ParamIndex = ParamIndex;
+  G.Atoms.push_back(std::move(A));
+  return G;
+}
+
+Guard Guard::notInParam(unsigned ParamIndex) {
+  Guard G;
+  GuardAtom A;
+  A.K = GuardAtom::Kind::NotInParam;
+  A.ParamIndex = ParamIndex;
+  G.Atoms.push_back(std::move(A));
+  return G;
+}
+
+Guard Guard::cmpParam(CmpOp Op, unsigned ParamIndex) {
+  Guard G;
+  GuardAtom A;
+  A.K = GuardAtom::Kind::CmpParam;
+  A.Op = Op;
+  A.ParamIndex = ParamIndex;
+  G.Atoms.push_back(std::move(A));
+  return G;
+}
+
+Guard Guard::cmpConst(CmpOp Op, Value Constant) {
+  Guard G;
+  GuardAtom A;
+  A.K = GuardAtom::Kind::CmpConst;
+  A.Op = Op;
+  A.Constants.push_back(Constant);
+  G.Atoms.push_back(std::move(A));
+  return G;
+}
+
+Guard Guard::inConst(std::vector<Value> Constants) {
+  Guard G;
+  GuardAtom A;
+  A.K = GuardAtom::Kind::InConst;
+  A.Constants = std::move(Constants);
+  G.Atoms.push_back(std::move(A));
+  return G;
+}
+
+Guard Guard::notInConst(std::vector<Value> Constants) {
+  Guard G;
+  GuardAtom A;
+  A.K = GuardAtom::Kind::NotInConst;
+  A.Constants = std::move(Constants);
+  G.Atoms.push_back(std::move(A));
+  return G;
+}
+
+Guard Guard::operator&&(const Guard &Other) const {
+  Guard G = *this;
+  G.Atoms.insert(G.Atoms.end(), Other.Atoms.begin(), Other.Atoms.end());
+  return G;
+}
+
+bool Guard::eval(const Value &Arg, const PolicyArgs &Args) const {
+  for (const GuardAtom &A : Atoms)
+    if (!A.eval(Arg, Args))
+      return false;
+  return true;
+}
+
+int Guard::maxParamIndex() const {
+  int Max = -1;
+  for (const GuardAtom &A : Atoms) {
+    if (A.K == GuardAtom::Kind::InParam ||
+        A.K == GuardAtom::Kind::NotInParam ||
+        A.K == GuardAtom::Kind::CmpParam)
+      Max = std::max(Max, static_cast<int>(A.ParamIndex));
+  }
+  return Max;
+}
+
+std::string Guard::str(const StringInterner &Interner,
+                       const std::vector<Symbol> &ParamNames) const {
+  if (Atoms.empty())
+    return "true";
+  std::string Out;
+  for (size_t I = 0; I < Atoms.size(); ++I) {
+    if (I != 0)
+      Out += " and ";
+    Out += Atoms[I].str(Interner, ParamNames);
+  }
+  return Out;
+}

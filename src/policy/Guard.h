@@ -1,0 +1,105 @@
+//===- policy/Guard.h - Usage-automaton edge guards -------------*- C++ -*-===//
+///
+/// \file
+/// Guards on usage-automaton edges (Fig. 1): predicates over the event's
+/// parameter, possibly referring to the policy's formal parameters (e.g.
+/// `x ∈ bl`, `y ≤ p`, `z < t`). A guard is a conjunction of atoms; it is
+/// evaluated against the concrete event argument once the policy is
+/// instantiated with actual parameter values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_POLICY_GUARD_H
+#define SUS_POLICY_GUARD_H
+
+#include "support/StringInterner.h"
+#include "support/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sus {
+namespace policy {
+
+/// Comparison operators usable in guard atoms.
+enum class CmpOp : uint8_t { LT, LE, GT, GE, EQ, NE };
+
+/// Evaluates `A Op B` over two integer values.
+bool evalCmp(CmpOp Op, int64_t A, int64_t B);
+
+/// Renders an operator ("<", "<=", ...).
+const char *cmpOpSpelling(CmpOp Op);
+
+/// The actual arguments of an instantiated policy: one (sorted) value list
+/// per formal parameter; scalar parameters are singleton lists.
+using PolicyArgs = std::vector<std::vector<Value>>;
+
+/// One atomic predicate over the event argument.
+struct GuardAtom {
+  enum class Kind : uint8_t {
+    True,       ///< Always satisfied.
+    InParam,    ///< arg ∈ P_i (set-valued parameter).
+    NotInParam, ///< arg ∉ P_i.
+    CmpParam,   ///< arg Op P_i (scalar integer parameter).
+    CmpConst,   ///< arg Op constant.
+    InConst,    ///< arg ∈ {constants}.
+    NotInConst, ///< arg ∉ {constants}.
+  };
+
+  Kind K = Kind::True;
+  unsigned ParamIndex = 0;      ///< For *Param kinds.
+  CmpOp Op = CmpOp::EQ;         ///< For Cmp* kinds.
+  std::vector<Value> Constants; ///< For *Const kinds.
+
+  /// Evaluates the atom; a type mismatch (e.g. comparing a name with a
+  /// number) makes the atom false rather than an error.
+  bool eval(const Value &Arg, const PolicyArgs &Args) const;
+
+  std::string str(const StringInterner &Interner,
+                  const std::vector<Symbol> &ParamNames) const;
+};
+
+/// A conjunction of atoms; the empty conjunction is `true`.
+class Guard {
+public:
+  Guard() = default;
+
+  /// The trivially-true guard.
+  static Guard always() { return Guard(); }
+
+  /// arg ∈ parameter \p ParamIndex.
+  static Guard inParam(unsigned ParamIndex);
+  /// arg ∉ parameter \p ParamIndex.
+  static Guard notInParam(unsigned ParamIndex);
+  /// arg Op parameter \p ParamIndex.
+  static Guard cmpParam(CmpOp Op, unsigned ParamIndex);
+  /// arg Op constant.
+  static Guard cmpConst(CmpOp Op, Value Constant);
+  /// arg ∈ constant set.
+  static Guard inConst(std::vector<Value> Constants);
+  /// arg ∉ constant set.
+  static Guard notInConst(std::vector<Value> Constants);
+
+  /// Conjunction of this guard with \p Other.
+  Guard operator&&(const Guard &Other) const;
+
+  bool eval(const Value &Arg, const PolicyArgs &Args) const;
+
+  bool isAlwaysTrue() const { return Atoms.empty(); }
+  const std::vector<GuardAtom> &atoms() const { return Atoms; }
+
+  /// Largest parameter index mentioned, or -1 if none.
+  int maxParamIndex() const;
+
+  std::string str(const StringInterner &Interner,
+                  const std::vector<Symbol> &ParamNames) const;
+
+private:
+  std::vector<GuardAtom> Atoms;
+};
+
+} // namespace policy
+} // namespace sus
+
+#endif // SUS_POLICY_GUARD_H

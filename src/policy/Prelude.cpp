@@ -1,0 +1,79 @@
+//===- policy/Prelude.cpp - Canonical policy shapes -----------------------===//
+
+#include "policy/Prelude.h"
+
+using namespace sus;
+using namespace sus::policy;
+
+UsageAutomaton sus::policy::makeHotelPolicy(StringInterner &Interner,
+                                            std::string_view Name) {
+  std::vector<PolicyParam> Params = {
+      {Interner.intern("bl"), /*IsSet=*/true},
+      {Interner.intern("p"), /*IsSet=*/false},
+      {Interner.intern("t"), /*IsSet=*/false},
+  };
+  UsageAutomaton A(Interner.intern(Name), std::move(Params));
+
+  // States follow Fig. 1's q1..q6; q6 is the offending sink.
+  UStateId Q1 = A.addState("q1");
+  UStateId Q2 = A.addState("q2");
+  UStateId Q3 = A.addState("q3");
+  UStateId Q4 = A.addState("q4");
+  UStateId Q5 = A.addState("q5");
+  UStateId Q6 = A.addState("q6", /*Offending=*/true);
+  A.setStart(Q1);
+
+  Symbol Sgn = Interner.intern("sgn");
+  Symbol Price = Interner.intern("p");
+  Symbol Rating = Interner.intern("ta");
+
+  // q1 --sgn(x), x∉bl--> q2 ; q1 --sgn(x), x∈bl--> q6.
+  A.addEdge(Q1, Sgn, Guard::notInParam(0), Q2);
+  A.addEdge(Q1, Sgn, Guard::inParam(0), Q6);
+  // q2 --p(y), y≤p--> q3 ; q2 --p(y), y>p--> q4.
+  A.addEdge(Q2, Price, Guard::cmpParam(CmpOp::LE, 1), Q3);
+  A.addEdge(Q2, Price, Guard::cmpParam(CmpOp::GT, 1), Q4);
+  // q3 --*--> q3 (explicit in Fig. 1; also the implicit self-loop).
+  A.addWildcardEdge(Q3, Q3);
+  // q4 --ta(z), z≥t--> q5 ; q4 --ta(z), z<t--> q6.
+  A.addEdge(Q4, Rating, Guard::cmpParam(CmpOp::GE, 2), Q5);
+  A.addEdge(Q4, Rating, Guard::cmpParam(CmpOp::LT, 2), Q6);
+  // q5 --*--> q5 ; q6 --*--> q6.
+  A.addWildcardEdge(Q5, Q5);
+  A.addWildcardEdge(Q6, Q6);
+  return A;
+}
+
+UsageAutomaton sus::policy::makeNeverAfterPolicy(StringInterner &Interner,
+                                                 std::string_view Name,
+                                                 std::string_view Before,
+                                                 std::string_view After) {
+  UsageAutomaton A(Interner.intern(Name), {});
+  UStateId Q0 = A.addState("idle");
+  UStateId Q1 = A.addState("seen");
+  UStateId Q2 = A.addState("bad", /*Offending=*/true);
+  A.setStart(Q0);
+  A.addEdge(Q0, Interner.intern(Before), Guard::always(), Q1);
+  A.addEdge(Q1, Interner.intern(After), Guard::always(), Q2);
+  A.addWildcardEdge(Q2, Q2);
+  return A;
+}
+
+UsageAutomaton sus::policy::makeAtMostPolicy(StringInterner &Interner,
+                                             std::string_view Name,
+                                             std::string_view EventName,
+                                             unsigned Limit) {
+  UsageAutomaton A(Interner.intern(Name), {});
+  Symbol Ev = Interner.intern(EventName);
+  // Limit+2 states: counts 0..Limit, then the offending overflow state.
+  std::vector<UStateId> Counts;
+  for (unsigned I = 0; I <= Limit; ++I)
+    Counts.push_back(A.addState("count" + std::to_string(I)));
+  UStateId Bad = A.addState("overflow", /*Offending=*/true);
+  A.setStart(Counts.front());
+  for (unsigned I = 0; I < Limit; ++I)
+    A.addEdge(Counts[I], Ev, Guard::always(), Counts[I + 1]);
+  A.addEdge(Counts[Limit], Ev, Guard::always(), Bad);
+  A.addWildcardEdge(Bad, Bad);
+  return A;
+}

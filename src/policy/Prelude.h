@@ -1,0 +1,45 @@
+//===- policy/Prelude.h - Canonical policy shapes ---------------*- C++ -*-===//
+///
+/// \file
+/// Ready-made usage automata used throughout the examples, tests and
+/// benchmarks:
+///  - the paper's Fig. 1 hotel-booking policy ϕ(bl, p, t);
+///  - "never e2 after e1" (the §3 running example);
+///  - "at most N occurrences of e".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_POLICY_PRELUDE_H
+#define SUS_POLICY_PRELUDE_H
+
+#include "policy/UsageAutomaton.h"
+#include "support/StringInterner.h"
+
+namespace sus {
+namespace policy {
+
+/// Builds Fig. 1's ϕ(bl, p, t):
+///  - signing a black-listed hotel (α_sgn(x), x ∈ bl) violates;
+///  - a price above p (α_p(y), y > p) followed by a rating below t
+///    (α_ta(z), z < t) violates.
+/// Parameters: bl (set), p (scalar), t (scalar).
+/// Events: α_sgn, α_p, α_ta (names are interned as "sgn", "p", "ta").
+UsageAutomaton makeHotelPolicy(StringInterner &Interner,
+                               std::string_view Name = "phi");
+
+/// "Never \p After after \p Before": e.g. never write after read.
+/// No parameters.
+UsageAutomaton makeNeverAfterPolicy(StringInterner &Interner,
+                                    std::string_view Name,
+                                    std::string_view Before,
+                                    std::string_view After);
+
+/// "At most \p Limit occurrences of event \p EventName". No parameters.
+UsageAutomaton makeAtMostPolicy(StringInterner &Interner,
+                                std::string_view Name,
+                                std::string_view EventName, unsigned Limit);
+
+} // namespace policy
+} // namespace sus
+
+#endif // SUS_POLICY_PRELUDE_H

@@ -1,0 +1,143 @@
+//===- policy/Validity.cpp - The validity relation |= η -------------------===//
+
+#include "policy/Validity.h"
+
+#include <cassert>
+
+using namespace sus;
+using namespace sus::policy;
+using hist::Label;
+using hist::LabelKind;
+using hist::PolicyRef;
+
+ValidityChecker::TrackedPolicy *
+ValidityChecker::track(const PolicyRef &Ref) {
+  for (TrackedPolicy &T : Tracked)
+    if (T.Ref == Ref)
+      return &T;
+  std::optional<PolicyInstance> Inst =
+      Registry.instantiate(Ref, Interner, Diags);
+  if (!Inst)
+    return nullptr;
+  Tracked.push_back({Ref, PolicyMonitor(std::move(*Inst)), 0});
+  // History dependence: the new monitor must account for every event that
+  // happened before its frame first opened.
+  Tracked.back().Monitor.run(EventsSoFar);
+  return &Tracked.back();
+}
+
+const ValidityChecker::TrackedPolicy *
+ValidityChecker::findTracked(const PolicyRef &Ref) const {
+  for (const TrackedPolicy &T : Tracked)
+    if (T.Ref == Ref)
+      return &T;
+  return nullptr;
+}
+
+bool ValidityChecker::append(const Label &L) {
+  assert(L.isHistoryRelevant() && "validity consumes events and framings");
+  size_t Index = Position++;
+  if (Violation)
+    return false;
+
+  switch (L.kind()) {
+  case LabelKind::Event: {
+    EventsSoFar.push_back(L.asEvent());
+    for (TrackedPolicy &T : Tracked) {
+      // Every monitor tracks the full history, active or not.
+      T.Monitor.step(L.asEvent());
+      if (T.ActiveCount > 0 && T.Monitor.isOffending()) {
+        Violation = ValidityViolation{Index, T.Ref};
+        return false;
+      }
+    }
+    return true;
+  }
+
+  case LabelKind::FrameOpen: {
+    if (L.policy().isTrivial())
+      return true; // The ∅ policy constrains nothing.
+    TrackedPolicy *T = track(L.policy());
+    if (!T) {
+      Violation = ValidityViolation{Index, L.policy()};
+      return false;
+    }
+    ++T->ActiveCount;
+    // History dependence: all the actions performed so far must already
+    // respect the newly-activated policy.
+    if (T->Monitor.isOffending()) {
+      Violation = ValidityViolation{Index, T->Ref};
+      return false;
+    }
+    return true;
+  }
+
+  case LabelKind::FrameClose: {
+    if (L.policy().isTrivial())
+      return true;
+    for (TrackedPolicy &T : Tracked)
+      if (T.Ref == L.policy() && T.ActiveCount > 0) {
+        --T.ActiveCount;
+        break;
+      }
+    return true;
+  }
+
+  default:
+    break;
+  }
+  return true;
+}
+
+bool ValidityChecker::wouldRemainValid(const Label &L) const {
+  if (Violation)
+    return false;
+
+  switch (L.kind()) {
+  case LabelKind::Event: {
+    for (const TrackedPolicy &T : Tracked) {
+      if (T.ActiveCount == 0)
+        continue;
+      PolicyMonitor Probe = T.Monitor;
+      Probe.step(L.asEvent());
+      if (Probe.isOffending())
+        return false;
+    }
+    return true;
+  }
+
+  case LabelKind::FrameOpen: {
+    if (L.policy().isTrivial())
+      return true;
+    if (const TrackedPolicy *T = findTracked(L.policy()))
+      return !T->Monitor.isOffending();
+    std::optional<PolicyInstance> Inst =
+        Registry.instantiate(L.policy(), Interner, nullptr);
+    if (!Inst)
+      return false;
+    PolicyMonitor Probe(std::move(*Inst));
+    Probe.run(EventsSoFar);
+    return !Probe.isOffending();
+  }
+
+  case LabelKind::FrameClose:
+    return true;
+
+  default:
+    assert(L.isHistoryRelevant() && "validity consumes events and framings");
+    return true;
+  }
+}
+
+ValidityResult sus::policy::checkValidity(const History &Eta,
+                                          const PolicyRegistry &Registry,
+                                          const StringInterner &Interner,
+                                          DiagnosticEngine *Diags) {
+  ValidityChecker Checker(Registry, Interner, Diags);
+  for (const Label &L : Eta.items())
+    Checker.append(L);
+  ValidityResult Result;
+  Result.Valid = Checker.isValid();
+  Result.Violation = Checker.violation();
+  return Result;
+}

@@ -1,0 +1,99 @@
+//===- policy/Validity.h - The validity relation |= η -----------*- C++ -*-===//
+///
+/// \file
+/// The history validity relation of §3.1:
+///
+///   η is valid (|= η) when ∀ η0 η1 with η0η1 = η and ∀ ϕ ∈ AP(η0),
+///   η0♭ |= ϕ.
+///
+/// Security is history-dependent: each policy monitor consumes the whole
+/// flattened history from the start, and a violation occurs whenever a
+/// monitor is offending while its policy is active — including at the very
+/// instant the framing opens (the paper's γ α ⌊ϕ β ⌋ϕ example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_POLICY_VALIDITY_H
+#define SUS_POLICY_VALIDITY_H
+
+#include "policy/History.h"
+#include "policy/UsageAutomaton.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace sus {
+namespace policy {
+
+/// Where and why a history fails validity.
+struct ValidityViolation {
+  size_t Index;           ///< Position in η of the offending prefix end.
+  hist::PolicyRef Policy; ///< The violated active policy.
+};
+
+/// Outcome of a validity check.
+struct ValidityResult {
+  bool Valid = true;
+  std::optional<ValidityViolation> Violation;
+
+  explicit operator bool() const { return Valid; }
+};
+
+/// Incrementally checks |= η as a history grows. Wraps one monitor per
+/// policy instance mentioned so far plus the active-policy multiset; each
+/// appended label is processed in O(#policies · |automaton|).
+class ValidityChecker {
+public:
+  ValidityChecker(const PolicyRegistry &Registry,
+                  const StringInterner &Interner,
+                  DiagnosticEngine *Diags = nullptr)
+      : Registry(Registry), Interner(Interner), Diags(Diags) {}
+
+  /// Feeds the next label of η. Returns false if validity is (now)
+  /// broken; once broken, stays broken.
+  bool append(const hist::Label &L);
+
+  /// True while every prefix seen so far is valid.
+  bool isValid() const { return !Violation.has_value(); }
+
+  const std::optional<ValidityViolation> &violation() const {
+    return Violation;
+  }
+
+  /// Number of labels consumed.
+  size_t position() const { return Position; }
+
+  /// Would appending \p L keep the history valid? (No state change.)
+  bool wouldRemainValid(const hist::Label &L) const;
+
+private:
+  struct TrackedPolicy {
+    hist::PolicyRef Ref;
+    PolicyMonitor Monitor;
+    unsigned ActiveCount = 0;
+  };
+
+  TrackedPolicy *track(const hist::PolicyRef &Ref);
+  const TrackedPolicy *findTracked(const hist::PolicyRef &Ref) const;
+
+  const PolicyRegistry &Registry;
+  const StringInterner &Interner;
+  DiagnosticEngine *Diags;
+  std::vector<TrackedPolicy> Tracked;
+  std::vector<hist::Event> EventsSoFar;
+  std::optional<ValidityViolation> Violation;
+  size_t Position = 0;
+};
+
+/// Checks |= η for a complete history. \p Diags (optional) receives
+/// resolution errors for unknown policies; an unresolvable framing makes
+/// the history invalid at that index.
+ValidityResult checkValidity(const History &Eta,
+                             const PolicyRegistry &Registry,
+                             const StringInterner &Interner,
+                             DiagnosticEngine *Diags = nullptr);
+
+} // namespace policy
+} // namespace sus
+
+#endif // SUS_POLICY_VALIDITY_H

@@ -1,0 +1,64 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled replacement for C++ RTTI in the style of LLVM's
+/// llvm/Support/Casting.h. A class hierarchy opts in by exposing a kind
+/// discriminator and a static `classof(const Base *)` predicate on each
+/// derived class; `isa<>`, `cast<>` and `dyn_cast<>` then dispatch on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_CASTING_H
+#define SUS_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace sus {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && To::classof(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast_if_present<>, const overload.
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace sus
+
+#endif // SUS_SUPPORT_CASTING_H

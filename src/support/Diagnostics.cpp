@@ -1,0 +1,32 @@
+//===- support/Diagnostics.cpp - Diagnostics engine ----------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace sus;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back({Severity, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ":" << D.Loc.Col << ": ";
+    OS << severityName(D.Severity) << ": " << D.Message << "\n";
+  }
+}

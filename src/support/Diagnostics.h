@@ -1,0 +1,87 @@
+//===- support/Diagnostics.h - Diagnostics engine ---------------*- C++ -*-===//
+///
+/// \file
+/// Diagnostic collection for the DSL front end and the verifier. Library
+/// code never prints or aborts on user errors: it reports into a
+/// DiagnosticEngine and returns failure, letting tools decide how to render.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_DIAGNOSTICS_H
+#define SUS_SUPPORT_DIAGNOSTICS_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sus {
+
+/// A location in a DSL source buffer (1-based; 0 means "unknown").
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+/// Severity of a diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// A single rendered diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics; owned by the tool or test driver.
+class DiagnosticEngine {
+public:
+  /// Reports a diagnostic at \p Loc. Messages follow the LLVM style: start
+  /// lowercase, no trailing period.
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  /// Reports an error with no location.
+  void error(std::string Message) {
+    report(DiagSeverity::Error, SourceLoc(), std::move(Message));
+  }
+
+  /// Reports an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+
+  /// Reports a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+
+  /// Reports a note at \p Loc.
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines.
+  void print(std::ostream &OS) const;
+
+  /// Drops all collected diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace sus
+
+#endif // SUS_SUPPORT_DIAGNOSTICS_H

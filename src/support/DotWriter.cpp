@@ -1,0 +1,52 @@
+//===- support/DotWriter.cpp - Graphviz DOT emission ---------------------===//
+
+#include "support/DotWriter.h"
+
+using namespace sus;
+
+std::string DotWriter::escape(std::string_view Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (char C : Str) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void DotWriter::node(std::string_view Id, std::string_view Label,
+                     std::string_view Attrs) {
+  std::string Line = "  \"" + escape(Id) + "\" [label=\"" + escape(Label) +
+                     "\"";
+  if (!Attrs.empty()) {
+    Line += ", ";
+    Line += Attrs;
+  }
+  Line += "];";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::edge(std::string_view From, std::string_view To,
+                     std::string_view Label, std::string_view Attrs) {
+  std::string Line = "  \"" + escape(From) + "\" -> \"" + escape(To) +
+                     "\" [label=\"" + escape(Label) + "\"";
+  if (!Attrs.empty()) {
+    Line += ", ";
+    Line += Attrs;
+  }
+  Line += "];";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::print(std::ostream &OS) const {
+  OS << "digraph \"" << escape(Name) << "\" {\n";
+  OS << "  rankdir=LR;\n";
+  for (const std::string &Line : Lines)
+    OS << Line << "\n";
+  OS << "}\n";
+}

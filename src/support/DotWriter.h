@@ -1,0 +1,46 @@
+//===- support/DotWriter.h - Graphviz DOT emission --------------*- C++ -*-===//
+///
+/// \file
+/// Minimal builder for Graphviz DOT digraphs; used to visualize usage
+/// automata, history-expression LTSs and compliance product automata.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_DOTWRITER_H
+#define SUS_SUPPORT_DOTWRITER_H
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sus {
+
+/// Accumulates nodes and edges, then renders a `digraph`.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+  /// Adds a node; \p Attrs is a raw attribute list like
+  /// `shape=doublecircle`. The label is escaped.
+  void node(std::string_view Id, std::string_view Label,
+            std::string_view Attrs = {});
+
+  /// Adds an edge with an escaped label.
+  void edge(std::string_view From, std::string_view To,
+            std::string_view Label, std::string_view Attrs = {});
+
+  /// Renders the whole digraph.
+  void print(std::ostream &OS) const;
+
+  /// Escapes a string for use inside a DOT double-quoted literal.
+  static std::string escape(std::string_view Str);
+
+private:
+  std::string Name;
+  std::vector<std::string> Lines;
+};
+
+} // namespace sus
+
+#endif // SUS_SUPPORT_DOTWRITER_H

@@ -1,0 +1,29 @@
+//===- support/StringInterner.cpp - String interning table ---------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace sus;
+
+Symbol StringInterner::intern(std::string_view Str) {
+  auto It = Table.find(Str);
+  if (It != Table.end())
+    return It->second;
+
+  assert(Storage.size() < ~0u && "interner overflow");
+  Storage.emplace_back(Str);
+  Symbol S(static_cast<uint32_t>(Storage.size() - 1));
+  Table.emplace(std::string_view(Storage.back()), S);
+  return S;
+}
+
+std::string_view StringInterner::text(Symbol S) const {
+  assert(S.isValid() && S.id() < Storage.size() && "foreign symbol");
+  return Storage[S.id()];
+}
+
+Symbol StringInterner::lookup(std::string_view Str) const {
+  auto It = Table.find(Str);
+  return It == Table.end() ? Symbol() : It->second;
+}

@@ -1,0 +1,52 @@
+//===- support/StringInterner.h - String interning table --------*- C++ -*-===//
+///
+/// \file
+/// Uniquing table mapping strings to Symbols and back. All names in a
+/// verification session live in one interner so symbol equality is identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_STRINGINTERNER_H
+#define SUS_SUPPORT_STRINGINTERNER_H
+
+#include "support/Symbol.h"
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sus {
+
+/// Owns the storage for every interned string and hands out stable Symbols.
+///
+/// Not thread-safe; a verification session owns exactly one interner
+/// (usually via hist::HistContext).
+class StringInterner {
+public:
+  StringInterner() = default;
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p Str, returning the same Symbol for equal strings.
+  Symbol intern(std::string_view Str);
+
+  /// Returns the string for a symbol produced by this interner.
+  std::string_view text(Symbol S) const;
+
+  /// Returns the symbol for \p Str if already interned, else an invalid one.
+  Symbol lookup(std::string_view Str) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return Storage.size(); }
+
+private:
+  // Deque: element addresses are stable under growth, so the string_view
+  // keys in Table remain valid (short strings live inline in std::string).
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, Symbol> Table;
+};
+
+} // namespace sus
+
+#endif // SUS_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,53 @@
+//===- support/Symbol.h - Interned string handles ---------------*- C++ -*-===//
+///
+/// \file
+/// Interned identifiers. A Symbol is a 32-bit index into a StringInterner;
+/// comparing two symbols from the same interner is O(1). Symbols identify
+/// channels, events, locations, policies and recursion variables throughout
+/// the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_SYMBOL_H
+#define SUS_SUPPORT_SYMBOL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace sus {
+
+/// A lightweight handle to an interned string.
+///
+/// The default-constructed symbol is the invalid sentinel; every symbol
+/// produced by a StringInterner is valid.
+class Symbol {
+public:
+  Symbol() = default;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  /// Returns true if this symbol was produced by an interner.
+  bool isValid() const { return Id != InvalidId; }
+
+  /// Raw index into the owning interner's table.
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  static constexpr uint32_t InvalidId = ~0u;
+  uint32_t Id = InvalidId;
+};
+
+} // namespace sus
+
+namespace std {
+template <> struct hash<sus::Symbol> {
+  size_t operator()(sus::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.id());
+  }
+};
+} // namespace std
+
+#endif // SUS_SUPPORT_SYMBOL_H

@@ -1,0 +1,137 @@
+//===- support/Value.h - Event/policy parameter values ----------*- C++ -*-===//
+///
+/// \file
+/// The values that parameterize events and policies. The paper's example
+/// uses both entity names (hotels in a black list) and numbers (prices,
+/// ratings), so a Value is none, a 64-bit integer, or an interned name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_VALUE_H
+#define SUS_SUPPORT_VALUE_H
+
+#include "support/HashUtil.h"
+#include "support/StringInterner.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sus {
+
+/// A closed event/policy parameter: nothing, an integer, or a name.
+class Value {
+public:
+  enum class Kind : uint8_t { None, Int, Name };
+
+  /// The "no argument" value (events like `Req` carry it).
+  Value() = default;
+
+  /// An integer value (prices, ratings, thresholds).
+  static Value integer(int64_t N) {
+    Value V;
+    V.ValueKind = Kind::Int;
+    V.Int = N;
+    return V;
+  }
+
+  /// A named value (service identities such as `s1`).
+  static Value name(Symbol S) {
+    assert(S.isValid() && "named value requires a valid symbol");
+    Value V;
+    V.ValueKind = Kind::Name;
+    V.Sym = S;
+    return V;
+  }
+
+  Kind kind() const { return ValueKind; }
+  bool isNone() const { return ValueKind == Kind::None; }
+  bool isInt() const { return ValueKind == Kind::Int; }
+  bool isName() const { return ValueKind == Kind::Name; }
+
+  int64_t asInt() const {
+    assert(isInt() && "not an integer value");
+    return Int;
+  }
+
+  Symbol asName() const {
+    assert(isName() && "not a named value");
+    return Sym;
+  }
+
+  friend bool operator==(const Value &A, const Value &B) {
+    if (A.ValueKind != B.ValueKind)
+      return false;
+    switch (A.ValueKind) {
+    case Kind::None:
+      return true;
+    case Kind::Int:
+      return A.Int == B.Int;
+    case Kind::Name:
+      return A.Sym == B.Sym;
+    }
+    return false;
+  }
+
+  friend bool operator!=(const Value &A, const Value &B) { return !(A == B); }
+
+  /// Total order (for canonical sorting inside sets); kinds order before
+  /// payloads.
+  friend bool operator<(const Value &A, const Value &B) {
+    if (A.ValueKind != B.ValueKind)
+      return static_cast<int>(A.ValueKind) < static_cast<int>(B.ValueKind);
+    switch (A.ValueKind) {
+    case Kind::None:
+      return false;
+    case Kind::Int:
+      return A.Int < B.Int;
+    case Kind::Name:
+      return A.Sym < B.Sym;
+    }
+    return false;
+  }
+
+  size_t hash() const {
+    size_t Seed = static_cast<size_t>(ValueKind);
+    switch (ValueKind) {
+    case Kind::None:
+      break;
+    case Kind::Int:
+      hashCombineValue(Seed, Int);
+      break;
+    case Kind::Name:
+      hashCombineValue(Seed, Sym.id());
+      break;
+    }
+    return Seed;
+  }
+
+  /// Renders the value; names are resolved through \p Interner.
+  std::string str(const StringInterner &Interner) const {
+    switch (ValueKind) {
+    case Kind::None:
+      return "";
+    case Kind::Int:
+      return std::to_string(Int);
+    case Kind::Name:
+      return std::string(Interner.text(Sym));
+    }
+    return "";
+  }
+
+private:
+  Kind ValueKind = Kind::None;
+  int64_t Int = 0;
+  Symbol Sym;
+};
+
+} // namespace sus
+
+namespace std {
+template <> struct hash<sus::Value> {
+  size_t operator()(const sus::Value &V) const noexcept { return V.hash(); }
+};
+} // namespace std
+
+#endif // SUS_SUPPORT_VALUE_H

@@ -1,0 +1,463 @@
+//===- syntax/FileParser.cpp - .sus network file parser -------------------===//
+
+#include "syntax/FileParser.h"
+
+#include "hist/WellFormed.h"
+#include "lambda/TypeEffect.h"
+#include "syntax/HistParser.h"
+#include "syntax/LambdaParser.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::policy;
+using namespace sus::syntax;
+
+namespace {
+
+class FileParser : public ParserBase {
+public:
+  FileParser(const std::vector<Token> &Tokens, HistContext &Ctx,
+             DiagnosticEngine &Diags)
+      : ParserBase(Tokens, Diags), Ctx(Ctx), Lambda(Ctx) {}
+
+  std::optional<SusFile> parse() {
+    SusFile File;
+    while (!atEof()) {
+      if (peek().isIdent("policy")) {
+        if (!parsePolicy(File))
+          return std::nullopt;
+        continue;
+      }
+      if (peek().isIdent("service") || peek().isIdent("client")) {
+        if (!parseBehavior(File))
+          return std::nullopt;
+        continue;
+      }
+      if (peek().isIdent("program")) {
+        if (!parseProgram(File))
+          return std::nullopt;
+        continue;
+      }
+      if (peek().isIdent("plan")) {
+        if (!parsePlan(File))
+          return std::nullopt;
+        continue;
+      }
+      error("expected 'policy', 'service', 'client', 'program' or 'plan'");
+      return std::nullopt;
+    }
+    return File;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // policy
+  //===--------------------------------------------------------------------===//
+
+  bool parsePolicy(SusFile &File) {
+    next(); // 'policy'
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected policy name");
+      return false;
+    }
+    Symbol Name = Ctx.symbol(next().Text);
+
+    std::vector<PolicyParam> Params;
+    if (accept(TokenKind::LParen) && !accept(TokenKind::RParen)) {
+      do {
+        if (!peek().is(TokenKind::Ident)) {
+          error("expected parameter name");
+          return false;
+        }
+        Symbol PName = Ctx.symbol(next().Text);
+        if (!expect(TokenKind::Colon, "after parameter name"))
+          return false;
+        bool IsSet;
+        if (acceptIdent("set")) {
+          IsSet = true;
+        } else if (acceptIdent("int")) {
+          IsSet = false;
+        } else {
+          error("expected parameter kind 'set' or 'int'");
+          return false;
+        }
+        Params.push_back({PName, IsSet});
+      } while (accept(TokenKind::Comma));
+      if (!expect(TokenKind::RParen, "to close parameter list"))
+        return false;
+    }
+
+    UsageAutomaton A(Name, Params);
+    std::map<Symbol, UStateId> States;
+    auto StateOf = [&](Symbol S) -> UStateId {
+      auto It = States.find(S);
+      if (It != States.end())
+        return It->second;
+      UStateId Id = A.addState(std::string(Ctx.interner().text(S)));
+      States.emplace(S, Id);
+      return Id;
+    };
+    auto ParamIndex = [&](Symbol S) -> int {
+      for (size_t I = 0; I < Params.size(); ++I)
+        if (Params[I].Name == S)
+          return static_cast<int>(I);
+      return -1;
+    };
+
+    if (!expect(TokenKind::LBrace, "to open policy body"))
+      return false;
+    bool StartSet = false;
+    while (!accept(TokenKind::RBrace)) {
+      if (atEof()) {
+        error("unterminated policy body");
+        return false;
+      }
+      if (acceptIdent("states")) {
+        while (peek().is(TokenKind::Ident))
+          StateOf(Ctx.symbol(next().Text));
+        if (!expect(TokenKind::Semi, "after state list"))
+          return false;
+        continue;
+      }
+      if (acceptIdent("start")) {
+        if (!peek().is(TokenKind::Ident)) {
+          error("expected state name after 'start'");
+          return false;
+        }
+        A.setStart(StateOf(Ctx.symbol(next().Text)));
+        StartSet = true;
+        if (!expect(TokenKind::Semi, "after start state"))
+          return false;
+        continue;
+      }
+      if (acceptIdent("offending")) {
+        do {
+          if (!peek().is(TokenKind::Ident)) {
+            error("expected state name after 'offending'");
+            return false;
+          }
+          A.setOffending(StateOf(Ctx.symbol(next().Text)));
+        } while (accept(TokenKind::Comma));
+        if (!expect(TokenKind::Semi, "after offending list"))
+          return false;
+        continue;
+      }
+      // Edge: IDENT -> IDENT on (* | event[(var)] [when guard]) ;
+      if (!peek().is(TokenKind::Ident)) {
+        error("expected a policy statement or edge");
+        return false;
+      }
+      UStateId From = StateOf(Ctx.symbol(next().Text));
+      if (!expect(TokenKind::Arrow, "in policy edge"))
+        return false;
+      if (!peek().is(TokenKind::Ident)) {
+        error("expected target state");
+        return false;
+      }
+      UStateId To = StateOf(Ctx.symbol(next().Text));
+      if (!acceptIdent("on")) {
+        error("expected 'on' in policy edge");
+        return false;
+      }
+      if (accept(TokenKind::Star)) {
+        A.addWildcardEdge(From, To);
+        if (!expect(TokenKind::Semi, "after policy edge"))
+          return false;
+        continue;
+      }
+      if (!peek().is(TokenKind::Ident)) {
+        error("expected event name in policy edge");
+        return false;
+      }
+      Symbol EventName = Ctx.symbol(next().Text);
+      Symbol EventVar;
+      if (accept(TokenKind::LParen)) {
+        if (!peek().is(TokenKind::Ident)) {
+          error("expected event parameter variable");
+          return false;
+        }
+        EventVar = Ctx.symbol(next().Text);
+        if (!expect(TokenKind::RParen, "to close event pattern"))
+          return false;
+      }
+      Guard G = Guard::always();
+      if (acceptIdent("when")) {
+        std::optional<Guard> Parsed = parseGuard(EventVar, ParamIndex);
+        if (!Parsed)
+          return false;
+        G = std::move(*Parsed);
+      }
+      A.addEdge(From, EventName, std::move(G), To);
+      if (!expect(TokenKind::Semi, "after policy edge"))
+        return false;
+    }
+
+    if (!StartSet && A.numStates() > 0)
+      A.setStart(0);
+    if (!A.verify(Ctx.interner(), Diags))
+      return false;
+    File.Registry.add(std::move(A));
+    return true;
+  }
+
+  std::optional<Guard> parseGuard(Symbol EventVar,
+                                  const std::function<int(Symbol)> &Param) {
+    Guard G = Guard::always();
+    do {
+      // Atom: var (in|not in) set-or-param | var cmp value-or-param.
+      if (!peek().is(TokenKind::Ident)) {
+        error("expected guard variable");
+        return std::nullopt;
+      }
+      Symbol Var = Ctx.symbol(next().Text);
+      if (!EventVar.isValid() || Var != EventVar) {
+        error("guard variable does not match the event parameter");
+        return std::nullopt;
+      }
+
+      bool Negated = false;
+      if (acceptIdent("not"))
+        Negated = true;
+      if (acceptIdent("in")) {
+        if (peek().is(TokenKind::LBrace)) {
+          next();
+          std::vector<Value> Values;
+          if (!peek().is(TokenKind::RBrace)) {
+            do {
+              std::optional<Value> V = parseGuardValue();
+              if (!V)
+                return std::nullopt;
+              Values.push_back(*V);
+            } while (accept(TokenKind::Comma));
+          }
+          if (!expect(TokenKind::RBrace, "to close value set"))
+            return std::nullopt;
+          G = G && (Negated ? Guard::notInConst(std::move(Values))
+                            : Guard::inConst(std::move(Values)));
+        } else if (peek().is(TokenKind::Ident)) {
+          int I = Param(Ctx.symbol(next().Text));
+          if (I < 0) {
+            error("unknown policy parameter in guard");
+            return std::nullopt;
+          }
+          G = G && (Negated ? Guard::notInParam(static_cast<unsigned>(I))
+                            : Guard::inParam(static_cast<unsigned>(I)));
+        } else {
+          error("expected a set or a set-valued parameter after 'in'");
+          return std::nullopt;
+        }
+      } else {
+        if (Negated) {
+          error("'not' must be followed by 'in'");
+          return std::nullopt;
+        }
+        CmpOp Op;
+        switch (peek().Kind) {
+        case TokenKind::Lt:
+          Op = CmpOp::LT;
+          break;
+        case TokenKind::Le:
+          Op = CmpOp::LE;
+          break;
+        case TokenKind::Gt:
+          Op = CmpOp::GT;
+          break;
+        case TokenKind::Ge:
+          Op = CmpOp::GE;
+          break;
+        case TokenKind::EqEq:
+          Op = CmpOp::EQ;
+          break;
+        case TokenKind::Ne:
+          Op = CmpOp::NE;
+          break;
+        default:
+          error("expected a comparison operator or 'in'");
+          return std::nullopt;
+        }
+        next();
+        if (peek().is(TokenKind::Number)) {
+          G = G && Guard::cmpConst(Op, Value::integer(next().Number));
+        } else if (peek().is(TokenKind::Ident)) {
+          int I = Param(Ctx.symbol(next().Text));
+          if (I < 0) {
+            error("unknown policy parameter in guard");
+            return std::nullopt;
+          }
+          G = G && Guard::cmpParam(Op, static_cast<unsigned>(I));
+        } else {
+          error("expected a number or a parameter after comparison");
+          return std::nullopt;
+        }
+      }
+    } while (acceptIdent("and"));
+    return G;
+  }
+
+  std::optional<Value> parseGuardValue() {
+    if (peek().is(TokenKind::Number))
+      return Value::integer(next().Number);
+    if (peek().is(TokenKind::Ident))
+      return Value::name(Ctx.symbol(next().Text));
+    error("expected a number or a name");
+    return std::nullopt;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // service / client
+  //===--------------------------------------------------------------------===//
+
+  bool parseBehavior(SusFile &File) {
+    bool IsService = peek().isIdent("service");
+    next();
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected a name");
+      return false;
+    }
+    Symbol Name = Ctx.symbol(next().Text);
+    if (!expect(TokenKind::LBrace, "to open behaviour"))
+      return false;
+    HistParser HP(Tokens, Ctx, Diags);
+    // Continue from our position: re-synchronize the sub-parser.
+    const Expr *E = parseExprHere(HP);
+    if (!E)
+      return false;
+    if (!expect(TokenKind::RBrace, "to close behaviour"))
+      return false;
+
+    std::string NameStr(Ctx.interner().text(Name));
+    if (!Ctx.isClosed(E)) {
+      error("behaviour of '" + NameStr + "' has free recursion variables");
+      return false;
+    }
+    if (!checkWellFormed(Ctx, E, Diags))
+      return false;
+    if (IsService)
+      File.Repo.add(Name, E);
+    else
+      File.Clients.push_back({Name, E});
+    return true;
+  }
+
+  /// Runs a HistParser starting at our cursor and adopts its end position.
+  const Expr *parseExprHere(HistParser &HP) {
+    HP.setPosition(Pos);
+    const Expr *E = HP.parseExpr();
+    Pos = HP.position();
+    return E;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // program (λ service calculus; effect-extracted)
+  //===--------------------------------------------------------------------===//
+
+  bool parseProgram(SusFile &File) {
+    next(); // 'program'
+    bool IsService;
+    if (acceptIdent("service")) {
+      IsService = true;
+    } else if (acceptIdent("client")) {
+      IsService = false;
+    } else {
+      error("expected 'service' or 'client' after 'program'");
+      return false;
+    }
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected a name");
+      return false;
+    }
+    Symbol Name = Ctx.symbol(next().Text);
+    if (!expect(TokenKind::LBrace, "to open program body"))
+      return false;
+
+    LambdaParser LP(Tokens, Lambda, Diags);
+    LP.setPosition(Pos);
+    const lambda::Term *T = LP.parseTerm();
+    Pos = LP.position();
+    if (!T)
+      return false;
+    if (!expect(TokenKind::RBrace, "to close program body"))
+      return false;
+
+    // Extract the history expression through the type-and-effect system;
+    // inferServiceEffect also checks closedness and well-formedness.
+    lambda::EffectSystem Effects(Lambda, Diags);
+    std::optional<const Expr *> Effect = Effects.inferServiceEffect(T);
+    if (!Effect)
+      return false;
+    if (IsService)
+      File.Repo.add(Name, *Effect);
+    else
+      File.Clients.push_back({Name, *Effect});
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // plan
+  //===--------------------------------------------------------------------===//
+
+  bool parsePlan(SusFile &File) {
+    next(); // 'plan'
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected plan name");
+      return false;
+    }
+    PlanDecl Decl;
+    Decl.Name = Ctx.symbol(next().Text);
+    if (!acceptIdent("for")) {
+      error("expected 'for' after plan name");
+      return false;
+    }
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected client name");
+      return false;
+    }
+    Decl.Client = Ctx.symbol(next().Text);
+    if (!expect(TokenKind::LBrace, "to open plan body"))
+      return false;
+    while (!accept(TokenKind::RBrace)) {
+      if (atEof()) {
+        error("unterminated plan body");
+        return false;
+      }
+      if (!peek().is(TokenKind::Number)) {
+        error("expected request id in plan binding");
+        return false;
+      }
+      RequestId R = static_cast<RequestId>(next().Number);
+      if (!expect(TokenKind::Arrow, "in plan binding"))
+        return false;
+      if (!peek().is(TokenKind::Ident)) {
+        error("expected service location in plan binding");
+        return false;
+      }
+      Decl.Pi.bind(R, Ctx.symbol(next().Text));
+      if (!expect(TokenKind::Semi, "after plan binding"))
+        return false;
+    }
+    File.Plans.push_back(std::move(Decl));
+    return true;
+  }
+
+  HistContext &Ctx;
+  lambda::LambdaContext Lambda;
+};
+
+} // namespace
+
+std::optional<SusFile> sus::syntax::parseSusFile(HistContext &Ctx,
+                                                 std::string_view Buffer,
+                                                 DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = tokenize(Buffer, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  FileParser P(Tokens, Ctx, Diags);
+  std::optional<SusFile> File = P.parse();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return File;
+}

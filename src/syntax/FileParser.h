@@ -1,0 +1,78 @@
+//===- syntax/FileParser.h - .sus network file parser -----------*- C++ -*-===//
+///
+/// \file
+/// Parses whole .sus files describing a verification problem:
+///
+///   policy phi(bl: set, p: int, t: int) {
+///     start q1;
+///     offending q6;
+///     q1 -> q2 on sgn(x) when x not in bl;
+///     q1 -> q6 on sgn(x) when x in bl;
+///     q2 -> q3 on p(y) when y <= p;
+///     q2 -> q4 on p(y) when y > p;
+///     q4 -> q5 on ta(z) when z >= t;
+///     q4 -> q6 on ta(z) when z < t;
+///     q6 -> q6 on *;
+///   }
+///   service br { Req? . (open 3 { IdC! . (Bok? + UnA?) }; ...) }
+///   client c1 { open 1 @ phi({s1},45,100) { ... } }
+///   plan pi1 for c1 { 1 -> br; 3 -> s3; }
+///
+/// States are auto-registered on first mention; `start` defaults to the
+/// first mentioned state. Parsed services/clients are checked closed and
+/// well-formed, and policies are verified structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SYNTAX_FILEPARSER_H
+#define SUS_SYNTAX_FILEPARSER_H
+
+#include "hist/HistContext.h"
+#include "plan/Plan.h"
+#include "policy/UsageAutomaton.h"
+#include "syntax/Lexer.h"
+
+#include <optional>
+#include <vector>
+
+namespace sus {
+namespace syntax {
+
+/// One named plan declaration bound to a client.
+struct PlanDecl {
+  Symbol Name;
+  Symbol Client;
+  plan::Plan Pi;
+};
+
+/// Everything a .sus file declares.
+struct SusFile {
+  policy::PolicyRegistry Registry;
+  plan::Repository Repo; ///< All `service` declarations.
+  std::vector<std::pair<Symbol, const hist::Expr *>> Clients;
+  std::vector<PlanDecl> Plans;
+
+  const hist::Expr *findClient(Symbol Name) const {
+    for (const auto &[N, E] : Clients)
+      if (N == Name)
+        return E;
+    return nullptr;
+  }
+
+  const PlanDecl *findPlan(Symbol Name) const {
+    for (const PlanDecl &P : Plans)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+};
+
+/// Parses \p Buffer; std::nullopt (with diagnostics) on any error.
+std::optional<SusFile> parseSusFile(hist::HistContext &Ctx,
+                                    std::string_view Buffer,
+                                    DiagnosticEngine &Diags);
+
+} // namespace syntax
+} // namespace sus
+
+#endif // SUS_SYNTAX_FILEPARSER_H

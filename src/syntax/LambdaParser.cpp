@@ -1,0 +1,324 @@
+//===- syntax/LambdaParser.cpp - λ service-calculus parser ----------------===//
+
+#include "syntax/LambdaParser.h"
+
+#include <algorithm>
+
+using namespace sus;
+using namespace sus::lambda;
+using namespace sus::syntax;
+
+namespace {
+
+/// Contextual keywords that can never be bare variables.
+bool isReservedWord(std::string_view S) {
+  return S == "unit" || S == "true" || S == "false" || S == "fun" ||
+         S == "if" || S == "then" || S == "else" || S == "snd" ||
+         S == "rcv" || S == "select" || S == "branch" || S == "req" ||
+         S == "frame" || S == "rec" || S == "jump" || S == "bool";
+}
+
+} // namespace
+
+bool LambdaParser::startsAtom() const {
+  const Token &T = peek();
+  if (T.is(TokenKind::LParen) || T.is(TokenKind::Percent))
+    return true;
+  if (!T.is(TokenKind::Ident))
+    return false;
+  // 'then'/'else' terminate an application run inside an if.
+  return T.Text != "then" && T.Text != "else";
+}
+
+const Term *LambdaParser::parseTerm() {
+  const Term *Acc = parseApp();
+  if (!Acc)
+    return nullptr;
+  while (accept(TokenKind::Semi)) {
+    const Term *Rhs = parseApp();
+    if (!Rhs)
+      return nullptr;
+    Acc = Ctx.seq(Acc, Rhs);
+  }
+  return Acc;
+}
+
+const Term *LambdaParser::parseApp() {
+  const Term *Acc = parseAtom();
+  if (!Acc)
+    return nullptr;
+  while (startsAtom()) {
+    const Term *Arg = parseAtom();
+    if (!Arg)
+      return nullptr;
+    Acc = Ctx.app(Acc, Arg);
+  }
+  return Acc;
+}
+
+const Type *LambdaParser::parseType() {
+  if (acceptIdent("unit"))
+    return Ctx.unitType();
+  if (acceptIdent("bool"))
+    return Ctx.boolType();
+  error("expected parameter type 'unit' or 'bool'");
+  return nullptr;
+}
+
+std::optional<Value> LambdaParser::parseValue() {
+  if (peek().is(TokenKind::Number))
+    return Value::integer(next().Number);
+  if (peek().is(TokenKind::Ident))
+    return Value::name(Ctx.symbol(next().Text));
+  error("expected a number or a name");
+  return std::nullopt;
+}
+
+std::optional<hist::PolicyRef> LambdaParser::parsePolicyRef() {
+  if (!peek().is(TokenKind::Ident)) {
+    error("expected policy name");
+    return std::nullopt;
+  }
+  hist::PolicyRef Ref;
+  Ref.Name = Ctx.symbol(next().Text);
+  if (!accept(TokenKind::LParen))
+    return Ref;
+  if (accept(TokenKind::RParen))
+    return Ref;
+  do {
+    std::vector<Value> Arg;
+    if (accept(TokenKind::LBrace)) {
+      if (!accept(TokenKind::RBrace)) {
+        do {
+          std::optional<Value> V = parseValue();
+          if (!V)
+            return std::nullopt;
+          Arg.push_back(*V);
+        } while (accept(TokenKind::Comma));
+        if (!expect(TokenKind::RBrace, "to close value set"))
+          return std::nullopt;
+      }
+      std::sort(Arg.begin(), Arg.end());
+      Arg.erase(std::unique(Arg.begin(), Arg.end()), Arg.end());
+    } else {
+      std::optional<Value> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Arg.push_back(*V);
+    }
+    Ref.Args.push_back(std::move(Arg));
+  } while (accept(TokenKind::Comma));
+  if (!expect(TokenKind::RParen, "to close policy arguments"))
+    return std::nullopt;
+  return Ref;
+}
+
+const Term *LambdaParser::parseAtom() {
+  const Token &T = peek();
+
+  if (T.is(TokenKind::LParen)) {
+    next();
+    const Term *Inner = parseTerm();
+    if (!Inner)
+      return nullptr;
+    if (!expect(TokenKind::RParen))
+      return nullptr;
+    return Inner;
+  }
+
+  if (T.is(TokenKind::Percent)) {
+    next();
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected event name after '%'");
+      return nullptr;
+    }
+    Symbol Name = Ctx.symbol(next().Text);
+    Value Arg;
+    if (accept(TokenKind::LParen)) {
+      std::optional<Value> V = parseValue();
+      if (!V)
+        return nullptr;
+      Arg = *V;
+      if (!expect(TokenKind::RParen, "to close event argument"))
+        return nullptr;
+    }
+    return Ctx.event(hist::Event{Name, Arg});
+  }
+
+  if (!T.is(TokenKind::Ident)) {
+    error(std::string("expected a term, got ") + tokenKindName(T.Kind));
+    return nullptr;
+  }
+
+  if (T.Text == "unit") {
+    next();
+    return Ctx.unit();
+  }
+  if (T.Text == "true" || T.Text == "false") {
+    bool V = T.Text == "true";
+    next();
+    return Ctx.boolLit(V);
+  }
+  if (T.Text == "fun") {
+    next();
+    if (!expect(TokenKind::LParen, "after 'fun'"))
+      return nullptr;
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected parameter name");
+      return nullptr;
+    }
+    std::string Param(next().Text);
+    if (!expect(TokenKind::Colon, "after parameter name"))
+      return nullptr;
+    const Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close parameter"))
+      return nullptr;
+    if (!expect(TokenKind::Dot, "before function body"))
+      return nullptr;
+    const Term *Body = parseTerm();
+    if (!Body)
+      return nullptr;
+    return Ctx.lambda(Param, Ty, Body);
+  }
+  if (T.Text == "if") {
+    next();
+    const Term *C = parseTerm();
+    if (!C)
+      return nullptr;
+    if (!acceptIdent("then")) {
+      error("expected 'then'");
+      return nullptr;
+    }
+    const Term *Then = parseTerm();
+    if (!Then)
+      return nullptr;
+    if (!acceptIdent("else")) {
+      error("expected 'else'");
+      return nullptr;
+    }
+    const Term *Else = parseApp();
+    if (!Else)
+      return nullptr;
+    return Ctx.ifTerm(C, Then, Else);
+  }
+  if (T.Text == "snd" || T.Text == "rcv") {
+    bool IsSend = T.Text == "snd";
+    next();
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected channel name");
+      return nullptr;
+    }
+    std::string Ch(next().Text);
+    return IsSend ? Ctx.send(Ch) : Ctx.recv(Ch);
+  }
+  if (T.Text == "select" || T.Text == "branch") {
+    bool IsSelect = T.Text == "select";
+    next();
+    if (!expect(TokenKind::LBrace, "to open arms"))
+      return nullptr;
+    std::vector<CommArm> Arms;
+    do {
+      if (!peek().is(TokenKind::Ident)) {
+        error("expected channel name in arm");
+        return nullptr;
+      }
+      Symbol Ch = Ctx.symbol(next().Text);
+      if (!expect(TokenKind::Arrow, "in arm"))
+        return nullptr;
+      const Term *Body = parseTerm();
+      if (!Body)
+        return nullptr;
+      Arms.push_back({Ch, Body});
+    } while (accept(TokenKind::Comma));
+    if (!expect(TokenKind::RBrace, "to close arms"))
+      return nullptr;
+    return IsSelect ? Ctx.select(std::move(Arms))
+                    : Ctx.branch(std::move(Arms));
+  }
+  if (T.Text == "req") {
+    next();
+    if (!peek().is(TokenKind::Number)) {
+      error("expected request id after 'req'");
+      return nullptr;
+    }
+    hist::RequestId R = static_cast<hist::RequestId>(next().Number);
+    hist::PolicyRef Policy;
+    if (accept(TokenKind::At)) {
+      std::optional<hist::PolicyRef> P = parsePolicyRef();
+      if (!P)
+        return nullptr;
+      Policy = std::move(*P);
+    }
+    if (!expect(TokenKind::LBrace, "to open session body"))
+      return nullptr;
+    const Term *Body = parseTerm();
+    if (!Body)
+      return nullptr;
+    if (!expect(TokenKind::RBrace, "to close session body"))
+      return nullptr;
+    return Ctx.request(R, std::move(Policy), Body);
+  }
+  if (T.Text == "frame") {
+    next();
+    std::optional<hist::PolicyRef> P = parsePolicyRef();
+    if (!P)
+      return nullptr;
+    if (!expect(TokenKind::LBrace, "to open framing body"))
+      return nullptr;
+    const Term *Body = parseTerm();
+    if (!Body)
+      return nullptr;
+    if (!expect(TokenKind::RBrace, "to close framing body"))
+      return nullptr;
+    return Ctx.framing(std::move(*P), Body);
+  }
+  if (T.Text == "rec") {
+    next();
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected loop variable after 'rec'");
+      return nullptr;
+    }
+    std::string Var(next().Text);
+    if (!expect(TokenKind::LBrace, "to open rec body"))
+      return nullptr;
+    const Term *Body = parseTerm();
+    if (!Body)
+      return nullptr;
+    if (!expect(TokenKind::RBrace, "to close rec body"))
+      return nullptr;
+    return Ctx.rec(Var, Body);
+  }
+  if (T.Text == "jump") {
+    next();
+    if (!peek().is(TokenKind::Ident)) {
+      error("expected loop variable after 'jump'");
+      return nullptr;
+    }
+    return Ctx.jump(std::string(next().Text));
+  }
+
+  if (isReservedWord(T.Text)) {
+    error("'" + std::string(T.Text) + "' cannot be used here");
+    return nullptr;
+  }
+  return Ctx.var(std::string(next().Text));
+}
+
+const Term *sus::syntax::parseLambdaTerm(LambdaContext &Ctx,
+                                         std::string_view Buffer,
+                                         DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = tokenize(Buffer, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  LambdaParser P(Tokens, Ctx, Diags);
+  const Term *T = P.parseTerm();
+  if (!T)
+    return nullptr;
+  if (!P.atEof()) {
+    Diags.error(P.peek().Loc, "trailing input after term");
+    return nullptr;
+  }
+  return T;
+}

@@ -1,0 +1,244 @@
+//===- syntax/Lexer.cpp - Tokenizer for the SUS surface syntax ------------===//
+
+#include "syntax/Lexer.h"
+
+#include <cctype>
+
+using namespace sus;
+using namespace sus::syntax;
+
+const char *sus::syntax::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::At:
+    return "'@'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::OPlus:
+    return "'<+>'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::Ne:
+    return "'!='";
+  }
+  return "token";
+}
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+} // namespace
+
+std::vector<Token> sus::syntax::tokenize(std::string_view Buffer,
+                                         DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens;
+  size_t I = 0;
+  unsigned Line = 1, Col = 1;
+
+  auto Advance = [&](size_t N = 1) {
+    for (size_t K = 0; K < N && I < Buffer.size(); ++K) {
+      if (Buffer[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++I;
+    }
+  };
+
+  auto Push = [&](TokenKind K, SourceLoc Loc, std::string_view Text = {},
+                  int64_t Number = 0) {
+    Tokens.push_back({K, Loc, Text, Number});
+  };
+
+  while (I < Buffer.size()) {
+    char C = Buffer[I];
+    SourceLoc Loc{Line, Col};
+
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments: '//' or '#' to end of line.
+    if (C == '#' || (C == '/' && I + 1 < Buffer.size() &&
+                     Buffer[I + 1] == '/')) {
+      while (I < Buffer.size() && Buffer[I] != '\n')
+        Advance();
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < Buffer.size() && isIdentCont(Buffer[I]))
+        Advance();
+      Push(TokenKind::Ident, Loc, Buffer.substr(Start, I - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && I + 1 < Buffer.size() &&
+         std::isdigit(static_cast<unsigned char>(Buffer[I + 1])))) {
+      bool Negative = C == '-';
+      if (Negative)
+        Advance();
+      int64_t N = 0;
+      while (I < Buffer.size() &&
+             std::isdigit(static_cast<unsigned char>(Buffer[I]))) {
+        N = N * 10 + (Buffer[I] - '0');
+        Advance();
+      }
+      Push(TokenKind::Number, Loc, {}, Negative ? -N : N);
+      continue;
+    }
+
+    auto Two = [&](char A, char B) {
+      return C == A && I + 1 < Buffer.size() && Buffer[I + 1] == B;
+    };
+
+    if (Two('<', '+') && I + 2 < Buffer.size() && Buffer[I + 2] == '>') {
+      Push(TokenKind::OPlus, Loc);
+      Advance(3);
+      continue;
+    }
+    if (Two('-', '>')) {
+      Push(TokenKind::Arrow, Loc);
+      Advance(2);
+      continue;
+    }
+    if (Two('<', '=')) {
+      Push(TokenKind::Le, Loc);
+      Advance(2);
+      continue;
+    }
+    if (Two('>', '=')) {
+      Push(TokenKind::Ge, Loc);
+      Advance(2);
+      continue;
+    }
+    if (Two('=', '=')) {
+      Push(TokenKind::EqEq, Loc);
+      Advance(2);
+      continue;
+    }
+    if (Two('!', '=')) {
+      Push(TokenKind::Ne, Loc);
+      Advance(2);
+      continue;
+    }
+
+    TokenKind K = TokenKind::Eof;
+    switch (C) {
+    case '(':
+      K = TokenKind::LParen;
+      break;
+    case ')':
+      K = TokenKind::RParen;
+      break;
+    case '{':
+      K = TokenKind::LBrace;
+      break;
+    case '}':
+      K = TokenKind::RBrace;
+      break;
+    case '[':
+      K = TokenKind::LBracket;
+      break;
+    case ']':
+      K = TokenKind::RBracket;
+      break;
+    case ';':
+      K = TokenKind::Semi;
+      break;
+    case ':':
+      K = TokenKind::Colon;
+      break;
+    case ',':
+      K = TokenKind::Comma;
+      break;
+    case '.':
+      K = TokenKind::Dot;
+      break;
+    case '?':
+      K = TokenKind::Question;
+      break;
+    case '!':
+      K = TokenKind::Bang;
+      break;
+    case '%':
+      K = TokenKind::Percent;
+      break;
+    case '@':
+      K = TokenKind::At;
+      break;
+    case '*':
+      K = TokenKind::Star;
+      break;
+    case '+':
+      K = TokenKind::Plus;
+      break;
+    case '<':
+      K = TokenKind::Lt;
+      break;
+    case '>':
+      K = TokenKind::Gt;
+      break;
+    default:
+      Diags.error(Loc, std::string("stray character '") + C + "'");
+      Advance();
+      continue;
+    }
+    Push(K, Loc);
+    Advance();
+  }
+
+  Tokens.push_back({TokenKind::Eof, SourceLoc{Line, Col}, {}, 0});
+  return Tokens;
+}

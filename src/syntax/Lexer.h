@@ -1,0 +1,80 @@
+//===- syntax/Lexer.h - Tokenizer for the SUS surface syntax ----*- C++ -*-===//
+///
+/// \file
+/// A hand-written lexer for the SUS DSL (history expressions, policy
+/// definitions and network declarations). Comments run from `//` or `#` to
+/// end of line. Keywords are contextual: the lexer only produces Ident
+/// tokens and the parsers match their spelling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SYNTAX_LEXER_H
+#define SUS_SYNTAX_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sus {
+namespace syntax {
+
+/// Token kinds of the surface syntax.
+enum class TokenKind : uint8_t {
+  Eof,
+  Ident,    // names (also contextual keywords)
+  Number,   // decimal integers, optionally negative
+  LParen,   // (
+  RParen,   // )
+  LBrace,   // {
+  RBrace,   // }
+  LBracket, // [
+  RBracket, // ]
+  Semi,     // ;
+  Colon,    // :
+  Comma,    // ,
+  Dot,      // .
+  Question, // ?
+  Bang,     // !
+  Percent,  // %
+  At,       // @
+  Star,     // *
+  Plus,     // +
+  OPlus,    // <+>
+  Arrow,    // ->
+  Lt,       // <
+  Le,       // <=
+  Gt,       // >
+  Ge,       // >=
+  EqEq,     // ==
+  Ne,       // !=
+};
+
+/// One token with its source range and payload.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text; // For Ident.
+  int64_t Number = 0;    // For Number.
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokenKind::Ident && Text == S;
+  }
+};
+
+/// Renders a token kind for diagnostics ("';'", "identifier", ...).
+const char *tokenKindName(TokenKind K);
+
+/// Tokenizes a whole buffer. Errors (stray characters) are reported into
+/// \p Diags and skipped; the result always ends with an Eof token. The
+/// returned Text views point into \p Buffer, which must outlive them.
+std::vector<Token> tokenize(std::string_view Buffer,
+                            DiagnosticEngine &Diags);
+
+} // namespace syntax
+} // namespace sus
+
+#endif // SUS_SYNTAX_LEXER_H

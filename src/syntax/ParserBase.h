@@ -1,0 +1,90 @@
+//===- syntax/ParserBase.h - Token cursor shared by parsers -----*- C++ -*-===//
+///
+/// \file
+/// A small token cursor with diagnostics, shared by the history-expression
+/// parser and the .sus file parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SYNTAX_PARSERBASE_H
+#define SUS_SYNTAX_PARSERBASE_H
+
+#include "syntax/Lexer.h"
+
+#include <string>
+#include <vector>
+
+namespace sus {
+namespace syntax {
+
+/// Cursor over a token vector with error reporting helpers.
+class ParserBase {
+public:
+  ParserBase(const std::vector<Token> &Tokens, DiagnosticEngine &Diags)
+      : Tokens(Tokens), Diags(Diags) {}
+
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  const Token &next() {
+    const Token &T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  bool atEof() const { return peek().is(TokenKind::Eof); }
+
+  /// Consumes a token of kind \p K if present.
+  bool accept(TokenKind K) {
+    if (!peek().is(K))
+      return false;
+    next();
+    return true;
+  }
+
+  /// Consumes an identifier with exact spelling \p S if present.
+  bool acceptIdent(std::string_view S) {
+    if (!peek().isIdent(S))
+      return false;
+    next();
+    return true;
+  }
+
+  /// Requires a token of kind \p K; reports and returns false otherwise.
+  bool expect(TokenKind K, std::string_view What = {}) {
+    if (accept(K))
+      return true;
+    std::string Msg = "expected ";
+    Msg += tokenKindName(K);
+    if (!What.empty()) {
+      Msg += " ";
+      Msg += What;
+    }
+    Msg += ", got ";
+    Msg += tokenKindName(peek().Kind);
+    Diags.error(peek().Loc, Msg);
+    return false;
+  }
+
+  void error(std::string Message) { Diags.error(peek().Loc, Message); }
+
+  DiagnosticEngine &diags() { return Diags; }
+
+  /// Cursor position (for handing off between cooperating parsers over
+  /// the same token vector).
+  size_t position() const { return Pos; }
+  void setPosition(size_t P) { Pos = P < Tokens.size() ? P : Tokens.size(); }
+
+protected:
+  const std::vector<Token> &Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace syntax
+} // namespace sus
+
+#endif // SUS_SYNTAX_PARSERBASE_H

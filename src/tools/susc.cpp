@@ -1,0 +1,307 @@
+//===- tools/susc.cpp - The SUS command-line verifier ---------------------===//
+///
+/// \file
+/// susc — parse a .sus file, verify every client against the repository
+/// (declared plans first, then enumerated candidates), and report the
+/// valid plans. Exit code 0 iff every client has at least one valid plan.
+///
+///   susc file.sus                verify everything
+///   susc --plan pi1 file.sus    check one declared plan only
+///   susc --run file.sus          also execute the first valid plan
+///   susc --trace file.sus        print the execution trace with --run
+///   susc --dot-policies file.sus print policy automata as Graphviz
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "hist/Bisim.h"
+#include "hist/Printer.h"
+#include "hist/TransitionSystem.h"
+#include "net/Explorer.h"
+#include "net/Interpreter.h"
+#include "syntax/FileParser.h"
+#include "validity/CostAnalysis.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace sus;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;
+  std::string OnlyPlan;
+  std::string DotLts;
+  std::string BisimA, BisimB;
+  bool Run = false;
+  bool Trace = false;
+  bool DotPolicies = false;
+  bool Enumerate = true;
+  bool Cost = false;
+  bool Explore = false;
+};
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: susc [options] file.sus\n"
+        "  --plan NAME      check only the declared plan NAME\n"
+        "  --run            execute the first valid plan of each client\n"
+        "  --trace          with --run, print every applied step\n"
+        "  --dot-policies   print client policies as Graphviz\n"
+        "  --dot-lts NAME   print the LTS of a declared behaviour\n"
+        "  --bisim A B      check two declared behaviours bisimilar\n"
+        "  --cost           worst-case event count per behaviour\n"
+        "  --explore        exhaustively explore the network under the\n"
+        "                   declared plans (capacity-deadlock search)\n"
+        "  --no-enumerate   only check declared plans\n";
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--plan" && I + 1 < Argc) {
+      Opts.OnlyPlan = Argv[++I];
+    } else if (Arg == "--dot-lts" && I + 1 < Argc) {
+      Opts.DotLts = Argv[++I];
+    } else if (Arg == "--bisim" && I + 2 < Argc) {
+      Opts.BisimA = Argv[++I];
+      Opts.BisimB = Argv[++I];
+    } else if (Arg == "--cost") {
+      Opts.Cost = true;
+    } else if (Arg == "--explore") {
+      Opts.Explore = true;
+    } else if (Arg == "--run") {
+      Opts.Run = true;
+    } else if (Arg == "--trace") {
+      Opts.Trace = true;
+    } else if (Arg == "--dot-policies") {
+      Opts.DotPolicies = true;
+    } else if (Arg == "--no-enumerate") {
+      Opts.Enumerate = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "susc: unknown option '" << Arg << "'\n";
+      return false;
+    } else if (Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      std::cerr << "susc: multiple input files\n";
+      return false;
+    }
+  }
+  if (Opts.InputPath.empty()) {
+    printUsage(std::cerr);
+    return false;
+  }
+  return true;
+}
+
+int runTool(const CliOptions &Opts) {
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::cerr << "susc: cannot open '" << Opts.InputPath << "'\n";
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  hist::HistContext Ctx;
+  DiagnosticEngine Diags;
+  std::optional<syntax::SusFile> File =
+      syntax::parseSusFile(Ctx, Source, Diags);
+  Diags.print(std::cerr);
+  if (!File)
+    return 2;
+
+  // Resolve a declared behaviour by name (services first, then clients).
+  auto FindBehavior = [&](const std::string &Name) -> const hist::Expr * {
+    Symbol S = Ctx.interner().lookup(Name);
+    if (!S.isValid())
+      return nullptr;
+    if (const hist::Expr *E = File->Repo.find(S))
+      return E;
+    return File->findClient(S);
+  };
+
+  if (!Opts.DotLts.empty()) {
+    const hist::Expr *E = FindBehavior(Opts.DotLts);
+    if (!E) {
+      std::cerr << "susc: no service or client named '" << Opts.DotLts
+                << "'\n";
+      return 2;
+    }
+    hist::TransitionSystem Ts(Ctx, E);
+    hist::printDot(Ctx, Ts, std::cout, Opts.DotLts);
+    return 0;
+  }
+
+  if (!Opts.BisimA.empty()) {
+    const hist::Expr *A = FindBehavior(Opts.BisimA);
+    const hist::Expr *B = FindBehavior(Opts.BisimB);
+    if (!A || !B) {
+      std::cerr << "susc: unknown behaviour name\n";
+      return 2;
+    }
+    bool Equal = hist::bisimilar(Ctx, A, B);
+    std::cout << Opts.BisimA << (Equal ? " ~ " : " !~ ") << Opts.BisimB
+              << "\n";
+    return Equal ? 0 : 1;
+  }
+
+  if (Opts.Explore) {
+    // Assemble the network from each client's first declared plan.
+    std::vector<net::NetworkComponent> Components;
+    for (const auto &[Name, Client] : File->Clients) {
+      const syntax::PlanDecl *Found = nullptr;
+      for (const syntax::PlanDecl &Decl : File->Plans)
+        if (Decl.Client == Name) {
+          Found = &Decl;
+          break;
+        }
+      if (!Found) {
+        std::cerr << "susc: client '" << Ctx.interner().text(Name)
+                  << "' has no declared plan; --explore needs one\n";
+        return 2;
+      }
+      Components.push_back({Name, Client, Found->Pi});
+    }
+    net::ExplorationResult R =
+        net::exploreNetwork(Ctx, File->Repo, Components);
+    std::cout << "explored " << R.States << " network states"
+              << (R.Exhaustive ? "" : " (truncated)") << "\n";
+    std::cout << "all components can complete: "
+              << (R.CanComplete ? "yes" : "NO") << "\n";
+    std::cout << "deadlock reachable: "
+              << (R.DeadlockReachable ? "YES" : "no") << "\n";
+    for (const std::string &Line : R.DeadlockTrace)
+      std::cout << "  --> " << Line << "\n";
+    return (R.CanComplete && !R.DeadlockReachable) ? 0 : 1;
+  }
+
+  if (Opts.Cost) {
+    // Uniform model: every access event costs 1 (worst-case event count).
+    validity::CostModel Model;
+    Model.DefaultCost = 1;
+    auto Show = [&](Symbol Name, const hist::Expr *E) {
+      validity::CostResult R = validity::maxEventCost(Ctx, E, Model);
+      std::cout << Ctx.interner().text(Name) << ": ";
+      if (R.Bounded)
+        std::cout << "worst-case " << R.MaxCost << " event(s)\n";
+      else
+        std::cout << "unbounded (a costly loop is reachable)\n";
+    };
+    for (const auto &[Loc, Service] : File->Repo.services())
+      Show(Loc, Service);
+    for (const auto &[Name, Client] : File->Clients)
+      Show(Name, Client);
+    return 0;
+  }
+
+  if (Opts.DotPolicies) {
+    // There is no registry iteration API by design (policies are looked
+    // up by name); print the ones referenced by clients instead.
+    for (const auto &[Name, Client] : File->Clients) {
+      (void)Name;
+      for (const plan::RequestSite &Site : plan::extractRequests(Client)) {
+        if (Site.policy().isTrivial())
+          continue;
+        if (const policy::UsageAutomaton *A =
+                File->Registry.find(Site.policy().Name))
+          A->printDot(Ctx.interner(), std::cout);
+      }
+    }
+  }
+
+  core::Verifier Verifier(Ctx, File->Repo, File->Registry);
+  bool AllClientsOk = true;
+
+  for (const auto &[Name, Client] : File->Clients) {
+    std::string ClientName(Ctx.interner().text(Name));
+    std::cout << "== client " << ClientName << " ==\n";
+
+    std::optional<plan::Plan> FirstValid;
+
+    // Declared plans first.
+    for (const syntax::PlanDecl &Decl : File->Plans) {
+      if (Decl.Client != Name)
+        continue;
+      std::string PlanName(Ctx.interner().text(Decl.Name));
+      if (!Opts.OnlyPlan.empty() && PlanName != Opts.OnlyPlan)
+        continue;
+      core::PlanVerdict Verdict =
+          Verifier.checkPlan(Client, Name, Decl.Pi);
+      std::cout << "plan " << PlanName << " "
+                << Decl.Pi.str(Ctx.interner()) << ": "
+                << (Verdict.isValid() ? "VALID" : "invalid") << "\n";
+      for (const core::RequestCheck &C : Verdict.RequestChecks)
+        if (!C.Compliant) {
+          std::cout << "  request " << C.Request << ": not compliant";
+          if (C.Witness)
+            std::cout << " (" << C.Witness->str(Ctx) << ")";
+          std::cout << "\n";
+        }
+      if (!Verdict.Security.Valid &&
+          Verdict.Security.Failure !=
+              validity::PlanFailureKind::None) {
+        std::cout << "  security: failed";
+        if (Verdict.Security.Policy)
+          std::cout << " (policy "
+                    << Verdict.Security.Policy->str(Ctx.interner()) << ")";
+        if (!Verdict.Security.Trace.empty()) {
+          std::cout << " via";
+          for (const std::string &L : Verdict.Security.Trace)
+            std::cout << " " << L;
+        }
+        std::cout << "\n";
+      }
+      if (Verdict.isValid() && !FirstValid)
+        FirstValid = Decl.Pi;
+    }
+
+    // Enumerated candidates.
+    if (Opts.Enumerate && Opts.OnlyPlan.empty()) {
+      core::VerificationReport Report = Verifier.verifyClient(Client, Name);
+      core::printReport(Report, Ctx, std::cout);
+      if (!FirstValid) {
+        std::vector<plan::Plan> Valid = Report.validPlans();
+        if (!Valid.empty())
+          FirstValid = Valid.front();
+      }
+    }
+
+    if (!FirstValid) {
+      AllClientsOk = false;
+      continue;
+    }
+
+    if (Opts.Run) {
+      net::Interpreter Interp(Ctx, File->Repo, File->Registry,
+                              {{Name, Client, *FirstValid}},
+                              net::InterpreterOptions{});
+      net::RunStats Stats = Interp.run(/*Seed=*/1);
+      std::cout << "run: " << Stats.StepsTaken << " steps, "
+                << (Stats.AllCompleted ? "completed" : "stuck")
+                << ", history: "
+                << Interp.history(0).str(Ctx.interner()) << "\n";
+      if (Opts.Trace)
+        for (const std::string &Line : Interp.trace())
+          std::cout << "  " << Line << "\n";
+    }
+  }
+
+  return AllClientsOk ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+  return runTool(Opts);
+}

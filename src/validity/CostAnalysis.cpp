@@ -1,0 +1,150 @@
+//===- validity/CostAnalysis.cpp - Quantitative effects --------------------===//
+
+#include "validity/CostAnalysis.h"
+
+#include "hist/TransitionSystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::validity;
+
+namespace {
+
+/// Iterative Tarjan SCC over the LTS.
+class SccFinder {
+public:
+  explicit SccFinder(const TransitionSystem &Ts) : Ts(Ts) {
+    size_t N = Ts.numStates();
+    Index.assign(N, -1);
+    Low.assign(N, 0);
+    OnStack.assign(N, false);
+    Component.assign(N, -1);
+    for (uint32_t S = 0; S < N; ++S)
+      if (Index[S] < 0)
+        run(S);
+  }
+
+  int component(uint32_t S) const { return Component[S]; }
+  int numComponents() const { return NumComponents; }
+
+private:
+  void run(uint32_t Root) {
+    struct Frame {
+      uint32_t State;
+      size_t EdgeIx;
+    };
+    std::vector<Frame> CallStack = {{Root, 0}};
+    visit(Root);
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      const auto &Edges = Ts.edges(F.State);
+      if (F.EdgeIx < Edges.size()) {
+        uint32_t T = Edges[F.EdgeIx++].Target;
+        if (Index[T] < 0) {
+          visit(T);
+          CallStack.push_back({T, 0});
+        } else if (OnStack[T]) {
+          Low[F.State] = std::min(Low[F.State], Index[T]);
+        }
+        continue;
+      }
+      // Post-visit.
+      if (Low[F.State] == Index[F.State]) {
+        while (true) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Component[W] = NumComponents;
+          if (W == F.State)
+            break;
+        }
+        ++NumComponents;
+      }
+      uint32_t Done = F.State;
+      CallStack.pop_back();
+      if (!CallStack.empty())
+        Low[CallStack.back().State] =
+            std::min(Low[CallStack.back().State], Low[Done]);
+    }
+  }
+
+  void visit(uint32_t S) {
+    Index[S] = Low[S] = NextIndex++;
+    Stack.push_back(S);
+    OnStack[S] = true;
+  }
+
+  const TransitionSystem &Ts;
+  std::vector<int> Index, Low, Component;
+  std::vector<bool> OnStack;
+  std::vector<uint32_t> Stack;
+  int NextIndex = 0;
+  int NumComponents = 0;
+};
+
+} // namespace
+
+CostResult sus::validity::maxEventCost(HistContext &Ctx, const Expr *E,
+                                       const CostModel &Model) {
+  TransitionSystem Ts(Ctx, E);
+  CostResult Result;
+  if (!Ts.isComplete()) {
+    // Ill-formed input: be conservative.
+    Result.Bounded = false;
+    return Result;
+  }
+
+  auto EdgeCost = [&](const TransitionSystem::Edge &Edge) -> int64_t {
+    return Edge.L.isEvent() ? Model.cost(Edge.L.asEvent()) : 0;
+  };
+
+  SccFinder Scc(Ts);
+
+  // A positive-cost edge inside an SCC makes costs unbounded (the whole
+  // LTS is reachable from the root by construction).
+  for (uint32_t S = 0; S < Ts.numStates(); ++S)
+    for (const TransitionSystem::Edge &Edge : Ts.edges(S))
+      if (Scc.component(S) == Scc.component(Edge.Target) &&
+          EdgeCost(Edge) > 0) {
+        Result.Bounded = false;
+        return Result;
+      }
+
+  // Longest path on the SCC condensation. Tarjan numbers components in
+  // reverse topological order: component(u) < component(v) implies v
+  // cannot reach u... process components in increasing order so
+  // successors (smaller numbers) are finished first.
+  int NumComponents = Scc.numComponents();
+  std::vector<int64_t> Best(NumComponents, 0);
+  // Collect per-state max-onward cost: iterate components in ascending
+  // order (reverse topological = successors first).
+  std::vector<std::vector<uint32_t>> Members(NumComponents);
+  for (uint32_t S = 0; S < Ts.numStates(); ++S)
+    Members[Scc.component(S)].push_back(S);
+
+  std::vector<int64_t> StateBest(Ts.numStates(), 0);
+  for (int C = 0; C < NumComponents; ++C) {
+    // Within a zero-weight SCC every member can reach every other for
+    // free, so they share the best onward value.
+    int64_t ComponentBest = 0;
+    for (uint32_t S : Members[C])
+      for (const TransitionSystem::Edge &Edge : Ts.edges(S)) {
+        int64_t Candidate = EdgeCost(Edge);
+        if (Scc.component(Edge.Target) != C)
+          Candidate += StateBest[Edge.Target];
+        ComponentBest = std::max(ComponentBest, Candidate);
+      }
+    // One relaxation suffices for cross-component edges; for chains
+    // inside the SCC (all zero-cost) sharing the max is exact.
+    Best[C] = ComponentBest;
+    for (uint32_t S : Members[C])
+      StateBest[S] = ComponentBest;
+  }
+
+  Result.MaxCost = StateBest[Ts.rootIndex()];
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===- validity/CostAnalysis.h - Quantitative effects -----------*- C++ -*-===//
+///
+/// \file
+/// A first step toward the paper's §5 "major line of research …
+/// quantitative information in the security policies, along the lines of
+/// [14]": assign costs to access events and bound the worst-case
+/// accumulated cost of every run of a behaviour. Costs accumulate along
+/// LTS paths; a reachable cycle with positive cost makes the behaviour
+/// cost-unbounded (detected via SCC condensation), otherwise the maximum
+/// is a longest path over the DAG of components.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_VALIDITY_COSTANALYSIS_H
+#define SUS_VALIDITY_COSTANALYSIS_H
+
+#include "hist/HistContext.h"
+
+#include <cstdint>
+#include <map>
+
+namespace sus {
+namespace validity {
+
+/// Maps event names to non-negative costs; unknown events cost
+/// DefaultCost.
+struct CostModel {
+  std::map<Symbol, int64_t> EventCost;
+  int64_t DefaultCost = 0;
+
+  int64_t cost(const hist::Event &Ev) const {
+    auto It = EventCost.find(Ev.Name);
+    return It == EventCost.end() ? DefaultCost : It->second;
+  }
+};
+
+/// The outcome of a worst-case cost analysis.
+struct CostResult {
+  bool Bounded = true;
+  /// Greatest accumulated cost over all (partial) runs; meaningful only
+  /// when Bounded.
+  int64_t MaxCost = 0;
+};
+
+/// Worst-case accumulated event cost over every run of \p E.
+CostResult maxEventCost(hist::HistContext &Ctx, const hist::Expr *E,
+                        const CostModel &Model);
+
+} // namespace validity
+} // namespace sus
+
+#endif // SUS_VALIDITY_COSTANALYSIS_H

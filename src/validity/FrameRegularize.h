@@ -1,0 +1,39 @@
+//===- validity/FrameRegularize.h - Framing regularization ------*- C++ -*-===//
+///
+/// \file
+/// The §3.1 regularization from [Bartoletti–Degano–Ferrari]: validity of
+/// history expressions is non-regular because framings nest, but re-opening
+/// a policy that is already active is redundant ("it suffices recording the
+/// opening of policies, and removing those already opened and their
+/// corresponding closures"). Dropping redundant same-policy framings makes
+/// the activation depth of each instantiated policy 0/1, so validity
+/// becomes checkable by ordinary finite-state monitors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_VALIDITY_FRAMEREGULARIZE_H
+#define SUS_VALIDITY_FRAMEREGULARIZE_H
+
+#include "hist/Expr.h"
+#include "hist/HistContext.h"
+
+#include <set>
+
+namespace sus {
+namespace validity {
+
+/// Rewrites \p E dropping every ϕ⟦·⟧ framing (and ⌊ϕ/⌋ϕ marker pair) whose
+/// policy is already active in the enclosing context. The result generates
+/// the same histories up to redundant framings — in particular validity is
+/// preserved (tested against the dynamic checker).
+const hist::Expr *regularizeFramings(hist::HistContext &Ctx,
+                                     const hist::Expr *E);
+
+/// The maximum same-policy framing nesting depth occurring syntactically
+/// in \p E (1 = no redundant nesting). After regularization this is ≤ 1.
+unsigned maxFramingNesting(const hist::Expr *E);
+
+} // namespace validity
+} // namespace sus
+
+#endif // SUS_VALIDITY_FRAMEREGULARIZE_H

@@ -1,0 +1,288 @@
+//===- tests/AutomataTest.cpp - automata library unit tests ---------------===//
+
+#include "automata/Nfa.h"
+#include "automata/Ops.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sus::automata;
+
+namespace {
+
+/// NFA for (ab)* over {a=0, b=1}.
+Nfa makeAbStar() {
+  Nfa N;
+  StateId Q0 = N.addState(true);
+  StateId Q1 = N.addState(false);
+  N.setStart(Q0);
+  N.addEdge(Q0, 0, Q1);
+  N.addEdge(Q1, 1, Q0);
+  return N;
+}
+
+/// NFA with nondeterminism and epsilons: accepts words containing "aa".
+Nfa makeContainsAa() {
+  Nfa N;
+  StateId Q0 = N.addState(false);
+  StateId Q1 = N.addState(false);
+  StateId Q2 = N.addState(true);
+  N.setStart(Q0);
+  N.addEdge(Q0, 0, Q0);
+  N.addEdge(Q0, 1, Q0);
+  N.addEdge(Q0, 0, Q1);
+  N.addEdge(Q1, 0, Q2);
+  N.addEdge(Q2, 0, Q2);
+  N.addEdge(Q2, 1, Q2);
+  return N;
+}
+
+TEST(NfaTest, AcceptsTracksWordMembership) {
+  Nfa N = makeAbStar();
+  EXPECT_TRUE(N.accepts({}));
+  EXPECT_TRUE(N.accepts({0, 1}));
+  EXPECT_TRUE(N.accepts({0, 1, 0, 1}));
+  EXPECT_FALSE(N.accepts({0}));
+  EXPECT_FALSE(N.accepts({1, 0}));
+  EXPECT_FALSE(N.accepts({0, 0, 1}));
+}
+
+TEST(NfaTest, EpsilonClosureFollowsChains) {
+  Nfa N;
+  StateId Q0 = N.addState();
+  StateId Q1 = N.addState();
+  StateId Q2 = N.addState(true);
+  N.setStart(Q0);
+  N.addEpsilon(Q0, Q1);
+  N.addEpsilon(Q1, Q2);
+  auto C = N.epsilonClosure({Q0});
+  EXPECT_EQ(C.size(), 3u);
+  EXPECT_TRUE(N.accepts({}));
+}
+
+TEST(NfaTest, AlphabetCollectsEdgeSymbols) {
+  Nfa N = makeContainsAa();
+  auto A = N.alphabet();
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_TRUE(A.count(0));
+  EXPECT_TRUE(A.count(1));
+}
+
+TEST(DeterminizeTest, PreservesLanguageOnExamples) {
+  Nfa N = makeContainsAa();
+  Dfa D = determinize(N);
+  std::vector<std::vector<SymbolCode>> Words = {
+      {},      {0},       {0, 0},    {1, 0, 0},      {0, 1, 0},
+      {1, 1},  {0, 0, 1}, {1, 0, 1}, {0, 1, 0, 0, 1}};
+  for (const auto &W : Words)
+    EXPECT_EQ(N.accepts(W), D.accepts(W));
+}
+
+TEST(DeterminizeTest, ResultIsDeterministicAndReachable) {
+  Dfa D = determinize(makeContainsAa());
+  // The subset construction of this 3-state NFA has at most 2^3 states.
+  EXPECT_LE(D.numStates(), 8u);
+}
+
+TEST(CompleteTest, AddsSinkForMissingEdges) {
+  Dfa D;
+  StateId Q0 = D.addState(true);
+  D.setStart(Q0);
+  // No edges at all; completion over {0,1} adds a sink.
+  Dfa C = complete(D, {0, 1});
+  EXPECT_EQ(C.numStates(), 2u);
+  EXPECT_NE(C.step(Q0, 0), Dfa::NoState);
+  EXPECT_NE(C.step(Q0, 1), Dfa::NoState);
+}
+
+TEST(ComplementTest, FlipsMembership) {
+  Dfa D = determinize(makeAbStar());
+  Dfa C = complement(D, {0, 1});
+  std::vector<std::vector<SymbolCode>> Words = {
+      {}, {0}, {1}, {0, 1}, {1, 0}, {0, 1, 0}, {0, 1, 0, 1}};
+  for (const auto &W : Words)
+    EXPECT_NE(D.accepts(W), C.accepts(W)) << "word size " << W.size();
+}
+
+TEST(IntersectTest, AcceptsOnlyCommonWords) {
+  Dfa A = determinize(makeAbStar());       // (ab)*
+  Dfa B = determinize(makeContainsAa());   // contains aa
+  Dfa I = intersect(A, B);
+  // (ab)* never contains "aa": intersection is empty.
+  EXPECT_TRUE(isEmpty(I));
+}
+
+TEST(UniteTest, AcceptsEitherLanguage) {
+  Dfa A = determinize(makeAbStar());
+  Dfa B = determinize(makeContainsAa());
+  Dfa U = unite(A, B);
+  EXPECT_TRUE(U.accepts({0, 1}));    // in A
+  EXPECT_TRUE(U.accepts({0, 0}));    // in B
+  EXPECT_FALSE(U.accepts({1}));      // in neither
+}
+
+TEST(WitnessTest, FindsShortestAcceptedWord) {
+  Dfa D = determinize(makeContainsAa());
+  auto W = shortestWitness(D);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(*W, (std::vector<SymbolCode>{0, 0}));
+}
+
+TEST(WitnessTest, EmptyLanguageHasNoWitness) {
+  Dfa D;
+  StateId Q0 = D.addState(false);
+  D.setStart(Q0);
+  D.setEdge(Q0, 0, Q0);
+  EXPECT_FALSE(shortestWitness(D).has_value());
+  EXPECT_TRUE(isEmpty(D));
+}
+
+TEST(WitnessTest, EpsilonWitnessWhenStartAccepting) {
+  Dfa D;
+  StateId Q0 = D.addState(true);
+  D.setStart(Q0);
+  auto W = shortestWitness(D);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(W->empty());
+}
+
+TEST(MinimizeTest, CollapsesEquivalentStates) {
+  // Two redundant accepting states reachable on 0 and on 1.
+  Dfa D;
+  StateId Q0 = D.addState(false);
+  StateId Q1 = D.addState(true);
+  StateId Q2 = D.addState(true);
+  D.setStart(Q0);
+  D.setEdge(Q0, 0, Q1);
+  D.setEdge(Q0, 1, Q2);
+  Dfa M = minimize(D);
+  // Minimal complete DFA: start, accept, sink.
+  EXPECT_EQ(M.numStates(), 3u);
+  EXPECT_TRUE(equivalent(D, M));
+}
+
+TEST(MinimizeTest, PreservesLanguage) {
+  Dfa D = determinize(makeContainsAa());
+  Dfa M = minimize(D);
+  EXPECT_TRUE(equivalent(D, M));
+  EXPECT_LE(M.numStates(), D.numStates() + 1); // +1 for the added sink.
+}
+
+TEST(EquivalentTest, DetectsDifference) {
+  Dfa A = determinize(makeAbStar());
+  Dfa B = determinize(makeContainsAa());
+  EXPECT_FALSE(equivalent(A, B));
+  EXPECT_TRUE(equivalent(A, A));
+}
+
+//===----------------------------------------------------------------------===//
+// Property-style randomized sweeps
+//===----------------------------------------------------------------------===//
+
+Nfa randomNfa(std::mt19937 &Rng, unsigned NumStates, unsigned NumSymbols,
+              unsigned NumEdges) {
+  Nfa N;
+  for (unsigned I = 0; I < NumStates; ++I)
+    N.addState(Rng() % 4 == 0);
+  N.setStart(0);
+  for (unsigned I = 0; I < NumEdges; ++I)
+    N.addEdge(Rng() % NumStates, Rng() % NumSymbols, Rng() % NumStates);
+  if (Rng() % 2)
+    N.addEpsilon(Rng() % NumStates, Rng() % NumStates);
+  return N;
+}
+
+std::vector<SymbolCode> randomWord(std::mt19937 &Rng, unsigned NumSymbols,
+                                   unsigned MaxLen) {
+  std::vector<SymbolCode> W(Rng() % (MaxLen + 1));
+  for (auto &S : W)
+    S = Rng() % NumSymbols;
+  return W;
+}
+
+class RandomAutomataTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomAutomataTest, DeterminizationPreservesLanguage) {
+  std::mt19937 Rng(GetParam());
+  Nfa N = randomNfa(Rng, 6, 3, 12);
+  Dfa D = determinize(N);
+  for (int I = 0; I < 60; ++I) {
+    auto W = randomWord(Rng, 3, 8);
+    EXPECT_EQ(N.accepts(W), D.accepts(W));
+  }
+}
+
+TEST_P(RandomAutomataTest, MinimizationPreservesLanguage) {
+  std::mt19937 Rng(GetParam() + 1000);
+  Nfa N = randomNfa(Rng, 6, 3, 12);
+  Dfa D = determinize(N);
+  Dfa M = minimize(D);
+  for (int I = 0; I < 60; ++I) {
+    auto W = randomWord(Rng, 3, 8);
+    EXPECT_EQ(D.accepts(W), M.accepts(W));
+  }
+}
+
+TEST_P(RandomAutomataTest, ComplementIsInvolutiveOnMembership) {
+  std::mt19937 Rng(GetParam() + 2000);
+  Nfa N = randomNfa(Rng, 5, 2, 10);
+  Dfa D = determinize(N);
+  Dfa C = complement(D, {0, 1});
+  Dfa CC = complement(C, {0, 1});
+  for (int I = 0; I < 40; ++I) {
+    auto W = randomWord(Rng, 2, 8);
+    EXPECT_NE(D.accepts(W), C.accepts(W));
+    EXPECT_EQ(D.accepts(W), CC.accepts(W));
+  }
+}
+
+TEST_P(RandomAutomataTest, IntersectionAgreesWithConjunction) {
+  std::mt19937 Rng(GetParam() + 3000);
+  Dfa A = determinize(randomNfa(Rng, 5, 2, 10));
+  Dfa B = determinize(randomNfa(Rng, 5, 2, 10));
+  Dfa I = intersect(A, B);
+  for (int K = 0; K < 40; ++K) {
+    auto W = randomWord(Rng, 2, 8);
+    EXPECT_EQ(I.accepts(W), A.accepts(W) && B.accepts(W));
+  }
+}
+
+TEST_P(RandomAutomataTest, UnionAgreesWithDisjunction) {
+  std::mt19937 Rng(GetParam() + 4000);
+  Dfa A = determinize(randomNfa(Rng, 5, 2, 10));
+  Dfa B = determinize(randomNfa(Rng, 5, 2, 10));
+  Dfa U = unite(A, B);
+  for (int K = 0; K < 40; ++K) {
+    auto W = randomWord(Rng, 2, 8);
+    EXPECT_EQ(U.accepts(W), A.accepts(W) || B.accepts(W));
+  }
+}
+
+TEST_P(RandomAutomataTest, WitnessIsAcceptedAndMinimal) {
+  std::mt19937 Rng(GetParam() + 5000);
+  Dfa D = determinize(randomNfa(Rng, 6, 2, 12));
+  auto W = shortestWitness(D);
+  if (!W) {
+    EXPECT_TRUE(isEmpty(D));
+    return;
+  }
+  EXPECT_TRUE(D.accepts(*W));
+  // No strictly shorter word is accepted (exhaustive up to |W|-1 for the
+  // binary alphabet, capped).
+  if (W->size() > 0 && W->size() <= 6) {
+    for (size_t Len = 0; Len < W->size(); ++Len) {
+      for (unsigned Bits = 0; Bits < (1u << Len); ++Bits) {
+        std::vector<SymbolCode> Word(Len);
+        for (size_t I = 0; I < Len; ++I)
+          Word[I] = (Bits >> I) & 1;
+        EXPECT_FALSE(D.accepts(Word));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAutomataTest,
+                         ::testing::Range(0u, 12u));
+
+} // namespace

@@ -1,0 +1,498 @@
+//===- tests/ContractTest.cpp - projection/ready sets/compliance tests ----===//
+
+#include "contract/Compliance.h"
+#include "contract/ComplianceProduct.h"
+#include "contract/Project.h"
+#include "contract/ReadySets.h"
+#include "automata/Ops.h"
+#include "contract/Dual.h"
+#include "core/HotelExample.h"
+#include "hist/Printer.h"
+#include "plan/RequestExtract.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::contract;
+
+namespace {
+
+class ContractTest : public ::testing::Test {
+protected:
+  HistContext Ctx;
+
+  CommAction in(std::string_view Ch) {
+    return CommAction::input(Ctx.symbol(Ch));
+  }
+  CommAction out(std::string_view Ch) {
+    return CommAction::output(Ctx.symbol(Ch));
+  }
+
+  const Expr *sendE(std::string_view Ch) { return Ctx.send(Ch, Ctx.empty()); }
+  const Expr *recvE(std::string_view Ch) {
+    return Ctx.receive(Ch, Ctx.empty());
+  }
+
+  PolicyRef phi() {
+    PolicyRef P;
+    P.Name = Ctx.symbol("phi");
+    return P;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Projection (§4)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ContractTest, ProjectionErasesEventsFramingsRequests) {
+  const Expr *H = Ctx.seq({
+      Ctx.event("sgn", 1),
+      Ctx.framing(phi(), Ctx.event("x")),
+      Ctx.request(1, phi(), Ctx.send("inner", Ctx.empty())),
+      Ctx.send("a", Ctx.empty()),
+  });
+  const Expr *P = project(Ctx, H);
+  EXPECT_EQ(P, Ctx.send("a", Ctx.empty()));
+  EXPECT_TRUE(isContract(P));
+}
+
+TEST_F(ContractTest, ProjectionKeepsCommunicationStructure) {
+  const Expr *H = Ctx.receive(
+      "IdC", Ctx.seq(Ctx.event("log"),
+                     Ctx.intChoice({{out("Bok"), Ctx.empty()},
+                                    {out("UnA"), Ctx.empty()}})));
+  const Expr *P = project(Ctx, H);
+  EXPECT_EQ(P, Ctx.receive("IdC", Ctx.intChoice({{out("Bok"), Ctx.empty()},
+                                                 {out("UnA"), Ctx.empty()}})));
+}
+
+TEST_F(ContractTest, ProjectionOfFramingKeepsBody) {
+  const Expr *H = Ctx.framing(phi(), Ctx.send("a", Ctx.empty()));
+  EXPECT_EQ(project(Ctx, H), Ctx.send("a", Ctx.empty()));
+}
+
+TEST_F(ContractTest, ProjectionCommutesWithMu) {
+  const Expr *H = Ctx.mu(
+      "h", Ctx.send("a", Ctx.seq(Ctx.event("e"), Ctx.var("h"))));
+  const Expr *P = project(Ctx, H);
+  EXPECT_EQ(P, Ctx.mu("h", Ctx.send("a", Ctx.var("h"))));
+}
+
+TEST_F(ContractTest, ProjectionIsIdempotent) {
+  const Expr *H = Ctx.seq({
+      Ctx.event("e"),
+      Ctx.send("a", Ctx.receive("b", Ctx.event("f"))),
+  });
+  const Expr *P = project(Ctx, H);
+  EXPECT_EQ(project(Ctx, P), P);
+}
+
+TEST_F(ContractTest, IsContractRejectsNonContractForms) {
+  EXPECT_FALSE(isContract(Ctx.event("e")));
+  EXPECT_FALSE(isContract(Ctx.framing(phi(), Ctx.empty())));
+  EXPECT_TRUE(isContract(Ctx.empty()));
+  EXPECT_TRUE(isContract(sendE("a")));
+}
+
+//===----------------------------------------------------------------------===//
+// Ready sets (Def. 3)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ContractTest, EmptyHasEmptyReadySet) {
+  auto Sets = readySets(Ctx.empty());
+  ASSERT_EQ(Sets.size(), 1u);
+  EXPECT_TRUE(Sets[0].empty());
+}
+
+TEST_F(ContractTest, InternalChoiceHasSingletonReadySets) {
+  // (a1 ⊕ a2) ⇓ {a1} and (a1 ⊕ a2) ⇓ {a2}  (paper example).
+  const Expr *E = Ctx.intChoice({{out("a1"), Ctx.empty()},
+                                 {out("a2"), Ctx.empty()}});
+  auto Sets = readySets(E);
+  ASSERT_EQ(Sets.size(), 2u);
+  EXPECT_EQ(Sets[0].size(), 1u);
+  EXPECT_EQ(Sets[1].size(), 1u);
+}
+
+TEST_F(ContractTest, ExternalChoiceHasOneCombinedReadySet) {
+  // (a1 + a2) ⇓ {a1, a2}  (paper example).
+  const Expr *E = Ctx.extChoice({{in("a1"), Ctx.empty()},
+                                 {in("a2"), Ctx.empty()}});
+  auto Sets = readySets(E);
+  ASSERT_EQ(Sets.size(), 1u);
+  EXPECT_EQ(Sets[0].size(), 2u);
+}
+
+TEST_F(ContractTest, MuPassesThroughReadySets) {
+  // H = µh.(a1 ⊕ a2)·b·h ⇓ {a1} and {a2}  (paper example).
+  const Expr *E = Ctx.mu(
+      "h", Ctx.seq(Ctx.intChoice({{out("a1"), Ctx.empty()},
+                                  {out("a2"), Ctx.empty()}}),
+                   Ctx.send("b", Ctx.var("h"))));
+  auto Sets = readySets(E);
+  ASSERT_EQ(Sets.size(), 2u);
+  for (const auto &S : Sets)
+    EXPECT_EQ(S.size(), 1u);
+}
+
+TEST_F(ContractTest, SeqSkipsNullablePrefix) {
+  // ε·(a + b)·(d ⊕ e) ⇓ {a, b}  (paper example).
+  const Expr *E = Ctx.seq(
+      Ctx.seq(Ctx.empty(), Ctx.extChoice({{in("a"), Ctx.empty()},
+                                          {in("b"), Ctx.empty()}})),
+      Ctx.intChoice({{out("d"), Ctx.empty()}, {out("e"), Ctx.empty()}}));
+  auto Sets = readySets(E);
+  ASSERT_EQ(Sets.size(), 1u);
+  EXPECT_EQ(Sets[0].size(), 2u);
+  EXPECT_TRUE(Sets[0].count(in("a")));
+  EXPECT_TRUE(Sets[0].count(in("b")));
+}
+
+TEST_F(ContractTest, ComplementSetFlipsPolarity) {
+  ReadySet S = {in("a"), out("b")};
+  ReadySet C = complementSet(S);
+  EXPECT_TRUE(C.count(out("a")));
+  EXPECT_TRUE(C.count(in("b")));
+}
+
+TEST_F(ContractTest, CanSynchronizeNeedsComplementaryPair) {
+  EXPECT_TRUE(canSynchronize({out("a")}, {in("a")}));
+  EXPECT_TRUE(canSynchronize({in("a")}, {out("a")}));
+  EXPECT_FALSE(canSynchronize({out("a")}, {in("b")}));
+  EXPECT_FALSE(canSynchronize({in("a")}, {in("a")}));
+  EXPECT_FALSE(canSynchronize({}, {in("a")}));
+}
+
+//===----------------------------------------------------------------------===//
+// Compliance (Def. 4, Def. 5, Thm. 1)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ContractTest, SimpleHandshakeIsCompliant) {
+  const Expr *C = sendE("a");
+  const Expr *S = recvE("a");
+  auto R = checkCompliance(Ctx, C, S);
+  EXPECT_TRUE(R.Compliant);
+  EXPECT_FALSE(R.Witness.has_value());
+}
+
+TEST_F(ContractTest, MismatchedChannelsAreNotCompliant) {
+  auto R = checkCompliance(Ctx, sendE("a"), recvE("b"));
+  EXPECT_FALSE(R.Compliant);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(R.Witness->Path.empty()); // Stuck at the initial state.
+}
+
+TEST_F(ContractTest, ClientMayTerminateEarly) {
+  // Client ε against a server still willing to receive: compliant (the
+  // definition does not require both parties to terminate).
+  auto R = checkCompliance(Ctx, Ctx.empty(), recvE("a"));
+  EXPECT_TRUE(R.Compliant);
+}
+
+TEST_F(ContractTest, ServerTerminatedButClientWaitingIsStuck) {
+  auto R = checkCompliance(Ctx, recvE("a"), Ctx.empty());
+  EXPECT_FALSE(R.Compliant);
+}
+
+TEST_F(ContractTest, BothWaitingOnInputsIsStuck) {
+  auto R = checkCompliance(Ctx, recvE("a"), recvE("a"));
+  EXPECT_FALSE(R.Compliant);
+}
+
+TEST_F(ContractTest, InternalChoiceNeedsAllBranchesReceivable) {
+  // Server may send Bok or UnA; client handles both: compliant.
+  const Expr *Server = Ctx.intChoice({{out("Bok"), Ctx.empty()},
+                                      {out("UnA"), Ctx.empty()}});
+  const Expr *ClientOk = Ctx.extChoice({{in("Bok"), Ctx.empty()},
+                                        {in("UnA"), Ctx.empty()}});
+  EXPECT_TRUE(checkCompliance(Ctx, ClientOk, Server).Compliant);
+
+  // Client missing UnA: the server can decide on its own to send it.
+  const Expr *ClientBad = Ctx.extChoice({{in("Bok"), Ctx.empty()}});
+  EXPECT_FALSE(checkCompliance(Ctx, ClientBad, Server).Compliant);
+}
+
+TEST_F(ContractTest, ExternalChoiceOnlyNeedsOneMatch) {
+  // Server receives Bok or UnA; client sends just Bok: compliant — the
+  // receiver's external choice is driven by the sender.
+  const Expr *Server = Ctx.extChoice({{in("Bok"), Ctx.empty()},
+                                      {in("UnA"), Ctx.empty()}});
+  const Expr *Client = sendE("Bok");
+  EXPECT_TRUE(checkCompliance(Ctx, Client, Server).Compliant);
+}
+
+TEST_F(ContractTest, RecursiveProtocolIsCompliant) {
+  // Client: µh. ping!.pong?.h   Server: µk. ping?.pong!.k — infinite
+  // session, compliance holds (progress, not termination).
+  const Expr *C = Ctx.mu("h", Ctx.send("ping", Ctx.receive("pong",
+                                                           Ctx.var("h"))));
+  const Expr *S = Ctx.mu("k", Ctx.receive("ping", Ctx.send("pong",
+                                                           Ctx.var("k"))));
+  auto R = checkCompliance(Ctx, C, S);
+  EXPECT_TRUE(R.Compliant);
+  EXPECT_LE(R.ExploredStates, 4u); // Hash-consing keeps the product tiny.
+}
+
+TEST_F(ContractTest, RecursiveMismatchEventuallyStuck) {
+  // Client pings forever; server answers once then stops.
+  const Expr *C = Ctx.mu("h", Ctx.send("ping", Ctx.receive("pong",
+                                                           Ctx.var("h"))));
+  const Expr *S = Ctx.receive("ping", Ctx.send("pong", Ctx.empty()));
+  auto R = checkCompliance(Ctx, C, S);
+  EXPECT_FALSE(R.Compliant);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_EQ(R.Witness->Path.size(), 2u); // ping, pong, then stuck.
+}
+
+TEST_F(ContractTest, WitnessPathReplaysToStuckState) {
+  const Expr *C = Ctx.send("a", Ctx.send("b", Ctx.empty()));
+  const Expr *S = Ctx.receive("a", Ctx.receive("x", Ctx.empty()));
+  auto R = checkCompliance(Ctx, C, S);
+  ASSERT_FALSE(R.Compliant);
+  ASSERT_TRUE(R.Witness.has_value());
+  ASSERT_EQ(R.Witness->Path.size(), 1u);
+  EXPECT_EQ(R.Witness->Path[0], out("a"));
+  EXPECT_EQ(R.Witness->ClientStuck, Ctx.send("b", Ctx.empty()));
+  std::string Str = R.Witness->str(Ctx);
+  EXPECT_NE(Str.find("stuck"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's §2 compliance claims
+//===----------------------------------------------------------------------===//
+
+class HotelComplianceTest : public ::testing::Test {
+protected:
+  HotelComplianceTest() : Ex(core::makeHotelExample(Ctx)) {}
+  HistContext Ctx;
+  core::HotelExample Ex;
+
+  /// The broker's request-3 body: IdC!.(Bok? + UnA?).
+  const Expr *brokerSessionBody() {
+    auto Sites = plan::extractRequests(Ex.Br);
+    EXPECT_EQ(Sites.size(), 1u);
+    return Sites[0].body();
+  }
+};
+
+TEST_F(HotelComplianceTest, ClientCompliesWithBroker) {
+  auto Sites = plan::extractRequests(Ex.C1);
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_TRUE(
+      checkServiceCompliance(Ctx, Sites[0].body(), Ex.Br).Compliant);
+}
+
+TEST_F(HotelComplianceTest, HotelsS1S3S4ComplyWithBroker) {
+  const Expr *Body = brokerSessionBody();
+  EXPECT_TRUE(checkServiceCompliance(Ctx, Body, Ex.S1).Compliant);
+  EXPECT_TRUE(checkServiceCompliance(Ctx, Body, Ex.S3).Compliant);
+  EXPECT_TRUE(checkServiceCompliance(Ctx, Body, Ex.S4).Compliant);
+}
+
+TEST_F(HotelComplianceTest, S2IsNotCompliantBecauseOfDel) {
+  const Expr *Body = brokerSessionBody();
+  auto R = checkServiceCompliance(Ctx, Body, Ex.S2);
+  EXPECT_FALSE(R.Compliant);
+  ASSERT_TRUE(R.Witness.has_value());
+  // The witness mentions the unreceivable Del output.
+  std::string W = R.Witness->str(Ctx);
+  EXPECT_NE(W.find("Del"), std::string::npos);
+}
+
+TEST_F(HotelComplianceTest, BrokerNotCompliantWithHotelDirectly) {
+  // Binding the client's request 1 straight to a hotel deadlocks
+  // immediately: the client sends Req, the hotel waits for IdC.
+  auto Sites = plan::extractRequests(Ex.C1);
+  EXPECT_FALSE(
+      checkServiceCompliance(Ctx, Sites[0].body(), Ex.S3).Compliant);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-validation: Thm. 1 / Lemma 1 (product vs. direct Def. 4)
+//===----------------------------------------------------------------------===//
+
+struct CompliancePair {
+  const char *Name;
+  // Builders keyed by index, resolved in the test body.
+  int Case;
+};
+
+class CrossValidationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossValidationTest, ProductAgreesWithDirectChecker) {
+  HistContext Ctx;
+  auto In = [&](std::string_view C) { return CommAction::input(Ctx.symbol(C)); };
+  auto Out = [&](std::string_view C) {
+    return CommAction::output(Ctx.symbol(C));
+  };
+
+  std::vector<std::pair<const Expr *, const Expr *>> Cases;
+  // 1: handshake.
+  Cases.push_back({Ctx.send("a", Ctx.empty()), Ctx.receive("a", Ctx.empty())});
+  // 2: mismatch.
+  Cases.push_back({Ctx.send("a", Ctx.empty()), Ctx.receive("b", Ctx.empty())});
+  // 3: client terminates early.
+  Cases.push_back({Ctx.empty(), Ctx.receive("a", Ctx.empty())});
+  // 4: both wait.
+  Cases.push_back(
+      {Ctx.receive("a", Ctx.empty()), Ctx.receive("a", Ctx.empty())});
+  // 5: internal choice fully covered.
+  Cases.push_back({Ctx.extChoice({{In("x"), Ctx.empty()},
+                                  {In("y"), Ctx.empty()}}),
+                   Ctx.intChoice({{Out("x"), Ctx.empty()},
+                                  {Out("y"), Ctx.empty()}})});
+  // 6: internal choice with an unmatched branch.
+  Cases.push_back({Ctx.extChoice({{In("x"), Ctx.empty()}}),
+                   Ctx.intChoice({{Out("x"), Ctx.empty()},
+                                  {Out("z"), Ctx.empty()}})});
+  // 7: recursive ping/pong.
+  Cases.push_back(
+      {Ctx.mu("h", Ctx.send("p", Ctx.receive("q", Ctx.var("h")))),
+       Ctx.mu("k", Ctx.receive("p", Ctx.send("q", Ctx.var("k"))))});
+  // 8: recursion vs finite partner.
+  Cases.push_back(
+      {Ctx.mu("h", Ctx.send("p", Ctx.receive("q", Ctx.var("h")))),
+       Ctx.receive("p", Ctx.send("q", Ctx.empty()))});
+  // 9: sequencing with nullable head.
+  Cases.push_back({Ctx.seq(Ctx.empty(), Ctx.send("a", Ctx.empty())),
+                   Ctx.receive("a", Ctx.empty())});
+  // 10: longer pipeline.
+  Cases.push_back(
+      {Ctx.send("a", Ctx.send("b", Ctx.receive("c", Ctx.empty()))),
+       Ctx.receive("a", Ctx.receive("b", Ctx.send("c", Ctx.empty())))});
+
+  int I = GetParam();
+  ASSERT_LT(static_cast<size_t>(I), Cases.size());
+  const Expr *C = Cases[I].first;
+  const Expr *S = Cases[I].second;
+  EXPECT_EQ(checkCompliance(Ctx, C, S).Compliant,
+            checkComplianceDirect(Ctx, C, S))
+      << "case " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, CrossValidationTest,
+                         ::testing::Range(0, 10));
+
+//===----------------------------------------------------------------------===//
+// Thm. 2 / Cor. 1: the final-state predicate is state-local (invariant)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ContractTest, FinalStatePredicateIsStateLocal) {
+  // Evaluate isStuckPair on the same pair reached along different paths:
+  // the verdict must agree because it only inspects the current state.
+  const Expr *C = Ctx.send("a", recvE("x"));
+  const Expr *S = Ctx.receive("a", Ctx.empty());
+  auto StepsC = derive(Ctx, recvE("x"));
+  auto StepsS = derive(Ctx, Ctx.empty());
+  bool Direct = isStuckPair(recvE("x"), StepsC, StepsS);
+
+  ComplianceProduct Product(Ctx, C, S);
+  ASSERT_FALSE(Product.isEmptyLanguage());
+  auto Final = Product.firstFinal();
+  ASSERT_TRUE(Final.has_value());
+  EXPECT_EQ(Product.state(*Final).Client, recvE("x"));
+  EXPECT_TRUE(Direct);
+}
+
+TEST_F(ContractTest, ProductDfaEmptinessMatchesCompliance) {
+  const Expr *C = Ctx.mu("h", Ctx.send("p", Ctx.receive("q", Ctx.var("h"))));
+  const Expr *SGood =
+      Ctx.mu("k", Ctx.receive("p", Ctx.send("q", Ctx.var("k"))));
+  const Expr *SBad = Ctx.receive("p", Ctx.send("q", Ctx.empty()));
+
+  ComplianceProduct GoodP(Ctx, C, SGood);
+  ComplianceProduct BadP(Ctx, C, SBad);
+  EXPECT_TRUE(automata::isEmpty(GoodP.toDfa()));
+  EXPECT_FALSE(automata::isEmpty(BadP.toDfa()));
+}
+
+//===----------------------------------------------------------------------===//
+// Duality: C ⊢ dual(C) — property-tested on random contracts
+//===----------------------------------------------------------------------===//
+
+/// A random closed contract over a small channel alphabet.
+const Expr *randomContract(HistContext &Ctx, std::mt19937 &Rng,
+                           unsigned Depth, bool InLoop = false) {
+  auto Chan = [&](unsigned I) { return "rc" + std::to_string(I % 5); };
+  unsigned Pick = Rng() % (Depth == 0 ? 1u : (InLoop ? 5u : 6u));
+  switch (Pick) {
+  case 0:
+    return InLoop && Rng() % 2 ? Ctx.var("loop") : Ctx.empty();
+  case 1: // input prefix
+    return Ctx.receive(Chan(Rng()),
+                       randomContract(Ctx, Rng, Depth - 1, InLoop));
+  case 2: // output prefix
+    return Ctx.send(Chan(Rng()),
+                    randomContract(Ctx, Rng, Depth - 1, InLoop));
+  case 3: { // external choice
+    unsigned N = 2 + Rng() % 2;
+    std::vector<ChoiceBranch> Branches;
+    for (unsigned I = 0; I < N; ++I)
+      Branches.push_back({CommAction::input(Ctx.symbol(Chan(I))),
+                          randomContract(Ctx, Rng, Depth - 1, InLoop)});
+    return Ctx.extChoice(std::move(Branches));
+  }
+  case 4: { // internal choice
+    unsigned N = 2 + Rng() % 2;
+    std::vector<ChoiceBranch> Branches;
+    for (unsigned I = 0; I < N; ++I)
+      Branches.push_back({CommAction::output(Ctx.symbol(Chan(I))),
+                          randomContract(Ctx, Rng, Depth - 1, InLoop)});
+    return Ctx.intChoice(std::move(Branches));
+  }
+  default: { // guarded tail loop
+    const Expr *Body = Ctx.prefix(
+        Rng() % 2 ? CommAction::input(Ctx.symbol(Chan(Rng())))
+                  : CommAction::output(Ctx.symbol(Chan(Rng()))),
+        randomContract(Ctx, Rng, Depth - 1, /*InLoop=*/true));
+    return Ctx.mu("loop", Body);
+  }
+  }
+}
+
+class DualityTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DualityTest, DualIsInvolutive) {
+  HistContext Ctx;
+  std::mt19937 Rng(GetParam());
+  const Expr *C = randomContract(Ctx, Rng, 4);
+  EXPECT_EQ(dualContract(Ctx, dualContract(Ctx, C)), C);
+}
+
+TEST_P(DualityTest, ContractCompliesWithItsDual) {
+  HistContext Ctx;
+  std::mt19937 Rng(GetParam() + 500);
+  const Expr *C = randomContract(Ctx, Rng, 4);
+  const Expr *D = dualContract(Ctx, C);
+  auto R = checkCompliance(Ctx, C, D);
+  EXPECT_TRUE(R.Compliant)
+      << "contract: " << print(Ctx, C) << "\nwitness: "
+      << (R.Witness ? R.Witness->str(Ctx) : "none");
+  // And the direct Def. 4 checker agrees.
+  EXPECT_TRUE(checkComplianceDirect(Ctx, C, D));
+}
+
+TEST_P(DualityTest, DualOfHotelContractsComply) {
+  HistContext Ctx;
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+  std::vector<const Expr *> All = {Ex.C1, Ex.Br, Ex.S1, Ex.S2, Ex.S3};
+  const Expr *C = project(Ctx, All[GetParam() % All.size()]);
+  EXPECT_TRUE(checkCompliance(Ctx, C, dualContract(Ctx, C)).Compliant);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualityTest, ::testing::Range(0u, 20u));
+
+TEST_F(ContractTest, FinalStatesHaveNoOutgoingEdges) {
+  const Expr *C = Ctx.send("a", Ctx.send("b", Ctx.empty()));
+  const Expr *S = Ctx.receive("a", Ctx.empty());
+  ComplianceProduct P(Ctx, C, S);
+  for (ComplianceProduct::StateIndex I = 0; I < P.numStates(); ++I)
+    if (P.state(I).Final) {
+      EXPECT_TRUE(P.edges(I).empty());
+    }
+}
+
+} // namespace

@@ -1,0 +1,443 @@
+//===- tests/HistTest.cpp - history expression unit tests -----------------===//
+
+#include "hist/Bisim.h"
+#include "hist/Derive.h"
+#include "hist/HistContext.h"
+#include "hist/TraceEquiv.h"
+#include "hist/Printer.h"
+#include "hist/TransitionSystem.h"
+#include "hist/WellFormed.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sus;
+using namespace sus::hist;
+
+namespace {
+
+class HistTest : public ::testing::Test {
+protected:
+  HistContext Ctx;
+
+  PolicyRef phi() {
+    PolicyRef P;
+    P.Name = Ctx.symbol("phi");
+    P.Args.push_back({Value::integer(1)});
+    return P;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Construction, congruence, hash-consing
+//===----------------------------------------------------------------------===//
+
+TEST_F(HistTest, EmptyIsUnique) {
+  EXPECT_EQ(Ctx.empty(), Ctx.empty());
+  EXPECT_TRUE(Ctx.empty()->isEmpty());
+}
+
+TEST_F(HistTest, SeqNormalizesEpsilonLeftAndRight) {
+  const Expr *A = Ctx.event("a");
+  EXPECT_EQ(Ctx.seq(Ctx.empty(), A), A);
+  EXPECT_EQ(Ctx.seq(A, Ctx.empty()), A);
+}
+
+TEST_F(HistTest, SeqIsRightNested) {
+  const Expr *A = Ctx.event("a");
+  const Expr *B = Ctx.event("b");
+  const Expr *C = Ctx.event("c");
+  const Expr *Left = Ctx.seq(Ctx.seq(A, B), C);
+  const Expr *Right = Ctx.seq(A, Ctx.seq(B, C));
+  EXPECT_EQ(Left, Right);
+  const auto *S = dyn_cast<SeqExpr>(Left);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->head(), A);
+}
+
+TEST_F(HistTest, HashConsingSharesStructurallyEqualNodes) {
+  const Expr *A1 = Ctx.seq(Ctx.event("a"), Ctx.event("b"));
+  const Expr *A2 = Ctx.seq(Ctx.event("a"), Ctx.event("b"));
+  EXPECT_EQ(A1, A2);
+}
+
+TEST_F(HistTest, EventsDifferingInArgumentAreDistinct) {
+  EXPECT_NE(Ctx.event("p", 45), Ctx.event("p", 46));
+  EXPECT_NE(Ctx.event("p", 45), Ctx.event("p"));
+  EXPECT_NE(Ctx.event("sgn", "s1"), Ctx.event("sgn", "s2"));
+}
+
+TEST_F(HistTest, ChoiceBranchesAreCanonicalized) {
+  ChoiceBranch B1{CommAction::input(Ctx.symbol("a")), Ctx.empty()};
+  ChoiceBranch B2{CommAction::input(Ctx.symbol("b")), Ctx.empty()};
+  EXPECT_EQ(Ctx.extChoice({B1, B2}), Ctx.extChoice({B2, B1}));
+  EXPECT_EQ(Ctx.extChoice({B1, B1, B2}), Ctx.extChoice({B1, B2}));
+}
+
+TEST_F(HistTest, MuWithoutOccurrenceIsDropped) {
+  const Expr *Body = Ctx.event("a");
+  EXPECT_EQ(Ctx.mu("h", Body), Body);
+}
+
+TEST_F(HistTest, FreeVarsSeesThroughBinders) {
+  const Expr *H = Ctx.var("h");
+  EXPECT_EQ(Ctx.freeVars(H).size(), 1u);
+  const Expr *Closed = Ctx.mu("h", Ctx.send("a", H));
+  EXPECT_TRUE(Ctx.isClosed(Closed));
+  // Shadowing: inner mu binds its own h.
+  const Expr *Shadow =
+      Ctx.mu("h", Ctx.send("a", Ctx.mu("h", Ctx.send("b", Ctx.var("h")))));
+  EXPECT_TRUE(Ctx.isClosed(Shadow));
+}
+
+TEST_F(HistTest, SubstituteReplacesOnlyFreeOccurrences) {
+  const Expr *H = Ctx.var("h");
+  const Expr *K = Ctx.event("k");
+  EXPECT_EQ(Ctx.substitute(H, Ctx.symbol("h"), K), K);
+
+  const Expr *Inner = Ctx.mu("h", Ctx.send("a", Ctx.var("h")));
+  // h is bound inside Inner: substitution is the identity there.
+  EXPECT_EQ(Ctx.substitute(Inner, Ctx.symbol("h"), K), Inner);
+}
+
+//===----------------------------------------------------------------------===//
+// Operational semantics (the rules of §3)
+//===----------------------------------------------------------------------===//
+
+TEST_F(HistTest, EventFiresAndTerminates) {
+  auto Steps = derive(Ctx, Ctx.event("a", 7));
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_TRUE(Steps[0].L.isEvent());
+  EXPECT_EQ(Steps[0].L.asEvent().Arg, Value::integer(7));
+  EXPECT_TRUE(Steps[0].Target->isEmpty());
+}
+
+TEST_F(HistTest, EmptyHasNoTransitions) {
+  EXPECT_TRUE(derive(Ctx, Ctx.empty()).empty());
+}
+
+TEST_F(HistTest, InternalChoiceOffersEachOutput) {
+  const Expr *E = Ctx.intChoice({
+      {CommAction::output(Ctx.symbol("a")), Ctx.event("x")},
+      {CommAction::output(Ctx.symbol("b")), Ctx.event("y")},
+  });
+  auto Steps = derive(Ctx, E);
+  ASSERT_EQ(Steps.size(), 2u);
+  for (const Transition &T : Steps) {
+    EXPECT_TRUE(T.L.isComm());
+    EXPECT_TRUE(T.L.asComm().isOutput());
+  }
+}
+
+TEST_F(HistTest, ExternalChoiceOffersEachInput) {
+  const Expr *E = Ctx.extChoice({
+      {CommAction::input(Ctx.symbol("a")), Ctx.event("x")},
+      {CommAction::input(Ctx.symbol("b")), Ctx.event("y")},
+  });
+  auto Steps = derive(Ctx, E);
+  ASSERT_EQ(Steps.size(), 2u);
+  for (const Transition &T : Steps)
+    EXPECT_TRUE(T.L.asComm().isInput());
+}
+
+TEST_F(HistTest, RequestOpensAndLeavesCloseMark) {
+  const Expr *R = Ctx.request(5, phi(), Ctx.event("a"));
+  auto Steps = derive(Ctx, R);
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_TRUE(Steps[0].L.isOpen());
+  EXPECT_EQ(Steps[0].L.request(), 5u);
+  // Residual: a . close_5.
+  auto Steps2 = derive(Ctx, Steps[0].Target);
+  ASSERT_EQ(Steps2.size(), 1u);
+  EXPECT_TRUE(Steps2[0].L.isEvent());
+  auto Steps3 = derive(Ctx, Steps2[0].Target);
+  ASSERT_EQ(Steps3.size(), 1u);
+  EXPECT_TRUE(Steps3[0].L.isClose());
+  EXPECT_TRUE(Steps3[0].Target->isEmpty());
+}
+
+TEST_F(HistTest, FramingOpensAndLeavesFrameClose) {
+  const Expr *F = Ctx.framing(phi(), Ctx.event("a"));
+  auto Steps = derive(Ctx, F);
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_EQ(Steps[0].L.kind(), LabelKind::FrameOpen);
+  auto Steps2 = derive(Ctx, Steps[0].Target);
+  ASSERT_EQ(Steps2.size(), 1u);
+  auto Steps3 = derive(Ctx, Steps2[0].Target);
+  ASSERT_EQ(Steps3.size(), 1u);
+  EXPECT_EQ(Steps3[0].L.kind(), LabelKind::FrameClose);
+}
+
+TEST_F(HistTest, SeqStepsThroughHead) {
+  const Expr *E = Ctx.seq(Ctx.event("a"), Ctx.event("b"));
+  auto Steps = derive(Ctx, E);
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_EQ(Steps[0].Target, Ctx.event("b"));
+}
+
+TEST_F(HistTest, RecursionUnfoldsThroughGuard) {
+  // µh. a!.h — an infinite sender.
+  const Expr *Loop = Ctx.mu("h", Ctx.send("a", Ctx.var("h")));
+  auto Steps = derive(Ctx, Loop);
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_TRUE(Steps[0].L.asComm().isOutput());
+  // The derivative folds back to the same hash-consed state.
+  EXPECT_EQ(Steps[0].Target, Loop);
+}
+
+TEST_F(HistTest, DegenerateUnguardedMuIsStuckNotDivergent) {
+  const Expr *Bad = Ctx.mu("h", Ctx.var("h"));
+  EXPECT_TRUE(derive(Ctx, Bad).empty());
+}
+
+TEST_F(HistTest, TransitionSystemOfRecursiveSenderIsFinite) {
+  const Expr *Loop = Ctx.mu(
+      "h", Ctx.send("a", Ctx.receive("b", Ctx.var("h"))));
+  TransitionSystem Ts(Ctx, Loop);
+  EXPECT_TRUE(Ts.isComplete());
+  EXPECT_EQ(Ts.numStates(), 2u);
+  EXPECT_EQ(Ts.numEdges(), 2u);
+}
+
+TEST_F(HistTest, TransitionSystemCountsBranches) {
+  // a!.(b? + c?) has states: root, (b?+c?), ε.
+  const Expr *E = Ctx.send(
+      "a", Ctx.extChoice({
+               {CommAction::input(Ctx.symbol("b")), Ctx.empty()},
+               {CommAction::input(Ctx.symbol("c")), Ctx.empty()},
+           }));
+  TransitionSystem Ts(Ctx, E);
+  EXPECT_EQ(Ts.numStates(), 3u);
+  EXPECT_EQ(Ts.numEdges(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Well-formedness
+//===----------------------------------------------------------------------===//
+
+TEST_F(HistTest, WellFormedAcceptsGuardedTailRecursion) {
+  const Expr *Good = Ctx.mu("h", Ctx.send("a", Ctx.var("h")));
+  EXPECT_TRUE(isWellFormed(Ctx, Good));
+}
+
+TEST_F(HistTest, WellFormedRejectsFreeVariable) {
+  auto Issues = wellFormedIssues(Ctx, Ctx.var("h"));
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_EQ(Issues[0].Kind, WellFormedIssueKind::FreeVariable);
+}
+
+TEST_F(HistTest, WellFormedRejectsUnguardedRecursion) {
+  const Expr *Bad = Ctx.mu("h", Ctx.var("h"));
+  auto Issues = wellFormedIssues(Ctx, Bad);
+  bool FoundUnguarded = false;
+  for (const auto &I : Issues)
+    FoundUnguarded |= I.Kind == WellFormedIssueKind::UnguardedRecursion;
+  EXPECT_TRUE(FoundUnguarded);
+}
+
+TEST_F(HistTest, WellFormedRejectsEventGuardedRecursion) {
+  // µh. %e ; h — guarded by an event only: the projection would lose the
+  // guard, so the paper requires communication guards.
+  const Expr *Bad = Ctx.mu("h", Ctx.seq(Ctx.event("e"), Ctx.var("h")));
+  auto Issues = wellFormedIssues(Ctx, Bad);
+  bool FoundUnguarded = false;
+  for (const auto &I : Issues)
+    FoundUnguarded |= I.Kind == WellFormedIssueKind::UnguardedRecursion;
+  EXPECT_TRUE(FoundUnguarded);
+}
+
+TEST_F(HistTest, WellFormedRejectsNonTailRecursion) {
+  // µh. (a!.h) ; %b — the recursion variable is followed by more work.
+  const Expr *Bad = Ctx.mu(
+      "h", Ctx.seq(Ctx.send("a", Ctx.var("h")), Ctx.event("b")));
+  auto Issues = wellFormedIssues(Ctx, Bad);
+  bool FoundNonTail = false;
+  for (const auto &I : Issues)
+    FoundNonTail |= I.Kind == WellFormedIssueKind::NonTailRecursion;
+  EXPECT_TRUE(FoundNonTail);
+}
+
+TEST_F(HistTest, WellFormedRejectsRecursionInsideRequest) {
+  const Expr *Bad =
+      Ctx.mu("h", Ctx.send("a", Ctx.request(1, phi(), Ctx.var("h"))));
+  EXPECT_FALSE(isWellFormed(Ctx, Bad));
+}
+
+TEST_F(HistTest, WellFormedAcceptsSeqAfterCommunication) {
+  // µh. a!.(%e ; h): the tail position after the event is still guarded by
+  // the a! prefix.
+  const Expr *Good =
+      Ctx.mu("h", Ctx.send("a", Ctx.seq(Ctx.event("e"), Ctx.var("h"))));
+  EXPECT_TRUE(isWellFormed(Ctx, Good));
+}
+
+TEST_F(HistTest, CheckWellFormedReportsDiagnostics) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(checkWellFormed(Ctx, Ctx.var("h"), Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Bisimulation
+//===----------------------------------------------------------------------===//
+
+TEST_F(HistTest, BisimIsReflexive) {
+  const Expr *E = Ctx.mu("h", Ctx.send("a", Ctx.receive("b", Ctx.var("h"))));
+  EXPECT_TRUE(bisimilar(Ctx, E, E));
+}
+
+TEST_F(HistTest, BisimEquatesSeqDistribution) {
+  // (a!.ε)·K ~ a!.K — the Conc rule makes them indistinguishable.
+  const Expr *K = Ctx.receive("k", Ctx.empty());
+  const Expr *Left = Ctx.seq(Ctx.send("a", Ctx.empty()), K);
+  const Expr *Right = Ctx.send("a", K);
+  EXPECT_NE(Left, Right); // Different ASTs,
+  EXPECT_TRUE(bisimilar(Ctx, Left, Right)); // same behaviour.
+}
+
+TEST_F(HistTest, BisimDistinguishesChoicePoint) {
+  // x!.(y! ⊕ z!) vs (x!.y!) ⊕ (x!.z!): trace-equivalent but the moment of
+  // commitment differs — not bisimilar.
+  const Expr *Late = Ctx.send(
+      "x", Ctx.intChoice({
+               {CommAction::output(Ctx.symbol("y")), Ctx.empty()},
+               {CommAction::output(Ctx.symbol("z")), Ctx.empty()},
+           }));
+  const Expr *Early = Ctx.intChoice({
+      {CommAction::output(Ctx.symbol("x")), Ctx.send("y", Ctx.empty())},
+      {CommAction::output(Ctx.symbol("x")), Ctx.send("z", Ctx.empty())},
+  });
+  EXPECT_FALSE(bisimilar(Ctx, Late, Early));
+}
+
+TEST_F(HistTest, BisimEquatesUnrolledLoops) {
+  const Expr *One = Ctx.mu("h", Ctx.send("a", Ctx.var("h")));
+  const Expr *Two =
+      Ctx.mu("k", Ctx.send("a", Ctx.send("a", Ctx.var("k"))));
+  EXPECT_TRUE(bisimilar(Ctx, One, Two));
+}
+
+TEST_F(HistTest, BisimSeparatesDifferentLabels) {
+  EXPECT_FALSE(bisimilar(Ctx, Ctx.event("a"), Ctx.event("b")));
+  EXPECT_FALSE(bisimilar(Ctx, Ctx.event("a", 1), Ctx.event("a", 2)));
+  EXPECT_FALSE(bisimilar(Ctx, Ctx.empty(), Ctx.event("a")));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace equivalence
+//===----------------------------------------------------------------------===//
+
+TEST_F(HistTest, TraceEquivalenceIsCoarserThanBisim) {
+  // The classic pair: trace-equivalent but not bisimilar.
+  const Expr *Late = Ctx.send(
+      "x", Ctx.intChoice({
+               {CommAction::output(Ctx.symbol("y")), Ctx.empty()},
+               {CommAction::output(Ctx.symbol("z")), Ctx.empty()},
+           }));
+  const Expr *Early = Ctx.intChoice({
+      {CommAction::output(Ctx.symbol("x")), Ctx.send("y", Ctx.empty())},
+      {CommAction::output(Ctx.symbol("x")), Ctx.send("z", Ctx.empty())},
+  });
+  EXPECT_TRUE(traceEquivalent(Ctx, Late, Early));
+  EXPECT_FALSE(bisimilar(Ctx, Late, Early));
+}
+
+TEST_F(HistTest, TraceEquivalenceAgreesWithBisimWhenBisimilar) {
+  const Expr *One = Ctx.mu("h", Ctx.send("a", Ctx.var("h")));
+  const Expr *Two =
+      Ctx.mu("k", Ctx.send("a", Ctx.send("a", Ctx.var("k"))));
+  EXPECT_TRUE(bisimilar(Ctx, One, Two));
+  EXPECT_TRUE(traceEquivalent(Ctx, One, Two));
+}
+
+TEST_F(HistTest, TraceEquivalenceSeparatesDifferentLanguages) {
+  EXPECT_FALSE(traceEquivalent(Ctx, Ctx.event("a"), Ctx.event("b")));
+  EXPECT_FALSE(traceEquivalent(
+      Ctx, Ctx.send("a", Ctx.empty()),
+      Ctx.send("a", Ctx.send("a", Ctx.empty()))));
+}
+
+TEST_F(HistTest, TraceEquivalenceSeesThroughSeqNesting) {
+  const Expr *K = Ctx.receive("k", Ctx.empty());
+  EXPECT_TRUE(traceEquivalent(Ctx, Ctx.seq(Ctx.send("a", Ctx.empty()), K),
+                              Ctx.send("a", K)));
+}
+
+TEST_F(HistTest, CanPerformChecksTraceMembership) {
+  const Expr *E = Ctx.send(
+      "a", Ctx.extChoice({
+               {CommAction::input(Ctx.symbol("x")), Ctx.event("done")},
+               {CommAction::input(Ctx.symbol("y")), Ctx.empty()},
+           }));
+  auto Out = [&](std::string_view C) {
+    return Label::comm(CommAction::output(Ctx.symbol(C)));
+  };
+  auto In = [&](std::string_view C) {
+    return Label::comm(CommAction::input(Ctx.symbol(C)));
+  };
+  EXPECT_TRUE(canPerform(Ctx, E, {}));
+  EXPECT_TRUE(canPerform(Ctx, E, {Out("a")}));
+  EXPECT_TRUE(canPerform(Ctx, E, {Out("a"), In("x")}));
+  EXPECT_TRUE(canPerform(
+      Ctx, E, {Out("a"), In("x"), Label::event(Event{Ctx.symbol("done"),
+                                                     Value()})}));
+  EXPECT_FALSE(canPerform(Ctx, E, {In("a")}));
+  EXPECT_FALSE(canPerform(Ctx, E, {Out("a"), In("z")}));
+  EXPECT_FALSE(canPerform(
+      Ctx, E, {Out("a"), In("y"), Label::event(Event{Ctx.symbol("done"),
+                                                     Value()})}));
+}
+
+TEST_F(HistTest, CanPerformHandlesNondeterminism) {
+  // Two branches on the same channel: the subset walk must follow both.
+  const Expr *E = Ctx.intChoice({
+      {CommAction::output(Ctx.symbol("a")), Ctx.event("left")},
+      {CommAction::output(Ctx.symbol("a")), Ctx.event("right")},
+  });
+  auto OutA = Label::comm(CommAction::output(Ctx.symbol("a")));
+  auto EvLeft = Label::event(Event{Ctx.symbol("left"), Value()});
+  auto EvRight = Label::event(Event{Ctx.symbol("right"), Value()});
+  EXPECT_TRUE(canPerform(Ctx, E, {OutA, EvLeft}));
+  EXPECT_TRUE(canPerform(Ctx, E, {OutA, EvRight}));
+  EXPECT_FALSE(canPerform(Ctx, E, {OutA, EvLeft, EvRight}));
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+TEST_F(HistTest, PrintsPaperShapes) {
+  EXPECT_EQ(print(Ctx, Ctx.empty()), "eps");
+  EXPECT_EQ(print(Ctx, Ctx.event("sgn", "s1")), "%sgn(s1)");
+  EXPECT_EQ(print(Ctx, Ctx.event("p", 45)), "%p(45)");
+  const Expr *Choice = Ctx.extChoice({
+      {CommAction::input(Ctx.symbol("CoBo")), Ctx.send("Pay", Ctx.empty())},
+      {CommAction::input(Ctx.symbol("NoAv")), Ctx.empty()},
+  });
+  EXPECT_EQ(print(Ctx, Choice), "CoBo? . Pay! + NoAv?");
+}
+
+TEST_F(HistTest, PrintsSeqWithSemicolons) {
+  const Expr *E = Ctx.seq({Ctx.event("a"), Ctx.event("b"), Ctx.event("c")});
+  EXPECT_EQ(print(Ctx, E), "%a; %b; %c");
+}
+
+TEST_F(HistTest, PrintsMuAndRequest) {
+  const Expr *Loop = Ctx.mu("h", Ctx.send("a", Ctx.var("h")));
+  EXPECT_EQ(print(Ctx, Loop), "mu h . a! . h");
+  const Expr *R = Ctx.request(2, PolicyRef(), Ctx.event("x"));
+  EXPECT_EQ(print(Ctx, R), "open 2 { %x }");
+}
+
+TEST_F(HistTest, PrintDotEmitsDigraph) {
+  const Expr *Loop = Ctx.mu("h", Ctx.send("a", Ctx.var("h")));
+  TransitionSystem Ts(Ctx, Loop);
+  std::ostringstream OS;
+  printDot(Ctx, Ts, OS, "loop");
+  EXPECT_NE(OS.str().find("digraph"), std::string::npos);
+  EXPECT_NE(OS.str().find("a!"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tests/IntegrationTest.cpp - cross-module end-to-end tests ----------===//
+
+#include "core/HotelExample.h"
+#include "core/Verifier.h"
+#include "hist/Bisim.h"
+#include "lambda/TypeEffect.h"
+#include "net/Interpreter.h"
+#include "syntax/FileParser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sus;
+using namespace sus::hist;
+
+namespace {
+
+/// The full Fig. 2 network as a .sus file.
+const char *FullHotelSus = R"(
+policy phi(bl: set, p: int, t: int) {
+  start q1;
+  offending q6;
+  q1 -> q2 on sgn(x) when x not in bl;
+  q1 -> q6 on sgn(x) when x in bl;
+  q2 -> q3 on p(y) when y <= p;
+  q2 -> q4 on p(y) when y > p;
+  q4 -> q5 on ta(z) when z >= t;
+  q4 -> q6 on ta(z) when z < t;
+  q3 -> q3 on *; q5 -> q5 on *; q6 -> q6 on *;
+}
+
+service br {
+  Req? . (open 3 { IdC! . (Bok? + UnA?) }; (CoBo! . Pay? <+> NoAv!))
+}
+service s1 { %sgn(s1); %p(45); %ta(80);  IdC? . (Bok! <+> UnA!) }
+service s2 { %sgn(s2); %p(70); %ta(100); IdC? . (Bok! <+> UnA! <+> Del!) }
+service s3 { %sgn(s3); %p(90); %ta(100); IdC? . (Bok! <+> UnA!) }
+service s4 { %sgn(s4); %p(50); %ta(90);  IdC? . (Bok! <+> UnA!) }
+
+client c1 { open 1 @ phi({s1},45,100)    { Req! . (CoBo? . Pay! + NoAv?) } }
+client c2 { open 2 @ phi({s1,s3},40,70)  { Req! . (CoBo? . Pay! + NoAv?) } }
+
+plan pi1 for c1 { 1 -> br; 3 -> s3; }
+plan pi2 for c2 { 2 -> br; 3 -> s2; }
+plan pi3 for c2 { 2 -> br; 3 -> s3; }
+)";
+
+class IntegrationTest : public ::testing::Test {
+protected:
+  IntegrationTest() {
+    DiagnosticEngine Diags;
+    auto Parsed = syntax::parseSusFile(Ctx, FullHotelSus, Diags);
+    std::ostringstream OS;
+    Diags.print(OS);
+    EXPECT_TRUE(Parsed.has_value()) << OS.str();
+    if (Parsed)
+      File = std::move(*Parsed);
+  }
+
+  HistContext Ctx;
+  syntax::SusFile File;
+};
+
+TEST_F(IntegrationTest, ParsedFileMatchesHandBuiltFixture) {
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+  EXPECT_EQ(File.findClient(Ctx.symbol("c1")), Ex.C1);
+  EXPECT_EQ(File.findClient(Ctx.symbol("c2")), Ex.C2);
+  EXPECT_EQ(File.Repo.find(Ctx.symbol("br")), Ex.Br);
+  EXPECT_EQ(File.Repo.find(Ctx.symbol("s2")), Ex.S2);
+}
+
+TEST_F(IntegrationTest, VerifierFindsThePaperPlansFromTheParsedFile) {
+  core::Verifier V(Ctx, File.Repo, File.Registry);
+
+  auto R1 = V.verifyClient(File.findClient(Ctx.symbol("c1")),
+                           Ctx.symbol("c1"));
+  auto Valid1 = R1.validPlans();
+  ASSERT_EQ(Valid1.size(), 1u);
+  EXPECT_EQ(Valid1[0], File.findPlan(Ctx.symbol("pi1"))->Pi);
+
+  auto R2 = V.verifyClient(File.findClient(Ctx.symbol("c2")),
+                           Ctx.symbol("c2"));
+  auto Valid2 = R2.validPlans();
+  ASSERT_EQ(Valid2.size(), 1u);
+  EXPECT_EQ(*Valid2[0].lookup(3), Ctx.symbol("s4"));
+}
+
+TEST_F(IntegrationTest, DeclaredPlansGetThePaperVerdicts) {
+  core::Verifier V(Ctx, File.Repo, File.Registry);
+  const Expr *C1 = File.findClient(Ctx.symbol("c1"));
+  const Expr *C2 = File.findClient(Ctx.symbol("c2"));
+
+  // π1: valid.
+  EXPECT_TRUE(V.checkPlan(C1, Ctx.symbol("c1"),
+                          File.findPlan(Ctx.symbol("pi1"))->Pi)
+                  .isValid());
+  // π2: compliance failure (Del).
+  auto V2 = V.checkPlan(C2, Ctx.symbol("c2"),
+                        File.findPlan(Ctx.symbol("pi2"))->Pi);
+  EXPECT_FALSE(V2.compliancePassed());
+  // π3: compliance fine, security violation (s3 black-listed by c2).
+  auto V3 = V.checkPlan(C2, Ctx.symbol("c2"),
+                        File.findPlan(Ctx.symbol("pi3"))->Pi);
+  EXPECT_TRUE(V3.compliancePassed());
+  EXPECT_FALSE(V3.Security.Valid);
+}
+
+TEST_F(IntegrationTest, ValidPlanRunsMonitorFree) {
+  // §5: "switch off any run-time monitor, and live happily". A verified
+  // plan behaves identically with and without the monitor.
+  const Expr *C1 = File.findClient(Ctx.symbol("c1"));
+  const plan::Plan &Pi1 = File.findPlan(Ctx.symbol("pi1"))->Pi;
+  for (bool Monitor : {true, false}) {
+    net::InterpreterOptions Opts;
+    Opts.MonitorEnabled = Monitor;
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+      net::Interpreter I(Ctx, File.Repo, File.Registry,
+                         {{Ctx.symbol("c1"), C1, Pi1}}, Opts);
+      net::RunStats Stats = I.run(Seed);
+      EXPECT_TRUE(Stats.AllCompleted);
+      EXPECT_EQ(Stats.Violations, 0u);
+      EXPECT_EQ(Stats.BlockedAttempts, 0u);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, StaticVerdictPredictsRuntimeBehaviour) {
+  // Sweep every enumerable plan for both clients: statically-valid plans
+  // always complete unmonitored with no violation; plans rejected for a
+  // *security* reason either get blocked (monitored) or record a
+  // violation (unmonitored) on some schedule.
+  core::Verifier V(Ctx, File.Repo, File.Registry);
+  core::VerifierOptions Exhaustive;
+  Exhaustive.PruneWithCompliance = false;
+  core::Verifier VE(Ctx, File.Repo, File.Registry, Exhaustive);
+
+  for (const char *ClientName : {"c1", "c2"}) {
+    const Expr *Client = File.findClient(Ctx.symbol(ClientName));
+    auto Report = VE.verifyClient(Client, Ctx.symbol(ClientName));
+    for (const core::PlanVerdict &Verdict : Report.Verdicts) {
+      if (Verdict.isValid()) {
+        for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+          net::Interpreter I(Ctx, File.Repo, File.Registry,
+                             {{Ctx.symbol(ClientName), Client, Verdict.Pi}},
+                             net::InterpreterOptions{false});
+          net::RunStats Stats = I.run(Seed);
+          EXPECT_TRUE(Stats.AllCompleted)
+              << ClientName << " " << Verdict.Pi.str(Ctx.interner());
+          EXPECT_EQ(Stats.Violations, 0u);
+        }
+        continue;
+      }
+      if (Verdict.Security.Failure ==
+          validity::PlanFailureKind::PolicyViolation) {
+        bool SawTrouble = false;
+        for (uint64_t Seed = 1; Seed <= 16 && !SawTrouble; ++Seed) {
+          net::Interpreter I(Ctx, File.Repo, File.Registry,
+                             {{Ctx.symbol(ClientName), Client, Verdict.Pi}},
+                             net::InterpreterOptions{false});
+          net::RunStats Stats = I.run(Seed);
+          SawTrouble = Stats.Violations > 0;
+        }
+        EXPECT_TRUE(SawTrouble)
+            << ClientName << " " << Verdict.Pi.str(Ctx.interner());
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, LambdaPipelineProducesTheSameVerdicts) {
+  // Write C1 in the λ calculus, extract its effect, and verify it against
+  // the parsed repository: same unique valid plan.
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+  lambda::LambdaContext L(Ctx);
+  DiagnosticEngine Diags;
+  lambda::EffectSystem ES(L, Diags);
+
+  const lambda::Term *C1 = L.request(
+      1, Ex.Phi1,
+      L.seq(L.send("Req"), L.branch({L.arm("CoBo", L.send("Pay")),
+                                     L.arm("NoAv", L.unit())})));
+  auto Effect = ES.inferServiceEffect(C1);
+  ASSERT_TRUE(Effect.has_value());
+  EXPECT_TRUE(bisimilar(Ctx, *Effect, Ex.C1));
+
+  core::Verifier V(Ctx, File.Repo, File.Registry);
+  auto Report = V.verifyClient(*Effect, Ctx.symbol("c1"));
+  auto Valid = Report.validPlans();
+  ASSERT_EQ(Valid.size(), 1u);
+  EXPECT_EQ(Valid[0], Ex.pi1());
+}
+
+TEST_F(IntegrationTest, Figure3InterleavingReproduced) {
+  // Drive the two-client network along the Fig. 3 schedule and compare
+  // the recorded history of component 1 with the paper's.
+  core::HotelExample Ex = core::makeHotelExample(Ctx);
+  net::Interpreter I(Ctx, File.Repo, File.Registry,
+                     {{Ex.LC1, Ex.C1, Ex.pi1()},
+                      {Ex.LC2, Ex.C2, Ex.pi2Valid()}},
+                     net::InterpreterOptions{});
+
+  auto Apply = [&](size_t Component, net::Step::Kind K,
+                   std::string_view DescPart = {}) {
+    for (const net::Step &S : I.steps()) {
+      if (S.Component != Component || S.K != K || S.Blocked || S.PlanGap)
+        continue;
+      if (!DescPart.empty() && S.Desc.find(DescPart) == std::string::npos)
+        continue;
+      return I.apply(S);
+    }
+    ADD_FAILURE() << "no step of the requested shape";
+    return false;
+  };
+
+  using K = net::Step::Kind;
+  ASSERT_TRUE(Apply(0, K::Open));          // open_1,phi1 — C1 with broker.
+  ASSERT_TRUE(Apply(0, K::Synch, "Req"));  // request accepted.
+  ASSERT_TRUE(Apply(0, K::Open));          // broker opens 3 with s3.
+  ASSERT_TRUE(Apply(1, K::Open));          // C2 starts concurrently.
+  ASSERT_TRUE(Apply(0, K::Access, "sgn")); // s3 signs,
+  ASSERT_TRUE(Apply(0, K::Access, "p"));   // publishes price,
+  ASSERT_TRUE(Apply(0, K::Access, "ta"));  // and rating.
+  ASSERT_TRUE(Apply(0, K::Synch, "IdC"));  // client data forwarded.
+  ASSERT_TRUE(Apply(0, K::Synch));         // hotel answers (Bok or UnA).
+  ASSERT_TRUE(Apply(0, K::Close));         // close_3.
+  ASSERT_TRUE(Apply(0, K::Synch));         // answer forwarded to C1.
+  // If the broker confirmed (CoBo), C1 still pays before closing.
+  while (true) {
+    bool Paid = false;
+    for (const net::Step &S : I.steps())
+      if (S.Component == 0 && S.K == K::Synch) {
+        ASSERT_TRUE(I.apply(S));
+        Paid = true;
+        break;
+      }
+    if (!Paid)
+      break;
+  }
+  ASSERT_TRUE(Apply(0, K::Close)); // close_1, frames ϕ1 closed.
+
+  EXPECT_TRUE(I.isDone(0));
+  const policy::History &Eta = I.history(0);
+  EXPECT_TRUE(Eta.isBalanced());
+  std::string H = Eta.str(Ctx.interner());
+  // ⌊ϕ1 · sgn(s3) · p(90) · ta(100) · ⌋ϕ1 — exactly Fig. 3's history
+  // (singleton set parameters render without braces).
+  EXPECT_EQ(H, "[phi(s1,45,100) alpha_sgn(s3) alpha_p(90) alpha_ta(100) "
+               "phi(s1,45,100)]");
+}
+
+TEST_F(IntegrationTest, ReportsRenderWithoutCrashing) {
+  core::Verifier V(Ctx, File.Repo, File.Registry);
+  for (const char *Name : {"c1", "c2"}) {
+    auto Report =
+        V.verifyClient(File.findClient(Ctx.symbol(Name)), Ctx.symbol(Name));
+    std::ostringstream OS;
+    core::printReport(Report, Ctx, OS);
+    EXPECT_FALSE(OS.str().empty());
+  }
+}
+
+} // namespace

@@ -1,0 +1,413 @@
+//===- tests/LambdaTest.cpp - type-and-effect system tests ----------------===//
+
+#include "core/HotelExample.h"
+#include "hist/Bisim.h"
+#include "hist/Printer.h"
+#include "hist/TraceEquiv.h"
+#include "hist/WellFormed.h"
+#include "lambda/Eval.h"
+#include "lambda/TypeEffect.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::lambda;
+
+namespace {
+
+class LambdaTest : public ::testing::Test {
+protected:
+  LambdaTest() : L(Hist) {}
+
+  HistContext Hist;
+  LambdaContext L;
+
+  std::optional<TypeAndEffect> infer(const lambda::Term *T) {
+    Diags.clear();
+    EffectSystem ES(L, Diags);
+    return ES.infer(T);
+  }
+
+  std::optional<const Expr *> service(const lambda::Term *T) {
+    Diags.clear();
+    EffectSystem ES(L, Diags);
+    return ES.inferServiceEffect(T);
+  }
+
+  DiagnosticEngine Diags;
+};
+
+TEST_F(LambdaTest, UnitAndBoolHaveEmptyEffect) {
+  auto R = infer(L.unit());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Ty->isUnit());
+  EXPECT_TRUE(R->Effect->isEmpty());
+
+  auto B = infer(L.boolLit(true));
+  ASSERT_TRUE(B.has_value());
+  EXPECT_TRUE(B->Ty->isBool());
+}
+
+TEST_F(LambdaTest, EventHasItsEffect) {
+  auto R = infer(L.event("sgn", "s1"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect, Hist.event("sgn", "s1"));
+}
+
+TEST_F(LambdaTest, SeqComposesEffects) {
+  auto R = infer(L.seq(L.event("a"), L.event("b")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect, Hist.seq(Hist.event("a"), Hist.event("b")));
+}
+
+TEST_F(LambdaTest, UnboundVariableIsReported) {
+  EXPECT_FALSE(infer(L.var("x")).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(LambdaTest, LambdaHasLatentEffect) {
+  // λx:unit. %e — the event is latent; the abstraction itself is pure.
+  auto R = infer(L.lambda("x", L.unitType(), L.event("e")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Effect->isEmpty());
+  ASSERT_TRUE(R->Ty->isArrow());
+  EXPECT_EQ(R->Ty->latentEffect(), Hist.event("e"));
+}
+
+TEST_F(LambdaTest, ApplicationReleasesLatentEffect) {
+  const lambda::Term *Fn = L.lambda("x", L.unitType(), L.event("e"));
+  auto R = infer(L.app(Fn, L.seq(L.event("pre"), L.unit())));
+  ASSERT_TRUE(R.has_value());
+  // H_fn (ε) · H_arg (%pre) · latent (%e).
+  EXPECT_EQ(R->Effect, Hist.seq(Hist.event("pre"), Hist.event("e")));
+}
+
+TEST_F(LambdaTest, ApplicationChecksArgumentType) {
+  const lambda::Term *Fn = L.lambda("x", L.boolType(), L.unit());
+  EXPECT_FALSE(infer(L.app(Fn, L.unit())).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(LambdaTest, ApplyingNonFunctionIsAnError) {
+  EXPECT_FALSE(infer(L.app(L.unit(), L.unit())).has_value());
+}
+
+TEST_F(LambdaTest, IfRequiresBoolCondition) {
+  EXPECT_FALSE(
+      infer(L.ifTerm(L.unit(), L.unit(), L.unit())).has_value());
+}
+
+TEST_F(LambdaTest, IfRequiresEqualEffects) {
+  // Branches with different effects are rejected (use select instead).
+  EXPECT_FALSE(infer(L.ifTerm(L.boolLit(true), L.event("a"), L.event("b")))
+                   .has_value());
+  // Equal effects are fine.
+  auto R = infer(L.ifTerm(L.boolLit(true), L.event("a"), L.event("a")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect, Hist.event("a"));
+}
+
+TEST_F(LambdaTest, SendRecvBecomePrefixes) {
+  auto S = infer(L.send("ch"));
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Effect, Hist.send("ch", Hist.empty()));
+  auto R = infer(L.recv("ch"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect, Hist.receive("ch", Hist.empty()));
+}
+
+TEST_F(LambdaTest, SelectBecomesInternalChoice) {
+  auto R = infer(L.select({L.arm("Bok", L.unit()), L.arm("UnA", L.unit())}));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect,
+            Hist.intChoice({
+                {CommAction::output(Hist.symbol("Bok")), Hist.empty()},
+                {CommAction::output(Hist.symbol("UnA")), Hist.empty()},
+            }));
+}
+
+TEST_F(LambdaTest, BranchBecomesExternalChoice) {
+  auto R = infer(L.branch(
+      {L.arm("CoBo", L.send("Pay")), L.arm("NoAv", L.unit())}));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect->kind(), ExprKind::ExtChoice);
+}
+
+TEST_F(LambdaTest, ArmsMustAgreeOnType) {
+  EXPECT_FALSE(
+      infer(L.select({L.arm("a", L.unit()), L.arm("b", L.boolLit(true))}))
+          .has_value());
+}
+
+TEST_F(LambdaTest, RequestWrapsEffect) {
+  PolicyRef Phi;
+  Phi.Name = Hist.symbol("phi");
+  auto R = infer(L.request(7, Phi, L.send("Req")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect,
+            Hist.request(7, Phi, Hist.send("Req", Hist.empty())));
+}
+
+TEST_F(LambdaTest, FramingWrapsEffect) {
+  PolicyRef Phi;
+  Phi.Name = Hist.symbol("phi");
+  auto R = infer(L.framing(Phi, L.event("e")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Effect, Hist.framing(Phi, Hist.event("e")));
+}
+
+TEST_F(LambdaTest, RecJumpBecomesMu) {
+  // rec h { send ping; recv pong; jump h }.
+  const lambda::Term *Loop = L.rec(
+      "h", L.seq(L.send("ping"), L.seq(L.recv("pong"), L.jump("h"))));
+  auto R = service(Loop);
+  ASSERT_TRUE(R.has_value()) << [&] {
+    std::ostringstream OS;
+    Diags.print(OS);
+    return OS.str();
+  }();
+  EXPECT_TRUE(isWellFormed(Hist, *R));
+  // Bisimilar to the hand-written µh. ping!.pong?.h.
+  const Expr *Hand =
+      Hist.mu("h", Hist.send("ping", Hist.receive("pong", Hist.var("h"))));
+  EXPECT_TRUE(bisimilar(Hist, *R, Hand));
+}
+
+TEST_F(LambdaTest, JumpOutsideRecIsAnError) {
+  EXPECT_FALSE(infer(L.jump("h")).has_value());
+}
+
+TEST_F(LambdaTest, NonTailJumpIsRejectedByServiceCheck) {
+  // rec h { send a; jump h; send b } — effect µh.(a!·h·b!), non-tail.
+  const lambda::Term *Bad = L.rec(
+      "h", L.seq(L.send("a"), L.seq(L.jump("h"), L.send("b"))));
+  EXPECT_FALSE(service(Bad).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(LambdaTest, HotelServiceInLambdaMatchesFig2) {
+  // S3 written as service code; its extracted effect must be bisimilar to
+  // the hand-written Fig. 2 expression.
+  core::HotelExample Ex = core::makeHotelExample(Hist);
+  const lambda::Term *S3 = L.seq(
+      L.event("sgn", "s3"),
+      L.seq(L.event("p", int64_t(90)),
+            L.seq(L.event("ta", int64_t(100)),
+                  L.seq(L.recv("IdC"),
+                        L.select({L.arm("Bok", L.unit()),
+                                  L.arm("UnA", L.unit())})))));
+  auto Effect = service(S3);
+  ASSERT_TRUE(Effect.has_value());
+  EXPECT_TRUE(bisimilar(Hist, *Effect, Ex.S3))
+      << "lambda: " << print(Hist, *Effect)
+      << "\nfig2:   " << print(Hist, Ex.S3);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation and effect soundness
+//===----------------------------------------------------------------------===//
+
+/// An oracle that always picks arm 0.
+class FirstArmOracle : public EvalOracle {
+public:
+  size_t chooseSelect(const std::vector<Symbol> &) override { return 0; }
+  size_t chooseBranch(const std::vector<Symbol> &) override { return 0; }
+};
+
+/// A seeded random oracle.
+class RandomOracle : public EvalOracle {
+public:
+  explicit RandomOracle(unsigned Seed) : Rng(Seed) {}
+  size_t chooseSelect(const std::vector<Symbol> &Channels) override {
+    return Rng() % Channels.size();
+  }
+  size_t chooseBranch(const std::vector<Symbol> &Channels) override {
+    return Rng() % Channels.size();
+  }
+
+private:
+  std::mt19937 Rng;
+};
+
+TEST_F(LambdaTest, EvaluationEmitsLabelsInOrder) {
+  const lambda::Term *T = L.seq(
+      L.event("a"), L.seq(L.send("ch"), L.event("b", int64_t(7))));
+  FirstArmOracle O;
+  EvalOutcome Out = evaluate(L, T, O);
+  EXPECT_EQ(Out.Status, EvalStatus::Completed);
+  ASSERT_EQ(Out.Trace.size(), 3u);
+  EXPECT_TRUE(Out.Trace[0].isEvent());
+  EXPECT_TRUE(Out.Trace[1].isComm());
+  EXPECT_EQ(Out.Trace[2].asEvent().Arg, Value::integer(7));
+}
+
+TEST_F(LambdaTest, EvaluationAppliesClosures) {
+  const lambda::Term *T =
+      L.app(L.lambda("x", L.unitType(), L.event("late")),
+            L.seq(L.event("early"), L.unit()));
+  FirstArmOracle O;
+  EvalOutcome Out = evaluate(L, T, O);
+  EXPECT_EQ(Out.Status, EvalStatus::Completed);
+  ASSERT_EQ(Out.Trace.size(), 2u);
+  EXPECT_EQ(Out.Trace[0].asEvent().Name, Hist.symbol("early"));
+  EXPECT_EQ(Out.Trace[1].asEvent().Name, Hist.symbol("late"));
+}
+
+TEST_F(LambdaTest, EvaluationFollowsIfValues) {
+  const lambda::Term *T =
+      L.ifTerm(L.boolLit(false), L.event("a"), L.event("a"));
+  FirstArmOracle O;
+  EvalOutcome Out = evaluate(L, T, O);
+  EXPECT_EQ(Out.Status, EvalStatus::Completed);
+  EXPECT_EQ(Out.Trace.size(), 1u);
+}
+
+TEST_F(LambdaTest, EvaluationRunsLoopsUntilFuel) {
+  const lambda::Term *T = L.rec("h", L.seq(L.send("tick"), L.jump("h")));
+  FirstArmOracle O;
+  EvalOutcome Out = evaluate(L, T, O, /*Fuel=*/10);
+  EXPECT_EQ(Out.Status, EvalStatus::OutOfFuel);
+  EXPECT_EQ(Out.Trace.size(), 10u);
+}
+
+TEST_F(LambdaTest, EvaluationWrapsSessionsAndFrames) {
+  PolicyRef Phi;
+  Phi.Name = Hist.symbol("phi");
+  const lambda::Term *T =
+      L.request(4, Phi, L.framing(Phi, L.event("inside")));
+  FirstArmOracle O;
+  EvalOutcome Out = evaluate(L, T, O);
+  ASSERT_EQ(Out.Trace.size(), 5u);
+  EXPECT_TRUE(Out.Trace[0].isOpen());
+  EXPECT_EQ(Out.Trace[1].kind(), LabelKind::FrameOpen);
+  EXPECT_TRUE(Out.Trace[2].isEvent());
+  EXPECT_EQ(Out.Trace[3].kind(), LabelKind::FrameClose);
+  EXPECT_TRUE(Out.Trace[4].isClose());
+}
+
+//===----------------------------------------------------------------------===//
+// Effect soundness on random programs
+//===----------------------------------------------------------------------===//
+
+/// A random closed, unit-typed program. Inside a rec, jumps are only
+/// placed in tail position so the extracted effect is well-formed.
+const lambda::Term *randomProgram(lambda::LambdaContext &L,
+                                  std::mt19937 &Rng, unsigned Depth,
+                                  unsigned &NextRequest, bool InRec) {
+  auto Chan = [&](unsigned I) { return "c" + std::to_string(I % 4); };
+  if (Depth == 0) {
+    switch (Rng() % 4) {
+    case 0:
+      return L.unit();
+    case 1:
+      return L.event("e" + std::to_string(Rng() % 3));
+    case 2:
+      return L.send(Chan(Rng()));
+    default:
+      return L.recv(Chan(Rng()));
+    }
+  }
+  switch (Rng() % 8) {
+  case 0:
+    return L.seq(randomProgram(L, Rng, Depth - 1, NextRequest, InRec),
+                 randomProgram(L, Rng, Depth - 1, NextRequest, InRec));
+  case 1: {
+    // if with *the same* branch twice: well-typed with equal effects.
+    const lambda::Term *Branch =
+        randomProgram(L, Rng, Depth - 1, NextRequest, InRec);
+    return L.ifTerm(L.boolLit(Rng() % 2 == 0), Branch, Branch);
+  }
+  case 2: {
+    unsigned N = 1 + Rng() % 3;
+    std::vector<lambda::CommArm> Arms;
+    for (unsigned I = 0; I < N; ++I)
+      Arms.push_back({L.symbol(Chan(I)),
+                      randomProgram(L, Rng, Depth - 1, NextRequest, InRec)});
+    return Rng() % 2 ? L.select(std::move(Arms)) : L.branch(std::move(Arms));
+  }
+  case 3: {
+    hist::PolicyRef Phi;
+    Phi.Name = L.symbol("phi" + std::to_string(Rng() % 2));
+    return L.framing(Phi, randomProgram(L, Rng, Depth - 1, NextRequest,
+                                        InRec));
+  }
+  case 4: {
+    // Sessions reset the rec context (a jump may not escape a session).
+    hist::PolicyRef Phi;
+    return L.request(
+        NextRequest++, Phi,
+        randomProgram(L, Rng, Depth - 1, NextRequest, /*InRec=*/false));
+  }
+  case 5: {
+    // Application of an immediate unit abstraction.
+    const lambda::Term *Body =
+        randomProgram(L, Rng, Depth - 1, NextRequest, InRec);
+    const lambda::Term *Arg =
+        randomProgram(L, Rng, Depth - 1, NextRequest, /*InRec=*/false);
+    return L.app(L.lambda("x", L.unitType(), Body), Arg);
+  }
+  case 6: {
+    if (InRec)
+      return randomProgram(L, Rng, Depth - 1, NextRequest, InRec);
+    // rec loop: guard, then jump or exit in tail position.
+    bool Loops = Rng() % 2 == 0;
+    const lambda::Term *Tail =
+        Loops ? L.jump("r")
+              : randomProgram(L, Rng, Depth - 1, NextRequest, false);
+    std::vector<lambda::CommArm> Arms = {{L.symbol(Chan(Rng())), Tail}};
+    return L.rec("r", Rng() % 2 ? L.select(std::move(Arms))
+                                : L.branch(std::move(Arms)));
+  }
+  default:
+    return randomProgram(L, Rng, Depth - 1, NextRequest, InRec);
+  }
+}
+
+class EffectSoundnessTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EffectSoundnessTest, EmittedTracesBelongToTheExtractedEffect) {
+  hist::HistContext Hist;
+  lambda::LambdaContext L(Hist);
+  std::mt19937 Rng(GetParam());
+  unsigned NextRequest = 1;
+  const lambda::Term *P = randomProgram(L, Rng, 4, NextRequest, false);
+
+  DiagnosticEngine Diags;
+  lambda::EffectSystem ES(L, Diags);
+  auto TE = ES.infer(P);
+  ASSERT_TRUE(TE.has_value()) << [&] {
+    std::ostringstream OS;
+    Diags.print(OS);
+    return OS.str();
+  }();
+
+  for (unsigned Run = 0; Run < 8; ++Run) {
+    RandomOracle O(GetParam() * 97 + Run);
+    EvalOutcome Out = evaluate(L, P, O, /*Fuel=*/128);
+    ASSERT_NE(Out.Status, EvalStatus::Error);
+    EXPECT_TRUE(canPerform(Hist, TE->Effect, Out.Trace))
+        << "effect: " << print(Hist, TE->Effect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EffectSoundnessTest,
+                         ::testing::Range(0u, 30u));
+
+TEST_F(LambdaTest, HotelClientInLambdaMatchesFig2) {
+  core::HotelExample Ex = core::makeHotelExample(Hist);
+  const lambda::Term *C1 = L.request(
+      1, Ex.Phi1,
+      L.seq(L.send("Req"),
+            L.branch({L.arm("CoBo", L.send("Pay")),
+                      L.arm("NoAv", L.unit())})));
+  auto Effect = service(C1);
+  ASSERT_TRUE(Effect.has_value());
+  EXPECT_TRUE(bisimilar(Hist, *Effect, Ex.C1));
+}
+
+} // namespace

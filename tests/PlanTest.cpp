@@ -1,0 +1,177 @@
+//===- tests/PlanTest.cpp - plans, extraction, enumeration ----------------===//
+
+#include "core/HotelExample.h"
+#include "plan/PlanEnumerator.h"
+#include "plan/RequestExtract.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::plan;
+using core::HotelExample;
+using core::makeHotelExample;
+
+namespace {
+
+class PlanTest : public ::testing::Test {
+protected:
+  PlanTest() : Ex(makeHotelExample(Ctx)) {}
+  HistContext Ctx;
+  HotelExample Ex;
+};
+
+TEST_F(PlanTest, PlanBindingsAndLookup) {
+  Plan Pi;
+  EXPECT_FALSE(Pi.lookup(1).has_value());
+  Pi.bind(1, Ex.LBr);
+  ASSERT_TRUE(Pi.lookup(1).has_value());
+  EXPECT_EQ(*Pi.lookup(1), Ex.LBr);
+  EXPECT_TRUE(Pi.covers(1));
+  EXPECT_FALSE(Pi.covers(2));
+}
+
+TEST_F(PlanTest, MergeIsRightBiased) {
+  Plan A, B;
+  A.bind(1, Ex.LS1);
+  B.bind(1, Ex.LS2);
+  B.bind(2, Ex.LS3);
+  Plan M = A.merge(B);
+  EXPECT_EQ(*M.lookup(1), Ex.LS2);
+  EXPECT_EQ(*M.lookup(2), Ex.LS3);
+}
+
+TEST_F(PlanTest, PlanStrRendersBindings) {
+  Plan Pi = Ex.pi1();
+  std::string S = Pi.str(Ctx.interner());
+  EXPECT_EQ(S, "{1 -> br, 3 -> s3}");
+}
+
+TEST_F(PlanTest, RepositoryFindAndLocations) {
+  EXPECT_EQ(Ex.Repo.find(Ex.LBr), Ex.Br);
+  EXPECT_EQ(Ex.Repo.find(Ctx.symbol("nowhere")), nullptr);
+  EXPECT_EQ(Ex.Repo.locations().size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Request extraction
+//===----------------------------------------------------------------------===//
+
+TEST_F(PlanTest, ExtractFindsClientRequest) {
+  auto Sites = extractRequests(Ex.C1);
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_EQ(Sites[0].id(), 1u);
+  EXPECT_EQ(Sites[0].policy(), Ex.Phi1);
+}
+
+TEST_F(PlanTest, ExtractFindsBrokerRequest) {
+  auto Sites = extractRequests(Ex.Br);
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_EQ(Sites[0].id(), 3u);
+  EXPECT_TRUE(Sites[0].policy().isTrivial());
+}
+
+TEST_F(PlanTest, ExtractFindsNestedRequests) {
+  PolicyRef None;
+  const Expr *Nested = Ctx.request(
+      1, None,
+      Ctx.send("a", Ctx.request(2, None, Ctx.send("b", Ctx.empty()))));
+  auto All = extractRequests(Nested);
+  EXPECT_EQ(All.size(), 2u);
+  auto Top = extractTopLevelRequests(Nested);
+  ASSERT_EQ(Top.size(), 1u);
+  EXPECT_EQ(Top[0].id(), 1u);
+}
+
+TEST_F(PlanTest, ExtractSearchesChoiceBranches) {
+  PolicyRef None;
+  const Expr *E = Ctx.extChoice({
+      {CommAction::input(Ctx.symbol("a")),
+       Ctx.request(7, None, Ctx.send("x", Ctx.empty()))},
+      {CommAction::input(Ctx.symbol("b")),
+       Ctx.request(8, None, Ctx.send("y", Ctx.empty()))},
+  });
+  EXPECT_EQ(extractRequests(E).size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration
+//===----------------------------------------------------------------------===//
+
+TEST_F(PlanTest, EnumerationChasesTransitiveRequests) {
+  auto R = enumeratePlans(Ex.C1, Ex.Repo);
+  EXPECT_FALSE(R.Truncated);
+  // Request 1 has 5 choices; when bound to the broker, request 3 has 5
+  // choices; otherwise no further requests: 4 + 5 = 9 complete plans...
+  // except binding 1 to a hotel leaves no request 3, so: 4 plans with
+  // 1->hotel plus 5 with 1->br: 9 total.
+  EXPECT_EQ(R.Plans.size(), 9u);
+  for (const Plan &Pi : R.Plans) {
+    ASSERT_TRUE(Pi.covers(1));
+    if (*Pi.lookup(1) == Ex.LBr)
+      EXPECT_TRUE(Pi.covers(3));
+    else
+      EXPECT_FALSE(Pi.covers(3));
+  }
+}
+
+TEST_F(PlanTest, FilterPrunesBindings) {
+  EnumeratorOptions Opts;
+  // Only allow the broker for request 1 and s3/s4 for request 3.
+  Opts.Filter = [&](const RequestSite &Site, Loc L, const Expr *) {
+    if (Site.id() == 1)
+      return L == Ex.LBr;
+    return L == Ex.LS3 || L == Ex.LS4;
+  };
+  auto R = enumeratePlans(Ex.C1, Ex.Repo, Opts);
+  EXPECT_EQ(R.Plans.size(), 2u);
+  EXPECT_LT(R.BindingsTried, 20u);
+}
+
+TEST_F(PlanTest, MaxPlansTruncates) {
+  EnumeratorOptions Opts;
+  Opts.MaxPlans = 3;
+  auto R = enumeratePlans(Ex.C1, Ex.Repo, Opts);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_EQ(R.Plans.size(), 3u);
+}
+
+TEST_F(PlanTest, ClientWithoutRequestsHasOneEmptyPlan) {
+  const Expr *NoReq = Ctx.event("just-an-event");
+  auto R = enumeratePlans(NoReq, Ex.Repo);
+  ASSERT_EQ(R.Plans.size(), 1u);
+  EXPECT_EQ(R.Plans[0].size(), 0u);
+}
+
+TEST_F(PlanTest, RecursiveServiceReusesBinding) {
+  // A service that re-issues its own request id: the enumeration must
+  // terminate and keep one binding per request id.
+  PolicyRef None;
+  plan::Repository Repo;
+  Loc LSelf = Ctx.symbol("self");
+  // self = a?. open 42 { b! } — and request 42 maps to self again.
+  const Expr *Self = Ctx.receive(
+      "a", Ctx.request(42, None, Ctx.send("b", Ctx.empty())));
+  Repo.add(LSelf, Self);
+
+  const Expr *Client =
+      Ctx.request(42, None, Ctx.send("b", Ctx.empty()));
+  auto R = enumeratePlans(Client, Repo);
+  ASSERT_EQ(R.Plans.size(), 1u);
+  EXPECT_EQ(*R.Plans[0].lookup(42), LSelf);
+}
+
+TEST_F(PlanTest, PaperPlansAppearAmongCandidates) {
+  auto R = enumeratePlans(Ex.C1, Ex.Repo);
+  EXPECT_NE(std::find(R.Plans.begin(), R.Plans.end(), Ex.pi1()),
+            R.Plans.end());
+  auto R2 = enumeratePlans(Ex.C2, Ex.Repo);
+  EXPECT_NE(std::find(R2.Plans.begin(), R2.Plans.end(), Ex.pi2()),
+            R2.Plans.end());
+  EXPECT_NE(std::find(R2.Plans.begin(), R2.Plans.end(), Ex.pi2Valid()),
+            R2.Plans.end());
+}
+
+} // namespace

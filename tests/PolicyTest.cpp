@@ -1,0 +1,596 @@
+//===- tests/PolicyTest.cpp - usage automata and validity tests -----------===//
+
+#include "automata/Ops.h"
+#include "hist/HistContext.h"
+#include "policy/Compile.h"
+#include "policy/FramedAutomaton.h"
+#include "policy/Prelude.h"
+#include "policy/Validity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+using namespace sus;
+using namespace sus::policy;
+using hist::Event;
+using hist::Label;
+using hist::PolicyRef;
+
+namespace {
+
+class PolicyTest : public ::testing::Test {
+protected:
+  PolicyTest()
+      : Hotel(makeHotelPolicy(Interner)),
+        Never(makeNeverAfterPolicy(Interner, "noWaR", "read", "write")) {
+    Registry.add(Hotel);
+    Registry.add(Never);
+  }
+
+  Event ev(std::string_view Name) {
+    return Event{Interner.intern(Name), Value()};
+  }
+  Event ev(std::string_view Name, int64_t N) {
+    return Event{Interner.intern(Name), Value::integer(N)};
+  }
+  Event ev(std::string_view Name, std::string_view Who) {
+    return Event{Interner.intern(Name), Value::name(Interner.intern(Who))};
+  }
+
+  /// ϕ(bl, p, t) reference.
+  PolicyRef phiRef(std::vector<std::string_view> Bl, int64_t P, int64_t T) {
+    PolicyRef Ref;
+    Ref.Name = Interner.intern("phi");
+    std::vector<Value> BlValues;
+    for (auto Name : Bl)
+      BlValues.push_back(Value::name(Interner.intern(Name)));
+    std::sort(BlValues.begin(), BlValues.end());
+    Ref.Args.push_back(std::move(BlValues));
+    Ref.Args.push_back({Value::integer(P)});
+    Ref.Args.push_back({Value::integer(T)});
+    return Ref;
+  }
+
+  PolicyRef neverRef() {
+    PolicyRef Ref;
+    Ref.Name = Interner.intern("noWaR");
+    return Ref;
+  }
+
+  StringInterner Interner;
+  UsageAutomaton Hotel;
+  UsageAutomaton Never;
+  PolicyRegistry Registry;
+};
+
+//===----------------------------------------------------------------------===//
+// Guards
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolicyTest, CmpOpsEvaluate) {
+  EXPECT_TRUE(evalCmp(CmpOp::LT, 1, 2));
+  EXPECT_FALSE(evalCmp(CmpOp::LT, 2, 2));
+  EXPECT_TRUE(evalCmp(CmpOp::LE, 2, 2));
+  EXPECT_TRUE(evalCmp(CmpOp::GT, 3, 2));
+  EXPECT_TRUE(evalCmp(CmpOp::GE, 2, 2));
+  EXPECT_TRUE(evalCmp(CmpOp::EQ, 5, 5));
+  EXPECT_TRUE(evalCmp(CmpOp::NE, 5, 6));
+}
+
+TEST_F(PolicyTest, GuardInParamMatchesSetMembership) {
+  PolicyArgs Args = {{Value::name(Interner.intern("s1")),
+                      Value::name(Interner.intern("s2"))}};
+  Guard In = Guard::inParam(0);
+  Guard NotIn = Guard::notInParam(0);
+  Value S1 = Value::name(Interner.intern("s1"));
+  Value S3 = Value::name(Interner.intern("s3"));
+  EXPECT_TRUE(In.eval(S1, Args));
+  EXPECT_FALSE(In.eval(S3, Args));
+  EXPECT_FALSE(NotIn.eval(S1, Args));
+  EXPECT_TRUE(NotIn.eval(S3, Args));
+}
+
+TEST_F(PolicyTest, GuardCmpParamIsFalseOnTypeMismatch) {
+  PolicyArgs Args = {{Value::integer(10)}};
+  Guard G = Guard::cmpParam(CmpOp::LE, 0);
+  EXPECT_TRUE(G.eval(Value::integer(9), Args));
+  EXPECT_FALSE(G.eval(Value::name(Interner.intern("x")), Args));
+  EXPECT_FALSE(G.eval(Value(), Args));
+}
+
+TEST_F(PolicyTest, GuardConjunctionRequiresAllAtoms) {
+  PolicyArgs Args = {{Value::integer(10)}};
+  Guard G = Guard::cmpParam(CmpOp::GT, 0) &&
+            Guard::cmpConst(CmpOp::LT, Value::integer(20));
+  EXPECT_TRUE(G.eval(Value::integer(15), Args));
+  EXPECT_FALSE(G.eval(Value::integer(5), Args));  // fails first atom
+  EXPECT_FALSE(G.eval(Value::integer(25), Args)); // fails second atom
+}
+
+TEST_F(PolicyTest, GuardOutOfRangeParamIsFalse) {
+  PolicyArgs Args; // no parameters bound
+  EXPECT_FALSE(Guard::inParam(0).eval(Value::integer(1), Args));
+  EXPECT_FALSE(Guard::cmpParam(CmpOp::EQ, 3).eval(Value::integer(1), Args));
+}
+
+//===----------------------------------------------------------------------===//
+// The Fig. 1 automaton
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolicyTest, HotelPolicyVerifies) {
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Hotel.verify(Interner, Diags));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST_F(PolicyTest, BlackListedHotelViolates) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  EXPECT_FALSE(respects({ev("sgn", "s1")}, *Inst));
+}
+
+TEST_F(PolicyTest, NonBlackListedCheapHotelRespects) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  // S3-ish trace with price over threshold but perfect rating.
+  EXPECT_TRUE(respects(
+      {ev("sgn", "s3"), ev("p", 90), ev("ta", 100)}, *Inst));
+}
+
+TEST_F(PolicyTest, ExpensiveAndLowRatedViolates) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  // S4: price 50 > 45 and rating 90 < 100.
+  EXPECT_FALSE(respects(
+      {ev("sgn", "s4"), ev("p", 50), ev("ta", 90)}, *Inst));
+}
+
+TEST_F(PolicyTest, ExpensiveButWellRatedRespects) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  EXPECT_TRUE(respects(
+      {ev("sgn", "s2"), ev("p", 70), ev("ta", 100)}, *Inst));
+}
+
+TEST_F(PolicyTest, CheapHotelRatingIsIrrelevant) {
+  auto Inst = Registry.instantiate(phiRef({}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  EXPECT_TRUE(respects(
+      {ev("sgn", "s1"), ev("p", 45), ev("ta", 1)}, *Inst));
+}
+
+TEST_F(PolicyTest, OffendingStateIsAbsorbing) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  PolicyMonitor M(*Inst);
+  M.step(ev("sgn", "s1"));
+  EXPECT_TRUE(M.isOffending());
+  M.step(ev("p", 10));
+  M.step(ev("ta", 100));
+  EXPECT_TRUE(M.isOffending());
+}
+
+TEST_F(PolicyTest, UnmentionedEventsAreImplicitSelfLoops) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  PolicyMonitor M(*Inst);
+  M.step(ev("unrelated"));
+  M.step(ev("other", 3));
+  EXPECT_FALSE(M.isOffending());
+  // Still in the start state: a black-listed signature still trips it.
+  M.step(ev("sgn", "s1"));
+  EXPECT_TRUE(M.isOffending());
+}
+
+TEST_F(PolicyTest, MonitorResetRestartsFromStart) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  PolicyMonitor M(*Inst);
+  M.step(ev("sgn", "s1"));
+  EXPECT_TRUE(M.isOffending());
+  M.reset();
+  EXPECT_FALSE(M.isOffending());
+}
+
+TEST_F(PolicyTest, PrintDotMentionsGuards) {
+  std::ostringstream OS;
+  Hotel.printDot(Interner, OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("digraph"), std::string::npos);
+  EXPECT_NE(S.find("x in bl"), std::string::npos);
+  EXPECT_NE(S.find("x <= p"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolicyTest, InstantiateChecksArity) {
+  DiagnosticEngine Diags;
+  PolicyRef Bad;
+  Bad.Name = Interner.intern("phi");
+  Bad.Args.push_back({Value::integer(1)}); // phi expects 3 args.
+  EXPECT_FALSE(Registry.instantiate(Bad, Interner, &Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(PolicyTest, InstantiateRejectsUnknownPolicy) {
+  DiagnosticEngine Diags;
+  PolicyRef Bad;
+  Bad.Name = Interner.intern("nonexistent");
+  EXPECT_FALSE(Registry.instantiate(Bad, Interner, &Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(PolicyTest, TrivialPolicyInstantiatesToNothing) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Registry.instantiate(PolicyRef(), Interner, &Diags));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Prelude policies
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolicyTest, NeverWriteAfterRead) {
+  auto Inst = Registry.instantiate(neverRef(), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  EXPECT_TRUE(respects({ev("write"), ev("read")}, *Inst));
+  EXPECT_FALSE(respects({ev("read"), ev("write")}, *Inst));
+  EXPECT_TRUE(respects({ev("read"), ev("read")}, *Inst));
+}
+
+TEST_F(PolicyTest, AtMostPolicyCountsOccurrences) {
+  Registry.add(makeAtMostPolicy(Interner, "twice", "hit", 2));
+  PolicyRef Ref;
+  Ref.Name = Interner.intern("twice");
+  auto Inst = Registry.instantiate(Ref, Interner);
+  ASSERT_TRUE(Inst.has_value());
+  EXPECT_TRUE(respects({ev("hit"), ev("hit")}, *Inst));
+  EXPECT_FALSE(respects({ev("hit"), ev("hit"), ev("hit")}, *Inst));
+}
+
+//===----------------------------------------------------------------------===//
+// Histories and |= η
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolicyTest, FlattenErasesFramings) {
+  History Eta;
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("read"));
+  Eta.appendFrameClose(neverRef());
+  Eta.appendEvent(ev("write"));
+  auto Flat = Eta.flatten();
+  ASSERT_EQ(Flat.size(), 2u);
+  EXPECT_EQ(Flat[0].Name, Interner.intern("read"));
+}
+
+TEST_F(PolicyTest, BalanceDetection) {
+  History Balanced;
+  Balanced.appendFrameOpen(neverRef());
+  Balanced.appendEvent(ev("x"));
+  Balanced.appendFrameClose(neverRef());
+  EXPECT_TRUE(Balanced.isBalanced());
+  EXPECT_TRUE(Balanced.isBalancedPrefix());
+
+  History Prefix;
+  Prefix.appendFrameOpen(neverRef());
+  Prefix.appendEvent(ev("x"));
+  EXPECT_FALSE(Prefix.isBalanced());
+  EXPECT_TRUE(Prefix.isBalancedPrefix());
+
+  History Wrong;
+  Wrong.appendFrameClose(neverRef());
+  EXPECT_FALSE(Wrong.isBalanced());
+  EXPECT_FALSE(Wrong.isBalancedPrefix());
+}
+
+TEST_F(PolicyTest, ActivePoliciesIsAMultiset) {
+  History Eta;
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendFrameClose(neverRef());
+  auto AP = Eta.activePolicies();
+  ASSERT_EQ(AP.size(), 1u);
+  EXPECT_EQ(AP.begin()->second, 1u);
+}
+
+TEST_F(PolicyTest, ValidHistoryUnderActivePolicy) {
+  History Eta;
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("write"));
+  Eta.appendEvent(ev("read"));
+  Eta.appendFrameClose(neverRef());
+  EXPECT_TRUE(checkValidity(Eta, Registry, Interner).Valid);
+}
+
+TEST_F(PolicyTest, ViolationWhileActiveIsDetected) {
+  History Eta;
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("read"));
+  Eta.appendEvent(ev("write"));
+  auto R = checkValidity(Eta, Registry, Interner);
+  EXPECT_FALSE(R.Valid);
+  ASSERT_TRUE(R.Violation.has_value());
+  EXPECT_EQ(R.Violation->Index, 2u);
+}
+
+TEST_F(PolicyTest, PaperHistoryDependenceExample) {
+  // The paper's §3.1 example with ϕ = "no α after γ" (here: no write
+  // after read): γ α ⌊ϕ β ⌋ϕ is NOT valid because when the frame opens
+  // the past γα already violates ϕ.
+  History Eta;
+  Eta.appendEvent(ev("read"));   // γ
+  Eta.appendEvent(ev("write"));  // α
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("other"));  // β
+  Eta.appendFrameClose(neverRef());
+  auto R = checkValidity(Eta, Registry, Interner);
+  EXPECT_FALSE(R.Valid);
+  ASSERT_TRUE(R.Violation.has_value());
+  EXPECT_EQ(R.Violation->Index, 2u); // At the activation instant.
+}
+
+TEST_F(PolicyTest, PaperExampleValidWhenFramedEarly) {
+  // ⌊ϕ γ ⌋ϕ α β is valid: ϕ is no longer active when α fires.
+  History Eta;
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("read"));
+  Eta.appendFrameClose(neverRef());
+  Eta.appendEvent(ev("write"));
+  Eta.appendEvent(ev("other"));
+  EXPECT_TRUE(checkValidity(Eta, Registry, Interner).Valid);
+}
+
+TEST_F(PolicyTest, EventsBeforeActivationCountTowardViolation) {
+  // read; ⌊ϕ; write — the read predates activation but ϕ is history-
+  // dependent, so the write still violates.
+  History Eta;
+  Eta.appendEvent(ev("read"));
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("write"));
+  EXPECT_FALSE(checkValidity(Eta, Registry, Interner).Valid);
+}
+
+TEST_F(PolicyTest, InactivePolicyDoesNotBlock) {
+  History Eta;
+  Eta.appendEvent(ev("read"));
+  Eta.appendEvent(ev("write")); // ϕ never activated: fine.
+  EXPECT_TRUE(checkValidity(Eta, Registry, Interner).Valid);
+}
+
+TEST_F(PolicyTest, MultisetActivationKeepsPolicyAlive) {
+  // Open twice, close once: still active, so the write violates.
+  History Eta;
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendFrameClose(neverRef());
+  Eta.appendEvent(ev("read"));
+  Eta.appendEvent(ev("write"));
+  EXPECT_FALSE(checkValidity(Eta, Registry, Interner).Valid);
+}
+
+TEST_F(PolicyTest, UnknownPolicyFramingInvalidatesHistory) {
+  History Eta;
+  PolicyRef Unknown;
+  Unknown.Name = Interner.intern("mystery");
+  Eta.appendFrameOpen(Unknown);
+  EXPECT_FALSE(checkValidity(Eta, Registry, Interner).Valid);
+}
+
+TEST_F(PolicyTest, IncrementalCheckerMatchesBatch) {
+  History Eta;
+  Eta.appendEvent(ev("read"));
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("write"));
+
+  ValidityChecker Inc(Registry, Interner);
+  bool Ok = true;
+  for (const Label &L : Eta.items())
+    Ok = Inc.append(L) && Ok;
+  EXPECT_EQ(Ok, checkValidity(Eta, Registry, Interner).Valid);
+}
+
+TEST_F(PolicyTest, WouldRemainValidProbesWithoutMutating) {
+  ValidityChecker Inc(Registry, Interner);
+  Inc.append(Label::frameOpen(neverRef()));
+  Inc.append(Label::event(ev("read")));
+  // Probing the violating event does not change the checker state.
+  EXPECT_FALSE(Inc.wouldRemainValid(Label::event(ev("write"))));
+  EXPECT_TRUE(Inc.wouldRemainValid(Label::event(ev("read"))));
+  EXPECT_TRUE(Inc.isValid());
+  // Applying it does.
+  Inc.append(Label::event(ev("write")));
+  EXPECT_FALSE(Inc.isValid());
+}
+
+TEST_F(PolicyTest, WouldRemainValidOnFrameOpenIsHistoryDependent) {
+  ValidityChecker Inc(Registry, Interner);
+  Inc.append(Label::event(ev("read")));
+  Inc.append(Label::event(ev("write")));
+  EXPECT_TRUE(Inc.isValid()); // Nothing active yet.
+  EXPECT_FALSE(Inc.wouldRemainValid(Label::frameOpen(neverRef())));
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation to classical DFAs
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolicyTest, CompiledPolicyAgreesWithMonitor) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  std::vector<hist::Event> Universe = {
+      ev("sgn", "s1"), ev("sgn", "s3"), ev("p", 40),
+      ev("p", 90),     ev("ta", 99),    ev("ta", 100),
+  };
+  CompiledPolicy C = compilePolicy(*Inst, Universe);
+
+  // Every word up to length 3 over the universe: DFA acceptance must
+  // match monitor offence.
+  std::vector<std::vector<unsigned>> Words = {{}};
+  for (unsigned Len = 1; Len <= 3; ++Len) {
+    std::vector<std::vector<unsigned>> Next;
+    for (const auto &W : Words)
+      if (W.size() == Len - 1)
+        for (unsigned S = 0; S < Universe.size(); ++S) {
+          auto W2 = W;
+          W2.push_back(S);
+          Next.push_back(W2);
+        }
+    Words.insert(Words.end(), Next.begin(), Next.end());
+  }
+  for (const auto &W : Words) {
+    std::vector<hist::Event> Trace;
+    std::vector<automata::SymbolCode> Codes;
+    for (unsigned S : W) {
+      Trace.push_back(Universe[S]);
+      Codes.push_back(S);
+    }
+    EXPECT_EQ(C.Automaton.accepts(Codes), !respects(Trace, *Inst));
+  }
+}
+
+TEST_F(PolicyTest, CompiledPolicyEquivalence) {
+  auto A = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  auto B = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  auto Different = Registry.instantiate(phiRef({"s1"}, 46, 100), Interner);
+  std::vector<hist::Event> Universe = {ev("sgn", "s2"), ev("p", 46),
+                                       ev("ta", 50)};
+  EXPECT_TRUE(equivalentOn(*A, *B, Universe));
+  // Price 46 is over threshold 45 but not over 46: distinguishable.
+  EXPECT_FALSE(equivalentOn(*A, *Different, Universe));
+}
+
+TEST_F(PolicyTest, CompiledPolicyMinimizes) {
+  auto Inst = Registry.instantiate(phiRef({"s1"}, 45, 100), Interner);
+  std::vector<hist::Event> Universe = {ev("sgn", "s1"), ev("sgn", "s2"),
+                                       ev("p", 50), ev("ta", 50)};
+  CompiledPolicy C = compilePolicy(*Inst, Universe);
+  automata::Dfa M = automata::minimize(C.Automaton);
+  EXPECT_LE(M.numStates(), C.Automaton.numStates() + 1);
+  EXPECT_TRUE(automata::equivalent(M, C.Automaton));
+}
+
+TEST_F(PolicyTest, EventUniverseCollectsDistinctEvents) {
+  hist::HistContext Ctx;
+  const hist::Expr *E = Ctx.seq(
+      {Ctx.event("a", 1), Ctx.event("a", 1), Ctx.event("b"),
+       Ctx.send("ch", Ctx.event("a", 2))});
+  auto U = eventUniverse(E);
+  EXPECT_EQ(U.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Framed monitors (the §3.1 "specially-tailored finite state automata")
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolicyTest, FramedAutomatonPaperExample) {
+  // ϕ = never write after read, over universe {read, write, other}:
+  //   read write ⌊ϕ other ⌋ϕ  violates (history dependence at ⌊ϕ);
+  //   ⌊ϕ read ⌋ϕ write        is fine (ϕ closed when write fires).
+  auto Inst = Registry.instantiate(neverRef(), Interner);
+  ASSERT_TRUE(Inst.has_value());
+  FramedAutomaton A = buildFramedAutomaton(
+      *Inst, {ev("read"), ev("write"), ev("other")});
+
+  History Bad;
+  Bad.appendEvent(ev("read"));
+  Bad.appendEvent(ev("write"));
+  Bad.appendFrameOpen(neverRef());
+  Bad.appendEvent(ev("other"));
+  Bad.appendFrameClose(neverRef());
+  EXPECT_TRUE(A.violates(Bad, neverRef()));
+
+  History Good;
+  Good.appendFrameOpen(neverRef());
+  Good.appendEvent(ev("read"));
+  Good.appendFrameClose(neverRef());
+  Good.appendEvent(ev("write"));
+  EXPECT_FALSE(A.violates(Good, neverRef()));
+}
+
+TEST_F(PolicyTest, FramedAutomatonIgnoresOtherPoliciesFramings) {
+  auto Inst = Registry.instantiate(neverRef(), Interner);
+  FramedAutomaton A =
+      buildFramedAutomaton(*Inst, {ev("read"), ev("write")});
+  History Eta;
+  hist::PolicyRef Other;
+  Other.Name = Interner.intern("somethingElse");
+  Eta.appendFrameOpen(Other); // Not ϕ: must not activate Aϕ[].
+  Eta.appendEvent(ev("read"));
+  Eta.appendEvent(ev("write"));
+  EXPECT_FALSE(A.violates(Eta, neverRef()));
+}
+
+class FramedRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FramedRandomTest, FramedAutomatonAgreesWithDynamicChecker) {
+  // Random histories over one policy: the §3.1 automaton and the direct
+  // |= η implementation must agree everywhere.
+  StringInterner Interner;
+  PolicyRegistry Registry;
+  Registry.add(makeNeverAfterPolicy(Interner, "noWaR", "read", "write"));
+  hist::PolicyRef Phi;
+  Phi.Name = Interner.intern("noWaR");
+
+  auto Inst = Registry.instantiate(Phi, Interner);
+  ASSERT_TRUE(Inst.has_value());
+  std::vector<hist::Event> Universe = {
+      {Interner.intern("read"), Value()},
+      {Interner.intern("write"), Value()},
+      {Interner.intern("other"), Value()},
+  };
+  FramedAutomaton A = buildFramedAutomaton(*Inst, Universe);
+
+  std::mt19937 Rng(GetParam());
+  for (int Round = 0; Round < 40; ++Round) {
+    History Eta;
+    unsigned Len = Rng() % 12;
+    unsigned OpenCount = 0;
+    for (unsigned I = 0; I < Len; ++I) {
+      switch (Rng() % 5) {
+      case 0:
+        Eta.appendFrameOpen(Phi);
+        ++OpenCount;
+        break;
+      case 1:
+        if (OpenCount > 0) {
+          Eta.appendFrameClose(Phi);
+          --OpenCount;
+          break;
+        }
+        [[fallthrough]];
+      default:
+        Eta.appendEvent(Universe[Rng() % Universe.size()]);
+        break;
+      }
+    }
+    bool Dynamic = checkValidity(Eta, Registry, Interner).Valid;
+    bool Automaton = !A.violates(Eta, Phi);
+    EXPECT_EQ(Dynamic, Automaton) << Eta.str(Interner);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramedRandomTest, ::testing::Range(0u, 10u));
+
+TEST_F(PolicyTest, FramedAutomatonEncodeRejectsForeignEvents) {
+  auto Inst = Registry.instantiate(neverRef(), Interner);
+  FramedAutomaton A = buildFramedAutomaton(*Inst, {ev("read")});
+  History Eta;
+  Eta.appendEvent(ev("unknownEvent"));
+  std::vector<automata::SymbolCode> Word;
+  EXPECT_FALSE(A.encode(Eta, neverRef(), Word));
+}
+
+TEST_F(PolicyTest, HistoryStrRendersLabels) {
+  History Eta;
+  Eta.appendFrameOpen(neverRef());
+  Eta.appendEvent(ev("p", 45));
+  std::string S = Eta.str(Interner);
+  EXPECT_NE(S.find("noWaR"), std::string::npos);
+  EXPECT_NE(S.find("alpha_p(45)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/SupportTest.cpp - support library unit tests -----------------===//
+
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/DotWriter.h"
+#include "support/HashUtil.h"
+#include "support/StringInterner.h"
+#include "support/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sus;
+
+namespace {
+
+TEST(StringInternerTest, InternReturnsSameSymbolForEqualStrings) {
+  StringInterner In;
+  Symbol A = In.intern("hello");
+  Symbol B = In.intern("hello");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(In.size(), 1u);
+}
+
+TEST(StringInternerTest, DistinctStringsGetDistinctSymbols) {
+  StringInterner In;
+  Symbol A = In.intern("a");
+  Symbol B = In.intern("b");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(In.text(A), "a");
+  EXPECT_EQ(In.text(B), "b");
+}
+
+TEST(StringInternerTest, LookupFindsOnlyInternedStrings) {
+  StringInterner In;
+  Symbol A = In.intern("present");
+  EXPECT_EQ(In.lookup("present"), A);
+  EXPECT_FALSE(In.lookup("absent").isValid());
+}
+
+TEST(StringInternerTest, ViewsStayValidAcrossManyInsertions) {
+  StringInterner In;
+  Symbol First = In.intern("first-string");
+  std::string_view View = In.text(First);
+  for (int I = 0; I < 10000; ++I)
+    In.intern("filler" + std::to_string(I));
+  EXPECT_EQ(View, "first-string");
+  EXPECT_EQ(In.lookup("first-string"), First);
+}
+
+TEST(StringInternerTest, DefaultSymbolIsInvalid) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+}
+
+TEST(ArenaTest, CreateRunsConstructorsAndDestructors) {
+  static int Live = 0;
+  struct Tracked {
+    Tracked() { ++Live; }
+    ~Tracked() { --Live; }
+    int Payload[8] = {0};
+  };
+  {
+    Arena A;
+    for (int I = 0; I < 100; ++I)
+      A.create<Tracked>();
+    EXPECT_EQ(Live, 100);
+  }
+  EXPECT_EQ(Live, 0);
+}
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena A;
+  for (int I = 0; I < 50; ++I) {
+    void *P = A.allocate(3, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u);
+  }
+  void *Q = A.allocate(1, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Q) % 64, 0u);
+}
+
+TEST(ArenaTest, LargeAllocationsGetTheirOwnSlab) {
+  Arena A;
+  void *P = A.allocate(1 << 20, 16);
+  ASSERT_NE(P, nullptr);
+  EXPECT_GE(A.bytesReserved(), size_t(1) << 20);
+}
+
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Base::Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Base::Kind::B; }
+};
+
+TEST(CastingTest, IsaAndDynCastDispatchOnKind) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+}
+
+TEST(CastingTest, PresentVariantsTolerateNull) {
+  Base *Null = nullptr;
+  EXPECT_FALSE(isa_and_present<DerivedA>(Null));
+  EXPECT_EQ(dyn_cast_if_present<DerivedA>(Null), nullptr);
+}
+
+TEST(DiagnosticsTest, CountsErrorsOnly) {
+  DiagnosticEngine D;
+  D.warning(SourceLoc{1, 2}, "something odd");
+  EXPECT_FALSE(D.hasErrors());
+  D.error("bad things");
+  D.error(SourceLoc{3, 4}, "more bad things");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 2u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, PrintIncludesLocationWhenKnown) {
+  DiagnosticEngine D;
+  D.error(SourceLoc{7, 9}, "unexpected token");
+  std::ostringstream OS;
+  D.print(OS);
+  EXPECT_EQ(OS.str(), "7:9: error: unexpected token\n");
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+  DiagnosticEngine D;
+  D.error("x");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}
+
+TEST(DotWriterTest, EscapesQuotesAndNewlines) {
+  DotWriter W("g");
+  W.node("n1", "say \"hi\"\nplease");
+  std::ostringstream OS;
+  W.print(OS);
+  EXPECT_NE(OS.str().find("say \\\"hi\\\"\\nplease"), std::string::npos);
+}
+
+TEST(DotWriterTest, RendersNodesAndEdges) {
+  DotWriter W("g");
+  W.node("a", "A", "shape=circle");
+  W.node("b", "B");
+  W.edge("a", "b", "go");
+  std::ostringstream OS;
+  W.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(S.find("\"a\" -> \"b\" [label=\"go\"]"), std::string::npos);
+  EXPECT_NE(S.find("shape=circle"), std::string::npos);
+}
+
+TEST(ValueTest, KindsCompareUnequal) {
+  StringInterner In;
+  Value None;
+  Value I42 = Value::integer(42);
+  Value Name = Value::name(In.intern("x"));
+  EXPECT_NE(None, I42);
+  EXPECT_NE(I42, Name);
+  EXPECT_NE(None, Name);
+}
+
+TEST(ValueTest, EqualityAndHashAgree) {
+  StringInterner In;
+  Value A = Value::integer(7);
+  Value B = Value::integer(7);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  Value C = Value::name(In.intern("n"));
+  Value D = Value::name(In.intern("n"));
+  EXPECT_EQ(C, D);
+  EXPECT_EQ(C.hash(), D.hash());
+}
+
+TEST(ValueTest, OrderingIsTotalWithinKind) {
+  Value A = Value::integer(1);
+  Value B = Value::integer(2);
+  EXPECT_TRUE(A < B);
+  EXPECT_FALSE(B < A);
+  EXPECT_FALSE(A < A);
+}
+
+TEST(ValueTest, StrRendersEachKind) {
+  StringInterner In;
+  EXPECT_EQ(Value().str(In), "");
+  EXPECT_EQ(Value::integer(-3).str(In), "-3");
+  EXPECT_EQ(Value::name(In.intern("svc")).str(In), "svc");
+}
+
+TEST(HashUtilTest, HashAllIsOrderSensitive) {
+  EXPECT_NE(hashAll(1, 2), hashAll(2, 1));
+  EXPECT_EQ(hashAll(1, 2), hashAll(1, 2));
+}
+
+} // namespace
