@@ -131,6 +131,62 @@ inline const hist::Expr *echoClient(hist::HistContext &Ctx,
   return Ctx.seq(Parts);
 }
 
+/// The client side of a \p Depth-round request/reply protocol:
+/// p0!.q0?.p1!.q1?…, the B7 verifier workload.
+inline const hist::Expr *chattyProtocol(hist::HistContext &Ctx,
+                                        unsigned Depth) {
+  const hist::Expr *E = Ctx.empty();
+  for (unsigned I = Depth; I > 0; --I)
+    E = Ctx.send("p" + std::to_string(I - 1),
+                 Ctx.receive("q" + std::to_string(I - 1), E));
+  return E;
+}
+
+/// The service side of the \p Depth-round protocol; a `Bad` service
+/// answers the last round on an unmatched channel, so it fails §4
+/// compliance. Logs \p EventsPerCall "evHot" access events after the
+/// protocol (exercising the policy monitors of the static security
+/// check).
+inline const hist::Expr *chattyService(hist::HistContext &Ctx,
+                                       unsigned Depth, bool Bad,
+                                       unsigned EventsPerCall = 0) {
+  const hist::Expr *E = Ctx.empty();
+  for (unsigned D = Depth; D > 0; --D) {
+    std::string Answer =
+        (Bad && D == Depth) ? "Quux" : "q" + std::to_string(D - 1);
+    E = Ctx.receive("p" + std::to_string(D - 1), Ctx.send(Answer, E));
+    if (D == 1)
+      for (unsigned Ev = 0; Ev < EventsPerCall; ++Ev)
+        E = Ctx.seq(E, Ctx.event("evHot", static_cast<int64_t>(Ev)));
+  }
+  return E;
+}
+
+/// A repository of \p NumServices services "svc0".. each speaking the
+/// matching \p Depth-round protocol; the first `NumBad` are bad.
+inline plan::Repository chattyRepository(hist::HistContext &Ctx,
+                                         unsigned NumServices,
+                                         unsigned NumBad, unsigned Depth,
+                                         unsigned EventsPerCall = 0) {
+  plan::Repository Repo;
+  for (unsigned I = 0; I < NumServices; ++I)
+    Repo.add(Ctx.symbol("svc" + std::to_string(I)),
+             chattyService(Ctx, Depth, I < NumBad, EventsPerCall));
+  return Repo;
+}
+
+/// A client issuing \p NumRequests chatty requests in sequence, each under
+/// \p Policy (use the trivial PolicyRef for an unconstrained client).
+inline const hist::Expr *chattyClient(hist::HistContext &Ctx,
+                                      unsigned NumRequests, unsigned Depth,
+                                      hist::PolicyRef Policy = {}) {
+  std::vector<const hist::Expr *> Parts;
+  for (unsigned I = 0; I < NumRequests; ++I)
+    Parts.push_back(
+        Ctx.request(100 + I, Policy, chattyProtocol(Ctx, Depth)));
+  return Ctx.seq(Parts);
+}
+
 } // namespace bench
 } // namespace sus
 

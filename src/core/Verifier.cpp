@@ -2,13 +2,67 @@
 
 #include "core/Verifier.h"
 
+#include "hist/Clone.h"
 #include "plan/RequestExtract.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
 
 using namespace sus;
 using namespace sus::core;
 
+//===----------------------------------------------------------------------===//
+// Shards
+//===----------------------------------------------------------------------===//
+
+/// A worker-private copy of the verification inputs. The shard interner is
+/// seeded from the session interner first, so every symbol keeps its id and
+/// every canonical Symbol-based ordering (choice-branch sorting, derivative
+/// enumeration) coincides with the session's — which is why a shard's
+/// exploration reproduces the serial one bit-for-bit.
+struct Verifier::Shard {
+  hist::HistContext Ctx;
+  const hist::Expr *Client = nullptr;
+  plan::Repository Repo;
+
+  Shard(const hist::HistContext &Main, const hist::Expr *MainClient,
+        const plan::Repository &MainRepo) {
+    const StringInterner &From = Main.interner();
+    Ctx.interner().seedFrom(From);
+    Client = hist::cloneExpr(Ctx, From, MainClient);
+    for (const auto &[Loc, Service] : MainRepo.services())
+      Repo.add(hist::cloneSymbol(Ctx, From, Loc),
+               hist::cloneExpr(Ctx, From, Service), MainRepo.capacity(Loc));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+Verifier::Verifier(hist::HistContext &Ctx, const plan::Repository &Repo,
+                   const policy::PolicyRegistry &Registry,
+                   VerifierOptions Options,
+                   std::shared_ptr<VerifierCache> Cache)
+    : Ctx(Ctx), Repo(Repo), Registry(Registry), Options(Options),
+      Cache(Cache ? std::move(Cache) : std::make_shared<VerifierCache>()) {}
+
+Verifier::~Verifier() = default;
+
+unsigned Verifier::effectiveJobs() const {
+  if (!Options.UseCache)
+    return 1;
+  return Options.Jobs == 0 ? ThreadPool::defaultWorkers() : Options.Jobs;
+}
+
+//===----------------------------------------------------------------------===//
+// Compliance
+//===----------------------------------------------------------------------===//
+
 bool Verifier::bindingCompliant(const hist::Expr *RequestBody,
                                 const hist::Expr *Service) {
+  if (Options.UseCache)
+    return Cache->compliance(Ctx, RequestBody, Service).Compliant;
   auto Key = std::make_pair(RequestBody, Service);
   auto It = ComplianceMemo.find(Key);
   if (It != ComplianceMemo.end())
@@ -19,11 +73,9 @@ bool Verifier::bindingCompliant(const hist::Expr *RequestBody,
   return Result;
 }
 
-PlanVerdict Verifier::checkPlan(const hist::Expr *Client,
-                                plan::Loc ClientLoc, const plan::Plan &Pi) {
-  PlanVerdict Verdict;
-  Verdict.Pi = Pi;
-
+std::map<hist::RequestId, plan::RequestSite>
+Verifier::collectPlanSites(const hist::Expr *Client,
+                           const plan::Plan &Pi) const {
   // Collect the request sites of the composed service: the client's own
   // requests plus, transitively, those of every planned service.
   std::vector<plan::RequestSite> Sites = plan::extractRequests(Client);
@@ -42,29 +94,137 @@ PlanVerdict Verifier::checkPlan(const hist::Expr *Client,
           ById.emplace(Nested.id(), Nested);
         }
   }
+  return ById;
+}
 
+std::vector<RequestCheck> Verifier::buildRequestChecks(
+    const std::map<hist::RequestId, plan::RequestSite> &ById,
+    const plan::Plan &Pi) {
+  std::vector<RequestCheck> Checks;
+  Checks.reserve(ById.size());
   for (const auto &[Id, Site] : ById) {
     RequestCheck Check;
     Check.Request = Id;
     std::optional<plan::Loc> L = Pi.lookup(Id);
     if (!L || !Repo.find(*L)) {
       Check.Compliant = false;
-      Verdict.RequestChecks.push_back(std::move(Check));
+      Checks.push_back(std::move(Check));
       continue;
     }
     Check.Service = *L;
     contract::ComplianceResult R =
-        contract::checkServiceCompliance(Ctx, Site.body(), Repo.find(*L));
+        Options.UseCache
+            ? Cache->compliance(Ctx, Site.body(), Repo.find(*L))
+            : contract::checkServiceCompliance(Ctx, Site.body(),
+                                               Repo.find(*L));
     Check.Compliant = R.Compliant;
     Check.Witness = std::move(R.Witness);
-    Verdict.RequestChecks.push_back(std::move(Check));
+    Checks.push_back(std::move(Check));
   }
+  return Checks;
+}
 
+//===----------------------------------------------------------------------===//
+// Security
+//===----------------------------------------------------------------------===//
+
+validity::StaticValidityResult Verifier::securityOf(const hist::Expr *Client,
+                                                    plan::Loc ClientLoc,
+                                                    const plan::Plan &Pi) {
   validity::StaticValidityOptions VOpts;
   VOpts.MaxStates = Options.MaxStatesPerPlan;
-  Verdict.Security = validity::checkPlanValidity(Ctx, Client, ClientLoc, Pi,
-                                                 Repo, Registry, VOpts);
+  if (!Options.UseCache)
+    return validity::checkPlanValidity(Ctx, Client, ClientLoc, Pi, Repo,
+                                       Registry, VOpts);
+  if (std::optional<validity::StaticValidityResult> Hit =
+          Cache->findValidity(Client, ClientLoc, Pi, VOpts.MaxStates))
+    return *Hit;
+  validity::StaticValidityResult R = validity::checkPlanValidity(
+      Ctx, Client, ClientLoc, Pi, Repo, Registry, VOpts);
+  Cache->recordValidity(Client, ClientLoc, Pi, VOpts.MaxStates, R);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Plan checking
+//===----------------------------------------------------------------------===//
+
+PlanVerdict Verifier::checkPlan(const hist::Expr *Client,
+                                plan::Loc ClientLoc, const plan::Plan &Pi) {
+  PlanVerdict Verdict;
+  Verdict.Pi = Pi;
+  Verdict.RequestChecks = buildRequestChecks(collectPlanSites(Client, Pi), Pi);
+  Verdict.Security = securityOf(Client, ClientLoc, Pi);
   return Verdict;
+}
+
+void Verifier::checkPlansParallel(const hist::Expr *Client,
+                                  plan::Loc ClientLoc,
+                                  const std::vector<plan::Plan> &Plans,
+                                  unsigned Jobs,
+                                  VerificationReport &Report) {
+  validity::StaticValidityOptions VOpts;
+  VOpts.MaxStates = Options.MaxStatesPerPlan;
+
+  // Stage 1 (serial, session context): request-site collection and
+  // compliance pre-warming. After this loop every (body, service) pair of
+  // every plan sits in the cache with its witness, so no worker ever
+  // needs the session HistContext for compliance.
+  std::vector<std::map<hist::RequestId, plan::RequestSite>> Sites;
+  Sites.reserve(Plans.size());
+  for (const plan::Plan &Pi : Plans) {
+    Sites.push_back(collectPlanSites(Client, Pi));
+    for (const auto &[Id, Site] : Sites.back()) {
+      std::optional<plan::Loc> L = Pi.lookup(Id);
+      if (L && Repo.find(*L))
+        Cache->compliance(Ctx, Site.body(), Repo.find(*L));
+    }
+  }
+
+  // Stage 2: resolve security verdicts from the cache; fan the misses out
+  // over per-worker shards. Results are slotted by plan index, so the
+  // report order is the enumeration order regardless of scheduling.
+  std::vector<std::optional<validity::StaticValidityResult>> Security(
+      Plans.size());
+  std::vector<size_t> Misses;
+  for (size_t I = 0; I < Plans.size(); ++I) {
+    Security[I] =
+        Cache->findValidity(Client, ClientLoc, Plans[I], VOpts.MaxStates);
+    if (!Security[I])
+      Misses.push_back(I);
+  }
+
+  if (!Misses.empty()) {
+    if (!Pool || Pool->numWorkers() != Jobs)
+      Pool = std::make_unique<ThreadPool>(Jobs);
+
+    // Shards are created lazily by the first task each worker runs; a
+    // worker executes one task at a time, so its slot needs no lock, and
+    // waitIdle() orders every write below before the main thread reads.
+    std::vector<std::unique_ptr<Shard>> Shards(Pool->numWorkers());
+    for (size_t I : Misses)
+      Pool->submit([&, I](unsigned Worker) {
+        if (!Shards[Worker])
+          Shards[Worker] = std::make_unique<Shard>(Ctx, Client, Repo);
+        Shard &S = *Shards[Worker];
+        Security[I] = validity::checkPlanValidity(
+            S.Ctx, S.Client, ClientLoc, Plans[I], S.Repo, Registry, VOpts);
+      });
+    Pool->waitIdle();
+
+    for (size_t I : Misses)
+      Cache->recordValidity(Client, ClientLoc, Plans[I], VOpts.MaxStates,
+                            *Security[I]);
+  }
+
+  // Stage 3 (serial): assemble verdicts in enumeration order.
+  for (size_t I = 0; I < Plans.size(); ++I) {
+    PlanVerdict Verdict;
+    Verdict.Pi = Plans[I];
+    Verdict.RequestChecks = buildRequestChecks(Sites[I], Plans[I]);
+    Verdict.Security = std::move(*Security[I]);
+    Report.Verdicts.push_back(std::move(Verdict));
+  }
 }
 
 VerificationReport Verifier::verifyClient(const hist::Expr *Client,
@@ -85,6 +245,11 @@ VerificationReport Verifier::verifyClient(const hist::Expr *Client,
   Report.BindingsTried = Enumeration.BindingsTried;
   Report.Truncated = Enumeration.Truncated;
 
+  unsigned Jobs = effectiveJobs();
+  if (Jobs > 1 && Enumeration.Plans.size() > 1) {
+    checkPlansParallel(Client, ClientLoc, Enumeration.Plans, Jobs, Report);
+    return Report;
+  }
   for (const plan::Plan &Pi : Enumeration.Plans)
     Report.Verdicts.push_back(checkPlan(Client, ClientLoc, Pi));
   return Report;

@@ -13,23 +13,34 @@
 /// the §4 product automaton and whole-plan security via the §3.1 composed
 /// model checker, and reports every verdict.
 ///
+/// Verification is a pipeline over a shared VerifierCache: every
+/// (request body, service) compliance pair is model-checked exactly once
+/// per session, and with Jobs > 1 the independent per-plan security
+/// explorations fan out over a work-stealing thread pool. Parallel and
+/// serial runs produce element-wise identical reports (see DESIGN.md §2).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUS_CORE_VERIFIER_H
 #define SUS_CORE_VERIFIER_H
 
 #include "contract/Compliance.h"
+#include "core/VerifierCache.h"
 #include "plan/Plan.h"
 #include "plan/PlanEnumerator.h"
 #include "policy/UsageAutomaton.h"
 #include "validity/StaticValidity.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <vector>
 
 namespace sus {
+
+class ThreadPool;
+
 namespace core {
 
 /// Outcome of checking one request binding r[ℓ] for compliance.
@@ -82,6 +93,16 @@ struct VerifierOptions {
   bool PruneWithCompliance = true;
   size_t MaxPlans = 1 << 14;
   size_t MaxStatesPerPlan = 1 << 18;
+
+  /// Worker threads for per-plan security checking. 1 = fully serial;
+  /// 0 = one per hardware thread. Reports are identical at any width.
+  unsigned Jobs = 1;
+
+  /// Route checkPlan through the shared VerifierCache. Off reproduces the
+  /// pre-cache behaviour (each plan re-checks its compliance pairs and
+  /// re-explores its state space; only the pruning filter memoizes) — kept
+  /// for the B7 baseline measurements. Off forces Jobs = 1.
+  bool UseCache = true;
 };
 
 /// Verification of a whole network: one report per client. Components of
@@ -104,10 +125,16 @@ struct NetworkReport {
 /// The end-to-end static verifier.
 class Verifier {
 public:
+  /// \p Cache may be shared with other verifiers over the same context,
+  /// repository and registry; by default each verifier owns a fresh one.
   Verifier(hist::HistContext &Ctx, const plan::Repository &Repo,
            const policy::PolicyRegistry &Registry,
-           VerifierOptions Options = VerifierOptions())
-      : Ctx(Ctx), Repo(Repo), Registry(Registry), Options(Options) {}
+           VerifierOptions Options = VerifierOptions(),
+           std::shared_ptr<VerifierCache> Cache = nullptr);
+  ~Verifier();
+
+  Verifier(const Verifier &) = delete;
+  Verifier &operator=(const Verifier &) = delete;
 
   /// Enumerates candidate plans for \p Client and fully checks each.
   VerificationReport verifyClient(const hist::Expr *Client,
@@ -125,12 +152,54 @@ public:
   bool bindingCompliant(const hist::Expr *RequestBody,
                         const hist::Expr *Service);
 
+  /// Session cache counters (shared with every co-owner of the cache).
+  VerifierStats stats() const { return Cache->stats(); }
+
+  const std::shared_ptr<VerifierCache> &cache() const { return Cache; }
+
 private:
+  /// One per-worker verification shard: a private HistContext (seeded so
+  /// symbol ids match the session context) plus the client and repository
+  /// cloned into it. HistContext is single-threaded; sharding is what
+  /// lets security checking run in parallel at all.
+  struct Shard;
+
+  /// The request sites a plan must serve: the client's own requests plus,
+  /// transitively, those of every planned service.
+  std::map<hist::RequestId, plan::RequestSite>
+  collectPlanSites(const hist::Expr *Client, const plan::Plan &Pi) const;
+
+  /// Builds the per-request compliance section of a verdict, answering
+  /// every pair from the cache (or directly when UseCache is off).
+  std::vector<RequestCheck>
+  buildRequestChecks(const std::map<hist::RequestId, plan::RequestSite> &ById,
+                     const plan::Plan &Pi);
+
+  /// Cache-aware whole-plan security check on the session context.
+  validity::StaticValidityResult securityOf(const hist::Expr *Client,
+                                            plan::Loc ClientLoc,
+                                            const plan::Plan &Pi);
+
+  /// Checks every enumerated plan through the parallel pipeline:
+  /// compliance pre-warmed serially through the cache, security fanned
+  /// out over per-worker shards. Results land in enumeration order.
+  void checkPlansParallel(const hist::Expr *Client, plan::Loc ClientLoc,
+                          const std::vector<plan::Plan> &Plans,
+                          unsigned Jobs, VerificationReport &Report);
+
+  /// Effective worker count (resolves Jobs == 0, honours UseCache).
+  unsigned effectiveJobs() const;
+
   hist::HistContext &Ctx;
   const plan::Repository &Repo;
   const policy::PolicyRegistry &Registry;
   VerifierOptions Options;
+  std::shared_ptr<VerifierCache> Cache;
 
+  /// Lazily created; rebuilt when the requested width changes.
+  std::unique_ptr<ThreadPool> Pool;
+
+  /// Legacy pruning memo, used only when UseCache is off.
   std::map<std::pair<const hist::Expr *, const hist::Expr *>, bool>
       ComplianceMemo;
 };

@@ -1,0 +1,69 @@
+//===- core/VerifierCache.cpp - Shared verification memo tables -----------===//
+
+#include "core/VerifierCache.h"
+
+using namespace sus;
+using namespace sus::core;
+
+const hist::Expr *VerifierCache::projectionLocked(hist::HistContext &Ctx,
+                                                  const hist::Expr *E) {
+  ++Stats.ProjectionLookups;
+  auto It = Projections.find(E);
+  if (It != Projections.end()) {
+    ++Stats.ProjectionHits;
+    return It->second;
+  }
+  const hist::Expr *P = contract::project(Ctx, E);
+  Projections.emplace(E, P);
+  return P;
+}
+
+const hist::Expr *VerifierCache::projection(hist::HistContext &Ctx,
+                                            const hist::Expr *E) {
+  std::lock_guard<std::mutex> Lock(M);
+  return projectionLocked(Ctx, E);
+}
+
+contract::ComplianceResult
+VerifierCache::compliance(hist::HistContext &Ctx,
+                          const hist::Expr *RequestBody,
+                          const hist::Expr *Service) {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Stats.ComplianceLookups;
+  auto Key = std::make_pair(RequestBody, Service);
+  auto It = Compliances.find(Key);
+  if (It != Compliances.end()) {
+    ++Stats.ComplianceHits;
+    return It->second;
+  }
+  contract::ComplianceResult R = contract::checkCompliance(
+      Ctx, projectionLocked(Ctx, RequestBody), projectionLocked(Ctx, Service));
+  Compliances.emplace(Key, R);
+  return R;
+}
+
+std::optional<validity::StaticValidityResult>
+VerifierCache::findValidity(const hist::Expr *Client, plan::Loc ClientLoc,
+                            const plan::Plan &Pi, size_t MaxStates) {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Stats.ValidityLookups;
+  auto It = Validities.find(ValidityKey{Client, ClientLoc, Pi, MaxStates});
+  if (It == Validities.end())
+    return std::nullopt;
+  ++Stats.ValidityHits;
+  return It->second;
+}
+
+void VerifierCache::recordValidity(const hist::Expr *Client,
+                                   plan::Loc ClientLoc, const plan::Plan &Pi,
+                                   size_t MaxStates,
+                                   validity::StaticValidityResult Result) {
+  std::lock_guard<std::mutex> Lock(M);
+  Validities.emplace(ValidityKey{Client, ClientLoc, Pi, MaxStates},
+                     std::move(Result));
+}
+
+VerifierStats VerifierCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Stats;
+}

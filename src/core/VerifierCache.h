@@ -1,0 +1,111 @@
+//===- core/VerifierCache.h - Shared verification memo tables ---*- C++ -*-===//
+///
+/// \file
+/// A session-scoped cache for the §5 verifier. Compliance of a request
+/// body against a service depends only on that pair — never on the plan
+/// it appears in — so the cache memoizes, keyed on hash-consed Expr*:
+///
+///  - projections H! (the §4 erasure computed before every product),
+///  - full ComplianceResults including witnesses (not just the boolean
+///    the pruning filter keeps),
+///  - per-(client, plan-signature) static-validity results.
+///
+/// A cache may be shared by several Verifier instances *over the same
+/// HistContext, repository and registry* (e.g. the declared-plan checks
+/// and the enumeration pass of susc). All methods are mutex-guarded; the
+/// parallel pipeline additionally pre-warms compliance serially so worker
+/// threads never compute through the shared HistContext (see Verifier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CORE_VERIFIERCACHE_H
+#define SUS_CORE_VERIFIERCACHE_H
+
+#include "contract/Compliance.h"
+#include "plan/Plan.h"
+#include "validity/StaticValidity.h"
+
+#include <map>
+#include <mutex>
+
+namespace sus {
+namespace core {
+
+/// Observable cache effectiveness counters (monotone per session).
+struct VerifierStats {
+  size_t ComplianceLookups = 0; ///< compliance() calls.
+  size_t ComplianceHits = 0;    ///< ... answered from the memo.
+  size_t ProjectionLookups = 0; ///< H! requests (two per compliance miss).
+  size_t ProjectionHits = 0;    ///< ... answered from the memo.
+  size_t ValidityLookups = 0;   ///< findValidity() calls.
+  size_t ValidityHits = 0;      ///< ... answered from the memo.
+
+  size_t complianceComputes() const {
+    return ComplianceLookups - ComplianceHits;
+  }
+  size_t validityComputes() const { return ValidityLookups - ValidityHits; }
+};
+
+/// The memo tables. Thread-safe; results are returned by value so no
+/// reference outlives the lock.
+class VerifierCache {
+public:
+  /// H! of \p E, memoized across the whole session.
+  const hist::Expr *projection(hist::HistContext &Ctx, const hist::Expr *E);
+
+  /// The full Hc! ⊢ Hs! verdict for (request body, service), computed at
+  /// most once per session; witnesses are preserved verbatim.
+  contract::ComplianceResult compliance(hist::HistContext &Ctx,
+                                        const hist::Expr *RequestBody,
+                                        const hist::Expr *Service);
+
+  /// Looks up the static-validity verdict of (client, loc, plan) under a
+  /// MaxStates bound; std::nullopt on a miss. Misses are *not* computed
+  /// here: the verifier decides where (main thread or worker shard) the
+  /// exploration runs.
+  std::optional<validity::StaticValidityResult>
+  findValidity(const hist::Expr *Client, plan::Loc ClientLoc,
+               const plan::Plan &Pi, size_t MaxStates);
+
+  /// Records a static-validity verdict computed by the verifier.
+  void recordValidity(const hist::Expr *Client, plan::Loc ClientLoc,
+                      const plan::Plan &Pi, size_t MaxStates,
+                      validity::StaticValidityResult Result);
+
+  VerifierStats stats() const;
+
+private:
+  /// (client, location, plan bindings, MaxStates) — the plan signature.
+  struct ValidityKey {
+    const hist::Expr *Client;
+    plan::Loc Loc;
+    plan::Plan Pi;
+    size_t MaxStates;
+
+    bool operator<(const ValidityKey &O) const {
+      if (Client != O.Client)
+        return Client < O.Client;
+      if (Loc != O.Loc)
+        return Loc < O.Loc;
+      if (MaxStates != O.MaxStates)
+        return MaxStates < O.MaxStates;
+      return Pi < O.Pi;
+    }
+  };
+
+  const hist::Expr *projectionLocked(hist::HistContext &Ctx,
+                                     const hist::Expr *E);
+
+  mutable std::mutex M;
+  VerifierStats Stats;
+  std::map<const hist::Expr *, const hist::Expr *> Projections;
+  std::map<std::pair<const hist::Expr *, const hist::Expr *>,
+           contract::ComplianceResult>
+      Compliances;
+  std::map<ValidityKey, validity::StaticValidityResult> Validities;
+};
+
+} // namespace core
+} // namespace sus
+
+#endif // SUS_CORE_VERIFIERCACHE_H

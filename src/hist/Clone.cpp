@@ -1,0 +1,124 @@
+//===- hist/Clone.cpp - Cross-context expression cloning ------------------===//
+
+#include "hist/Clone.h"
+
+#include "support/Casting.h"
+
+#include <unordered_map>
+
+using namespace sus;
+using namespace sus::hist;
+
+Symbol sus::hist::cloneSymbol(HistContext &To, const StringInterner &From,
+                              Symbol S) {
+  if (!S.isValid())
+    return S;
+  return To.interner().intern(From.text(S));
+}
+
+namespace {
+
+Value cloneValue(HistContext &To, const StringInterner &From, const Value &V) {
+  if (V.isName())
+    return Value::name(cloneSymbol(To, From, V.asName()));
+  return V;
+}
+
+class Cloner {
+public:
+  Cloner(HistContext &To, const StringInterner &From) : To(To), From(From) {}
+
+  const Expr *visit(const Expr *E) {
+    auto It = Memo.find(E);
+    if (It != Memo.end())
+      return It->second;
+    const Expr *Result = compute(E);
+    Memo.emplace(E, Result);
+    return Result;
+  }
+
+private:
+  PolicyRef policy(const PolicyRef &Ref) {
+    return clonePolicyRef(To, From, Ref);
+  }
+
+  const Expr *compute(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::Empty:
+      return To.empty();
+    case ExprKind::Var:
+      return To.var(cloneSymbol(To, From, cast<VarExpr>(E)->name()));
+    case ExprKind::Mu: {
+      const auto *M = cast<MuExpr>(E);
+      return To.mu(cloneSymbol(To, From, M->var()), visit(M->body()));
+    }
+    case ExprKind::Event: {
+      const Event &Ev = cast<EventExpr>(E)->event();
+      return To.event(Event{cloneSymbol(To, From, Ev.Name),
+                            cloneValue(To, From, Ev.Arg)});
+    }
+    case ExprKind::Seq: {
+      const auto *S = cast<SeqExpr>(E);
+      return To.seq(visit(S->head()), visit(S->tail()));
+    }
+    case ExprKind::ExtChoice:
+    case ExprKind::IntChoice: {
+      const auto *C = cast<ChoiceExpr>(E);
+      std::vector<ChoiceBranch> Branches;
+      Branches.reserve(C->numBranches());
+      for (const ChoiceBranch &B : C->branches())
+        Branches.push_back(
+            {CommAction{cloneSymbol(To, From, B.Guard.Channel), B.Guard.Pol},
+             visit(B.Body)});
+      return E->kind() == ExprKind::ExtChoice
+                 ? To.extChoice(std::move(Branches))
+                 : To.intChoice(std::move(Branches));
+    }
+    case ExprKind::Request: {
+      const auto *R = cast<RequestExpr>(E);
+      return To.request(R->request(), policy(R->policy()), visit(R->body()));
+    }
+    case ExprKind::Framing: {
+      const auto *F = cast<FramingExpr>(E);
+      return To.framing(policy(F->policy()), visit(F->body()));
+    }
+    case ExprKind::CloseMark: {
+      const auto *C = cast<CloseMarkExpr>(E);
+      return To.closeMark(C->request(), policy(C->policy()));
+    }
+    case ExprKind::FrameOpen:
+      return To.frameOpen(policy(cast<FrameOpenExpr>(E)->policy()));
+    case ExprKind::FrameClose:
+      return To.frameClose(policy(cast<FrameCloseExpr>(E)->policy()));
+    }
+    return To.empty();
+  }
+
+  HistContext &To;
+  const StringInterner &From;
+  std::unordered_map<const Expr *, const Expr *> Memo;
+};
+
+} // namespace
+
+PolicyRef sus::hist::clonePolicyRef(HistContext &To,
+                                    const StringInterner &From,
+                                    const PolicyRef &Ref) {
+  PolicyRef Out;
+  Out.Name = cloneSymbol(To, From, Ref.Name);
+  Out.Args.reserve(Ref.Args.size());
+  for (const std::vector<Value> &Arg : Ref.Args) {
+    std::vector<Value> Mapped;
+    Mapped.reserve(Arg.size());
+    for (const Value &V : Arg)
+      Mapped.push_back(cloneValue(To, From, V));
+    Out.Args.push_back(std::move(Mapped));
+  }
+  return Out;
+}
+
+const Expr *sus::hist::cloneExpr(HistContext &To, const StringInterner &From,
+                                 const Expr *E) {
+  Cloner C(To, From);
+  return C.visit(E);
+}

@@ -1,0 +1,42 @@
+//===- hist/Clone.h - Cross-context expression cloning ----------*- C++ -*-===//
+///
+/// \file
+/// Structural cloning of history expressions from one HistContext into
+/// another. HistContext (and the StringInterner backing it) is documented
+/// single-threaded, so parallel verification shards each own a private
+/// context; cloning is how a shard imports the client and the repository.
+///
+/// Symbols are mapped *by text* through the target interner. When the
+/// target interner was seeded from the source (StringInterner::seedFrom),
+/// the mapping is the identity on ids, so every canonical Symbol-ordered
+/// structure (choice-branch sorting, transition enumeration) is preserved
+/// bit-for-bit — the property the verifier's determinism guarantee rests
+/// on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_HIST_CLONE_H
+#define SUS_HIST_CLONE_H
+
+#include "hist/Expr.h"
+#include "hist/HistContext.h"
+
+namespace sus {
+namespace hist {
+
+/// Rebuilds \p E (owned by the context behind \p From) inside \p To.
+/// Shared subterms are cloned once (the clone respects hash-consing).
+const Expr *cloneExpr(HistContext &To, const StringInterner &From,
+                      const Expr *E);
+
+/// Maps a symbol of \p From to the equal-text symbol of \p To's interner.
+Symbol cloneSymbol(HistContext &To, const StringInterner &From, Symbol S);
+
+/// Maps a policy reference across contexts (name and named arguments).
+PolicyRef clonePolicyRef(HistContext &To, const StringInterner &From,
+                         const PolicyRef &Ref);
+
+} // namespace hist
+} // namespace sus
+
+#endif // SUS_HIST_CLONE_H

@@ -35,6 +35,10 @@ public:
     Binding[Request] = Location;
   }
 
+  /// Removes the binding of r (no-op when the plan does not cover r).
+  /// Lets backtracking searches undo a bind instead of copying the plan.
+  void unbind(hist::RequestId Request) { Binding.erase(Request); }
+
   /// π(r), or std::nullopt when the plan does not cover r.
   std::optional<Loc> lookup(hist::RequestId Request) const {
     auto It = Binding.find(Request);

@@ -2,6 +2,7 @@
 
 #include "plan/PlanEnumerator.h"
 
+#include <map>
 #include <set>
 
 using namespace sus;
@@ -10,6 +11,10 @@ using namespace sus::plan;
 
 namespace {
 
+/// Depth-first enumeration over a *single* mutable plan, pending stack and
+/// seen set: each binding is applied, explored and undone in place, so per
+/// step the only allocation is for emitted complete plans — not one deep
+/// copy of the whole search state per repository entry.
 class Enumerator {
 public:
   Enumerator(const Repository &Repo, const EnumeratorOptions &Options,
@@ -17,17 +22,24 @@ public:
       : Repo(Repo), Options(Options), Result(Result) {}
 
   void run(const Expr *Client) {
-    std::vector<RequestSite> Pending = extractRequests(Client);
-    Plan Empty;
-    std::set<RequestId> Seen;
+    Pending = extractRequests(Client);
     for (const RequestSite &S : Pending)
       Seen.insert(S.id());
-    search(Empty, std::move(Pending), std::move(Seen));
+    search();
   }
 
 private:
-  void search(Plan Current, std::vector<RequestSite> Pending,
-              std::set<RequestId> Seen) {
+  /// The requests of \p Service, memoized: the same service is chased once
+  /// per enumeration instead of once per visited branch.
+  const std::vector<RequestSite> &requestsOf(const Expr *Service) {
+    auto It = ServiceRequests.find(Service);
+    if (It != ServiceRequests.end())
+      return It->second;
+    return ServiceRequests.emplace(Service, extractRequests(Service))
+        .first->second;
+  }
+
+  void search() {
     if (Result.Truncated)
       return;
     if (Pending.empty()) {
@@ -35,7 +47,7 @@ private:
         Result.Truncated = true;
         return;
       }
-      Result.Plans.push_back(std::move(Current));
+      Result.Plans.push_back(Current);
       return;
     }
 
@@ -45,34 +57,47 @@ private:
     if (Current.covers(Site.id())) {
       // Already bound on this branch (shared id, e.g. a recursive
       // service); keep the existing binding.
-      search(std::move(Current), std::move(Pending), std::move(Seen));
-      return;
+      search();
+    } else {
+      for (const auto &[Location, Service] : Repo.services()) {
+        ++Result.BindingsTried;
+        if (Options.Filter && !Options.Filter(Site, Location, Service))
+          continue;
+
+        Current.bind(Site.id(), Location);
+
+        // Chase the chosen service's own requests.
+        size_t Added = 0;
+        for (const RequestSite &S : requestsOf(Service))
+          if (Seen.insert(S.id()).second) {
+            Pending.push_back(S);
+            ++Added;
+          }
+
+        search();
+
+        // Undo: drop the chased requests and the binding.
+        for (; Added > 0; --Added) {
+          Seen.erase(Pending.back().id());
+          Pending.pop_back();
+        }
+        Current.unbind(Site.id());
+        if (Result.Truncated)
+          break;
+      }
     }
 
-    for (const auto &[Location, Service] : Repo.services()) {
-      ++Result.BindingsTried;
-      if (Options.Filter && !Options.Filter(Site, Location, Service))
-        continue;
-
-      Plan Next = Current;
-      Next.bind(Site.id(), Location);
-
-      // Chase the chosen service's own requests.
-      std::vector<RequestSite> NextPending = Pending;
-      std::set<RequestId> NextSeen = Seen;
-      for (const RequestSite &S : extractRequests(Service))
-        if (NextSeen.insert(S.id()).second)
-          NextPending.push_back(S);
-
-      search(std::move(Next), std::move(NextPending), std::move(NextSeen));
-      if (Result.Truncated)
-        return;
-    }
+    Pending.push_back(Site);
   }
 
   const Repository &Repo;
   const EnumeratorOptions &Options;
   EnumerationResult &Result;
+
+  Plan Current;
+  std::vector<RequestSite> Pending;
+  std::set<RequestId> Seen;
+  std::map<const Expr *, std::vector<RequestSite>> ServiceRequests;
 };
 
 } // namespace

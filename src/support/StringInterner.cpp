@@ -27,3 +27,13 @@ Symbol StringInterner::lookup(std::string_view Str) const {
   auto It = Table.find(Str);
   return It == Table.end() ? Symbol() : It->second;
 }
+
+void StringInterner::seedFrom(const StringInterner &Other) {
+  assert(Storage.size() <= Other.Storage.size() &&
+         "seed target must be a prefix of the source");
+  for (uint32_t Id = 0; Id < Other.Storage.size(); ++Id) {
+    Symbol S = intern(Other.Storage[Id]);
+    (void)S;
+    assert(S.id() == Id && "seed target diverged from the source");
+  }
+}

@@ -1,0 +1,106 @@
+//===- support/ThreadPool.cpp - Small work-stealing thread pool -----------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace sus;
+
+unsigned ThreadPool::defaultWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = 1;
+  Queues.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  waitIdle();
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(Task T) {
+  assert(T && "empty task");
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    ++Unfinished;
+    WorkerQueue &WQ = *Queues[NextQueue];
+    NextQueue = (NextQueue + 1) % Queues.size();
+    std::lock_guard<std::mutex> QLock(WQ.M);
+    WQ.Q.push_back(std::move(T));
+  }
+  WorkAvailable.notify_one();
+}
+
+bool ThreadPool::grabTask(unsigned Id, Task &Out) {
+  // Own deque first, newest-first: the task most likely still warm.
+  {
+    WorkerQueue &Own = *Queues[Id];
+    std::lock_guard<std::mutex> Lock(Own.M);
+    if (!Own.Q.empty()) {
+      Out = std::move(Own.Q.back());
+      Own.Q.pop_back();
+      return true;
+    }
+  }
+  // Steal oldest-first from the other workers.
+  for (size_t Off = 1; Off < Queues.size(); ++Off) {
+    WorkerQueue &Victim = *Queues[(Id + Off) % Queues.size()];
+    std::lock_guard<std::mutex> Lock(Victim.M);
+    if (!Victim.Q.empty()) {
+      Out = std::move(Victim.Q.front());
+      Victim.Q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  for (;;) {
+    Task T;
+    if (grabTask(Id, T)) {
+      T(Id);
+      std::lock_guard<std::mutex> Lock(StateMutex);
+      assert(Unfinished > 0 && "task accounting underflow");
+      if (--Unfinished == 0)
+        AllDone.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(StateMutex);
+    if (Stopping)
+      return;
+    // Re-check under the lock: a task may have arrived between the failed
+    // grab and acquiring the lock; sleeping then would miss its wakeup.
+    bool Empty = true;
+    for (auto &WQ : Queues) {
+      std::lock_guard<std::mutex> QLock(WQ->M);
+      if (!WQ->Q.empty()) {
+        Empty = false;
+        break;
+      }
+    }
+    if (!Empty)
+      continue;
+    WorkAvailable.wait(Lock);
+  }
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> Lock(StateMutex);
+  AllDone.wait(Lock, [this] { return Unfinished == 0; });
+}

@@ -1,0 +1,83 @@
+//===- support/ThreadPool.h - Small work-stealing thread pool ---*- C++ -*-===//
+///
+/// \file
+/// A small fixed-size work-stealing thread pool for fanning independent
+/// verification units out over the hardware. Each worker owns a deque:
+/// new work is distributed round-robin, a worker pops its own deque LIFO
+/// (cache-friendly) and steals FIFO from the others when it runs dry.
+///
+/// Tasks receive the id of the worker *executing* them, so callers can
+/// keep per-worker scratch state (e.g. a per-shard HistContext) without
+/// any synchronization: one worker runs one task at a time.
+///
+/// The pool itself makes no determinism promises — callers that need
+/// deterministic output must make tasks independent and slot results by
+/// index (see core::Verifier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_THREADPOOL_H
+#define SUS_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sus {
+
+/// A fixed-width work-stealing pool.
+class ThreadPool {
+public:
+  /// A unit of work; receives the executing worker's id in [0, numWorkers).
+  using Task = std::function<void(unsigned WorkerId)>;
+
+  /// Spawns \p Workers threads (at least 1).
+  explicit ThreadPool(unsigned Workers);
+
+  /// Drains remaining work, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues one task (round-robin across worker deques).
+  void submit(Task T);
+
+  /// Blocks until every submitted task has finished executing.
+  void waitIdle();
+
+  /// A sensible default width: the hardware concurrency, at least 1.
+  static unsigned defaultWorkers();
+
+private:
+  void workerLoop(unsigned Id);
+
+  /// Pops work for worker \p Id: its own deque back first, then steals
+  /// from the front of the others. Returns false when nothing is queued.
+  bool grabTask(unsigned Id, Task &Out);
+
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<Task> Q;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+
+  std::mutex StateMutex;
+  std::condition_variable WorkAvailable; ///< Signalled on submit/stop.
+  std::condition_variable AllDone;       ///< Signalled when Unfinished==0.
+  size_t Unfinished = 0; ///< Queued + currently executing tasks.
+  size_t NextQueue = 0;  ///< Round-robin submit cursor.
+  bool Stopping = false;
+};
+
+} // namespace sus
+
+#endif // SUS_SUPPORT_THREADPOOL_H

@@ -22,6 +22,7 @@
 #include "syntax/FileParser.h"
 #include "validity/CostAnalysis.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,6 +43,7 @@ struct CliOptions {
   bool Enumerate = true;
   bool Cost = false;
   bool Explore = false;
+  unsigned Jobs = 1;
 };
 
 void printUsage(std::ostream &OS) {
@@ -55,7 +57,10 @@ void printUsage(std::ostream &OS) {
         "  --cost           worst-case event count per behaviour\n"
         "  --explore        exhaustively explore the network under the\n"
         "                   declared plans (capacity-deadlock search)\n"
-        "  --no-enumerate   only check declared plans\n";
+        "  --no-enumerate   only check declared plans\n"
+        "  --jobs N         verify candidate plans on N worker threads\n"
+        "                   (0 = one per hardware thread); the report is\n"
+        "                   identical at any width\n";
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -68,6 +73,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg == "--bisim" && I + 2 < Argc) {
       Opts.BisimA = Argv[++I];
       Opts.BisimB = Argv[++I];
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      const char *Value = Argv[++I];
+      char *End = nullptr;
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(Value, &End, 10));
+      if (End == Value || *End != '\0') {
+        std::cerr << "susc: --jobs expects a number, got '" << Value
+                  << "'\n";
+        return false;
+      }
     } else if (Arg == "--cost") {
       Opts.Cost = true;
     } else if (Arg == "--explore") {
@@ -217,7 +231,9 @@ int runTool(const CliOptions &Opts) {
     }
   }
 
-  core::Verifier Verifier(Ctx, File->Repo, File->Registry);
+  core::VerifierOptions VOpts;
+  VOpts.Jobs = Opts.Jobs;
+  core::Verifier Verifier(Ctx, File->Repo, File->Registry, VOpts);
   bool AllClientsOk = true;
 
   for (const auto &[Name, Client] : File->Clients) {
