@@ -11,7 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <random>
+#include <vector>
 
 using namespace sus::automata;
 
@@ -92,6 +94,64 @@ void BM_Equivalence(benchmark::State &State) {
 }
 BENCHMARK(BM_Equivalence)->RangeMultiplier(2)->Range(8, 64);
 
+//===----------------------------------------------------------------------===//
+// On-the-fly product checks (no materialized complement/product)
+//===----------------------------------------------------------------------===//
+
+void BM_IntersectIsEmpty(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(7); // Same inputs as BM_Intersect.
+  Dfa A = determinize(randomNfa(Rng, N, 4, 2.5));
+  Dfa B = determinize(randomNfa(Rng, N, 4, 2.5));
+  for (auto _ : State) {
+    bool Empty = intersectIsEmpty(A, B);
+    benchmark::DoNotOptimize(Empty);
+  }
+}
+BENCHMARK(BM_IntersectIsEmpty)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_IntersectWitness(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(7);
+  Dfa A = determinize(randomNfa(Rng, N, 4, 2.5));
+  Dfa B = determinize(randomNfa(Rng, N, 4, 2.5));
+  for (auto _ : State) {
+    auto W = intersectWitness(A, B);
+    benchmark::DoNotOptimize(W.has_value());
+  }
+}
+BENCHMARK(BM_IntersectWitness)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_ContainedIn(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::mt19937 Rng(31); // Same inputs as BM_Equivalence.
+  Dfa A = determinize(randomNfa(Rng, N, 3, 2.0));
+  Dfa B = minimize(A); // A ⊆ B holds: the check explores everything.
+  for (auto _ : State) {
+    bool Sub = containedIn(A, B);
+    benchmark::DoNotOptimize(Sub);
+  }
+}
+BENCHMARK(BM_ContainedIn)->RangeMultiplier(2)->Range(8, 64);
+
 } // namespace
 
-BENCHMARK_MAIN();
+/// Like BENCHMARK_MAIN(), plus a `--quick` alias that CI uses: it rewrites
+/// itself to a short --benchmark_min_time so the whole suite smoke-runs in
+/// seconds (the bundled benchmark library wants a plain double there).
+int main(int argc, char **argv) {
+  std::vector<char *> Args;
+  static char MinTime[] = "--benchmark_min_time=0.01";
+  for (int I = 0; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Args.push_back(MinTime);
+    else
+      Args.push_back(argv[I]);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Workloads.h"
+#include "automata/KernelStats.h"
 #include "core/Verifier.h"
 
 #include <benchmark/benchmark.h>
@@ -113,6 +114,7 @@ void BM_VerifySession(benchmark::State &State) {
   unsigned R = static_cast<unsigned>(State.range(0));
   unsigned Q = static_cast<unsigned>(State.range(1));
   Mode M = static_cast<Mode>(State.range(2));
+  automata::resetKernelNanos();
   for (auto _ : State) {
     hist::HistContext Ctx;
     std::vector<core::VerificationReport> Reports =
@@ -126,6 +128,11 @@ void BM_VerifySession(benchmark::State &State) {
     State.counters["candidates"] = Candidates;
     State.counters["valid"] = Valid;
   }
+  // Automata-kernel wall time per iteration, separated from the rest of
+  // the pipeline (enumeration, derivation, caching, thread handoff).
+  State.counters["automata_kernel_ms_per_iter"] =
+      static_cast<double>(automata::kernelNanos()) / 1e6 /
+      static_cast<double>(State.iterations());
 }
 BENCHMARK(BM_VerifySession)
     ->Args({4, 2, SerialUncached})
@@ -145,12 +152,16 @@ void BM_VerifySingleShot(benchmark::State &State) {
   unsigned R = static_cast<unsigned>(State.range(0));
   unsigned Q = static_cast<unsigned>(State.range(1));
   Mode M = static_cast<Mode>(State.range(2));
+  automata::resetKernelNanos();
   for (auto _ : State) {
     hist::HistContext Ctx;
     std::vector<core::VerificationReport> Reports =
         runSession(Ctx, R, Q, 6, /*Steps=*/0, M);
     benchmark::DoNotOptimize(Reports.size());
   }
+  State.counters["automata_kernel_ms_per_iter"] =
+      static_cast<double>(automata::kernelNanos()) / 1e6 /
+      static_cast<double>(State.iterations());
 }
 BENCHMARK(BM_VerifySingleShot)
     ->Args({8, 3, SerialUncached})

@@ -1,0 +1,42 @@
+//===- automata/KernelStats.cpp - Automata kernel accounting -------------===//
+
+#include "automata/KernelStats.h"
+
+#include <atomic>
+#include <chrono>
+
+using namespace sus;
+using namespace sus::automata;
+
+namespace {
+
+std::atomic<uint64_t> TotalNanos{0};
+thread_local unsigned Depth = 0;
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+uint64_t sus::automata::kernelNanos() {
+  return TotalNanos.load(std::memory_order_relaxed);
+}
+
+void sus::automata::resetKernelNanos() {
+  TotalNanos.store(0, std::memory_order_relaxed);
+}
+
+KernelTimerScope::KernelTimerScope() : StartNanos(0) {
+  if (Depth++ == 0)
+    StartNanos = nowNanos();
+}
+
+KernelTimerScope::~KernelTimerScope() {
+  if (--Depth == 0)
+    TotalNanos.fetch_add(nowNanos() - StartNanos,
+                         std::memory_order_relaxed);
+}

@@ -1,0 +1,50 @@
+//===- automata/KernelStats.h - Automata kernel accounting ------*- C++ -*-===//
+///
+/// \file
+/// A process-wide wall-clock accumulator for time spent inside the automata
+/// kernels the verifier bottoms out in: every entry point of automata/Ops.h
+/// plus the ComplianceProduct construction (the Thm. 1 emptiness kernel).
+/// bench_verifier (B7) reads it to report kernel time separately from
+/// pipeline time, so kernel and pipeline speedups stay distinguishable
+/// across PRs.
+///
+/// The accounting is re-entrancy aware (nested kernel calls are counted
+/// once, at the outermost scope) and thread-safe (workers accumulate into
+/// one atomic); the cost is two clock reads per outermost kernel call,
+/// which is noise next to any kernel's actual work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_AUTOMATA_KERNELSTATS_H
+#define SUS_AUTOMATA_KERNELSTATS_H
+
+#include <cstdint>
+
+namespace sus {
+namespace automata {
+
+/// Cumulative nanoseconds spent inside automata-kernel entry points since
+/// process start (or the last resetKernelNanos), summed over all threads.
+uint64_t kernelNanos();
+
+/// Resets the accumulator to zero.
+void resetKernelNanos();
+
+/// RAII guard placed at every kernel entry point. Only the outermost scope
+/// on each thread accumulates, so nested kernels (e.g. minimize calling
+/// complete) are not double-counted.
+class KernelTimerScope {
+public:
+  KernelTimerScope();
+  ~KernelTimerScope();
+  KernelTimerScope(const KernelTimerScope &) = delete;
+  KernelTimerScope &operator=(const KernelTimerScope &) = delete;
+
+private:
+  uint64_t StartNanos; ///< Only meaningful for the outermost scope.
+};
+
+} // namespace automata
+} // namespace sus
+
+#endif // SUS_AUTOMATA_KERNELSTATS_H

@@ -3,10 +3,44 @@
 #include "automata/Nfa.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace sus;
 using namespace sus::automata;
+
+//===----------------------------------------------------------------------===//
+// AlphabetMap
+//===----------------------------------------------------------------------===//
+
+std::pair<uint32_t, bool> AlphabetMap::insert(SymbolCode Sym) {
+  uint32_t Existing = indexOf(Sym);
+  if (Existing != NoIndex)
+    return {Existing, false};
+
+  auto It = std::lower_bound(Syms.begin(), Syms.end(), Sym);
+  uint32_t Rank = static_cast<uint32_t>(It - Syms.begin());
+  Syms.insert(It, Sym);
+
+  // Shift the indices of every larger symbol up by one.
+  if (Sym < DirectLimit) {
+    if (Sym >= Direct.size())
+      Direct.resize(size_t(Sym) + 1, NoIndex);
+    Direct[Sym] = Rank;
+  } else {
+    Sparse.emplace(Sym, Rank);
+  }
+  for (uint32_t I = Rank + 1; I < Syms.size(); ++I) {
+    SymbolCode S = Syms[I];
+    if (S < DirectLimit)
+      Direct[S] = I;
+    else
+      Sparse[S] = I;
+  }
+  return {Rank, true};
+}
+
+//===----------------------------------------------------------------------===//
+// Nfa
+//===----------------------------------------------------------------------===//
 
 StateId Nfa::addState(bool IsAccepting) {
   Edges.emplace_back();
@@ -23,19 +57,14 @@ void Nfa::setAccepting(StateId S, bool IsAccepting) {
 void Nfa::addEdge(StateId S, SymbolCode Sym, StateId T) {
   assert(S < Edges.size() && T < Edges.size() && "state out of range");
   Edges[S].push_back({Sym, T});
+  auto It = std::lower_bound(Alpha.begin(), Alpha.end(), Sym);
+  if (It == Alpha.end() || *It != Sym)
+    Alpha.insert(It, Sym);
 }
 
 void Nfa::addEpsilon(StateId S, StateId T) {
   assert(S < Eps.size() && T < Eps.size() && "state out of range");
   Eps[S].push_back(T);
-}
-
-std::set<SymbolCode> Nfa::alphabet() const {
-  std::set<SymbolCode> Result;
-  for (const auto &Out : Edges)
-    for (const NfaEdge &E : Out)
-      Result.insert(E.Symbol);
-  return Result;
 }
 
 std::vector<StateId> Nfa::epsilonClosure(std::vector<StateId> States) const {
@@ -77,10 +106,14 @@ bool Nfa::accepts(const std::vector<SymbolCode> &Word) const {
   return false;
 }
 
+//===----------------------------------------------------------------------===//
+// Dfa
+//===----------------------------------------------------------------------===//
+
 StateId Dfa::addState(bool IsAccepting) {
-  Trans.emplace_back();
   AcceptingStates.push_back(IsAccepting);
-  return static_cast<StateId>(Trans.size() - 1);
+  Table.resize(Table.size() + Width, NoState);
+  return static_cast<StateId>(AcceptingStates.size() - 1);
 }
 
 void Dfa::setAccepting(StateId S, bool IsAccepting) {
@@ -88,28 +121,52 @@ void Dfa::setAccepting(StateId S, bool IsAccepting) {
   AcceptingStates[S] = IsAccepting;
 }
 
-void Dfa::setEdge(StateId S, SymbolCode Sym, StateId T) {
-  assert(S < Trans.size() && T < Trans.size() && "state out of range");
-  auto &Out = Trans[S];
-  auto It = std::lower_bound(
-      Out.begin(), Out.end(), Sym,
-      [](const NfaEdge &E, SymbolCode C) { return E.Symbol < C; });
-  if (It != Out.end() && It->Symbol == Sym) {
-    It->Target = T;
+void Dfa::relayout(size_t NewSyms, uint32_t InsertedAt) {
+  size_t N = numStates();
+  if (NewSyms <= Width) {
+    // Capacity suffices: shift each row's columns at/after the insertion
+    // rank right by one (the freed cell becomes the new symbol's column).
+    if (InsertedAt + 1 < NewSyms)
+      for (size_t S = 0; S < N; ++S) {
+        StateId *Row = Table.data() + S * Width;
+        std::move_backward(Row + InsertedAt, Row + (NewSyms - 1),
+                           Row + NewSyms);
+      }
+    for (size_t S = 0; S < N; ++S)
+      Table[S * Width + InsertedAt] = NoState;
     return;
   }
-  Out.insert(It, {Sym, T});
+
+  // Grow geometrically so appending symbols is amortized O(states).
+  size_t NewWidth = std::max<size_t>(NewSyms, std::max<size_t>(4, Width * 2));
+  std::vector<StateId> NewTable(N * NewWidth, NoState);
+  for (size_t S = 0; S < N; ++S) {
+    const StateId *Src = Table.data() + S * Width;
+    StateId *Dst = NewTable.data() + S * NewWidth;
+    for (size_t I = 0; I < InsertedAt; ++I)
+      Dst[I] = Src[I];
+    for (size_t I = InsertedAt; I + 1 < NewSyms; ++I)
+      Dst[I + 1] = Src[I];
+  }
+  Table = std::move(NewTable);
+  Width = NewWidth;
 }
 
-StateId Dfa::step(StateId S, SymbolCode Sym) const {
-  assert(S < Trans.size() && "state out of range");
-  const auto &Out = Trans[S];
-  auto It = std::lower_bound(
-      Out.begin(), Out.end(), Sym,
-      [](const NfaEdge &E, SymbolCode C) { return E.Symbol < C; });
-  if (It == Out.end() || It->Symbol != Sym)
-    return NoState;
-  return It->Target;
+void Dfa::setEdge(StateId S, SymbolCode Sym, StateId T) {
+  assert(S < numStates() && T < numStates() && "state out of range");
+  auto [Idx, Inserted] = Alpha.insert(Sym);
+  if (Inserted)
+    relayout(Alpha.size(), Idx);
+  // Last write wins on a duplicate (state, symbol) pair.
+  Table[size_t(S) * Width + Idx] = T;
+}
+
+void Dfa::reserveAlphabet(const std::vector<SymbolCode> &Syms) {
+  for (SymbolCode Sym : Syms) {
+    auto [Idx, Inserted] = Alpha.insert(Sym);
+    if (Inserted)
+      relayout(Alpha.size(), Idx);
+  }
 }
 
 StateId Dfa::run(const std::vector<SymbolCode> &Word) const {
@@ -125,17 +182,4 @@ StateId Dfa::run(const std::vector<SymbolCode> &Word) const {
 bool Dfa::accepts(const std::vector<SymbolCode> &Word) const {
   StateId S = run(Word);
   return S != NoState && AcceptingStates[S];
-}
-
-std::vector<NfaEdge> Dfa::edges(StateId S) const {
-  assert(S < Trans.size() && "state out of range");
-  return Trans[S];
-}
-
-std::set<SymbolCode> Dfa::alphabet() const {
-  std::set<SymbolCode> Result;
-  for (const auto &Out : Trans)
-    for (const NfaEdge &E : Out)
-      Result.insert(E.Symbol);
-  return Result;
 }

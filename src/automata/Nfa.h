@@ -1,19 +1,32 @@
 //===- automata/Nfa.h - Nondeterministic finite automata --------*- C++ -*-===//
 ///
 /// \file
-/// A generic NFA over a 32-bit symbol alphabet, with epsilon moves. Symbols
-/// are opaque codes; callers (policies, compliance products, the BPA
-/// rendering) map their labels onto them. This substrate backs the
-/// model-checking machinery of §3.1 and §4 of the paper.
+/// A generic NFA over a 32-bit symbol alphabet, with epsilon moves, and a
+/// cache-friendly DFA. Symbols are opaque codes; callers (policies,
+/// compliance products, the BPA rendering) map their labels onto them. This
+/// substrate backs the model-checking machinery of §3.1 and §4 of the paper.
+///
+/// Representation notes (the perf-critical parts):
+///  - Every automaton maintains its *effective alphabet* (the sorted set of
+///    symbols appearing on any edge) eagerly, updated on edge insertion, so
+///    `alphabet()` is a free const-ref instead of a full edge scan.
+///  - `Dfa` maps sparse symbol codes through a dense `AlphabetMap`
+///    (SymbolCode → compact index) and stores transitions in one flat
+///    row-major table (`numStates × numSymbols`), so `step` is two array
+///    loads and `stepIndex` — the kernel hot path, taking a pre-translated
+///    symbol index — is a single branch-free load.
+///  - `Dfa::edges(S)` is a zero-copy view over the state's table row,
+///    iterating present transitions in ascending symbol order.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUS_AUTOMATA_NFA_H
 #define SUS_AUTOMATA_NFA_H
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 namespace sus {
@@ -29,6 +42,52 @@ using SymbolCode = uint32_t;
 struct NfaEdge {
   SymbolCode Symbol;
   StateId Target;
+};
+
+/// Dense alphabet mapping: a bijection between the sparse 32-bit symbol
+/// codes in use and the compact indices 0..size()-1, in ascending symbol
+/// order (so index order == symbol order). Small codes — the common case
+/// throughout this codebase, where label tables hand out 0,1,2,… — resolve
+/// through a direct-mapped array; large codes fall back to a hash map.
+class AlphabetMap {
+public:
+  /// Sentinel for "symbol not in the alphabet".
+  static constexpr uint32_t NoIndex = ~0u;
+
+  /// Compact index of \p Sym, or NoIndex if absent. O(1).
+  uint32_t indexOf(SymbolCode Sym) const {
+    if (Sym < Direct.size())
+      return Direct[Sym];
+    if (Sparse.empty())
+      return NoIndex;
+    auto It = Sparse.find(Sym);
+    return It == Sparse.end() ? NoIndex : It->second;
+  }
+
+  /// Interns \p Sym; returns (index, inserted). A newly inserted symbol
+  /// gets its rank in the sorted symbol list, shifting the indices of all
+  /// larger symbols up by one (the owner must re-layout accordingly).
+  std::pair<uint32_t, bool> insert(SymbolCode Sym);
+
+  size_t size() const { return Syms.size(); }
+
+  /// Inverse mapping: the symbol at compact index \p Idx.
+  SymbolCode symbol(uint32_t Idx) const {
+    assert(Idx < Syms.size() && "index out of range");
+    return Syms[Idx];
+  }
+
+  /// All symbols, ascending.
+  const std::vector<SymbolCode> &symbols() const { return Syms; }
+
+private:
+  /// Largest code kept in the direct-mapped table; beyond this, codes go
+  /// to the Sparse fallback so a stray huge code cannot blow up memory.
+  static constexpr SymbolCode DirectLimit = 1u << 16;
+
+  std::vector<SymbolCode> Syms;  ///< Sorted ascending; index == rank.
+  std::vector<uint32_t> Direct;  ///< code → index (NoIndex = absent).
+  std::unordered_map<SymbolCode, uint32_t> Sparse; ///< codes ≥ DirectLimit.
 };
 
 /// Nondeterministic finite automaton with a single start state and a set of
@@ -56,8 +115,10 @@ public:
   const std::vector<NfaEdge> &edges(StateId S) const { return Edges[S]; }
   const std::vector<StateId> &epsilons(StateId S) const { return Eps[S]; }
 
-  /// The set of symbols that appear on any edge (the effective alphabet).
-  std::set<SymbolCode> alphabet() const;
+  /// The sorted set of symbols that appear on any edge (the effective
+  /// alphabet). Maintained eagerly on edge insertion; this is a free
+  /// accessor, never a scan.
+  const std::vector<SymbolCode> &alphabet() const { return Alpha; }
 
   /// Returns true if the automaton accepts \p Word.
   bool accepts(const std::vector<SymbolCode> &Word) const;
@@ -69,11 +130,13 @@ private:
   std::vector<std::vector<NfaEdge>> Edges;
   std::vector<std::vector<StateId>> Eps;
   std::vector<bool> Accepting;
+  std::vector<SymbolCode> Alpha; ///< Sorted effective alphabet.
   StateId Start = 0;
 };
 
-/// Deterministic finite automaton. Transitions are total only if the
-/// builder completed them; `step` returns `NoState` on a missing edge.
+/// Deterministic finite automaton over a dense-mapped alphabet, transitions
+/// in one flat row-major table. Transitions are total only if the builder
+/// completed them; `step` returns `NoState` on a missing edge.
 class Dfa {
 public:
   /// Sentinel for "no transition".
@@ -82,14 +145,37 @@ public:
   StateId addState(bool IsAccepting = false);
   void setAccepting(StateId S, bool IsAccepting = true);
   void setStart(StateId S) { Start = S; }
+
+  /// Sets the transition S --Sym--> T. Duplicate (state, symbol) pairs
+  /// overwrite: the last write wins, and the state keeps exactly one edge
+  /// on Sym (tested in AutomataTest.SetEdgeOverwritesDuplicate).
   void setEdge(StateId S, SymbolCode Sym, StateId T);
+
+  /// Pre-interns \p Syms (any order) into the alphabet. Builders that know
+  /// their alphabet up front call this once so no later setEdge ever has
+  /// to re-layout the transition table.
+  void reserveAlphabet(const std::vector<SymbolCode> &Syms);
 
   StateId start() const { return Start; }
   size_t numStates() const { return AcceptingStates.size(); }
   bool isAccepting(StateId S) const { return AcceptingStates[S]; }
 
-  /// Follows one transition; NoState when undefined.
-  StateId step(StateId S, SymbolCode Sym) const;
+  /// Follows one transition; NoState when undefined. Two array loads.
+  StateId step(StateId S, SymbolCode Sym) const {
+    assert(S < numStates() && "state out of range");
+    uint32_t Idx = Alpha.indexOf(Sym);
+    if (Idx == AlphabetMap::NoIndex)
+      return NoState;
+    return Table[size_t(S) * Width + Idx];
+  }
+
+  /// The kernel hot path: follows the transition on a pre-translated
+  /// compact symbol index (see alphabetMap()). One branch-free load;
+  /// returns NoState when undefined.
+  StateId stepIndex(StateId S, uint32_t SymIdx) const {
+    assert(S < numStates() && SymIdx < Alpha.size() && "out of range");
+    return Table[size_t(S) * Width + SymIdx];
+  }
 
   /// Runs the whole word from the start state; NoState if it falls off.
   StateId run(const std::vector<SymbolCode> &Word) const;
@@ -97,15 +183,75 @@ public:
   /// Returns true if the automaton accepts \p Word (missing edge rejects).
   bool accepts(const std::vector<SymbolCode> &Word) const;
 
-  /// All (symbol, target) pairs out of \p S, sorted by symbol.
-  std::vector<NfaEdge> edges(StateId S) const;
+  /// Zero-copy view over the transitions out of one state, in ascending
+  /// symbol order. Iterators yield NfaEdge values materialized from the
+  /// table row; no allocation, no copying of edge vectors.
+  class EdgeRange {
+  public:
+    class iterator {
+    public:
+      iterator(const StateId *Row, const SymbolCode *Syms, uint32_t Idx,
+               uint32_t End)
+          : Row(Row), Syms(Syms), Idx(Idx), End(End) {
+        skipAbsent();
+      }
+      NfaEdge operator*() const { return {Syms[Idx], Row[Idx]}; }
+      iterator &operator++() {
+        ++Idx;
+        skipAbsent();
+        return *this;
+      }
+      bool operator!=(const iterator &O) const { return Idx != O.Idx; }
+      bool operator==(const iterator &O) const { return Idx == O.Idx; }
 
-  /// The set of symbols that appear on any edge.
-  std::set<SymbolCode> alphabet() const;
+    private:
+      void skipAbsent() {
+        while (Idx != End && Row[Idx] == NoState)
+          ++Idx;
+      }
+      const StateId *Row;
+      const SymbolCode *Syms;
+      uint32_t Idx, End;
+    };
+
+    EdgeRange(const StateId *Row, const SymbolCode *Syms, uint32_t End)
+        : Row(Row), Syms(Syms), End(End) {}
+    iterator begin() const { return iterator(Row, Syms, 0, End); }
+    iterator end() const { return iterator(Row, Syms, End, End); }
+    bool empty() const { return !(begin() != this->end()); }
+
+  private:
+    const StateId *Row;
+    const SymbolCode *Syms;
+    uint32_t End;
+  };
+
+  /// All (symbol, target) pairs out of \p S, ascending by symbol, as a
+  /// zero-copy view over the state's table row.
+  EdgeRange edges(StateId S) const {
+    assert(S < numStates() && "state out of range");
+    return EdgeRange(Table.data() + size_t(S) * Width,
+                     Alpha.symbols().data(),
+                     static_cast<uint32_t>(Alpha.size()));
+  }
+
+  /// The sorted set of symbols that appear in the alphabet (effective
+  /// alphabet plus anything pre-reserved). Free accessor.
+  const std::vector<SymbolCode> &alphabet() const { return Alpha.symbols(); }
+
+  /// The dense symbol mapping, for kernels that pre-translate symbols once
+  /// and then run on compact indices via stepIndex().
+  const AlphabetMap &alphabetMap() const { return Alpha; }
+  size_t numSymbols() const { return Alpha.size(); }
 
 private:
-  // Per-state sorted (symbol -> target) vectors.
-  std::vector<std::vector<NfaEdge>> Trans;
+  /// Grows the table to cover \p NewSyms columns; \p InsertedAt is the
+  /// rank the newest symbol received (columns at/after it shift right).
+  void relayout(size_t NewSyms, uint32_t InsertedAt);
+
+  AlphabetMap Alpha;
+  size_t Width = 0;               ///< Allocated columns per row (≥ |Σ|).
+  std::vector<StateId> Table;     ///< numStates × Width, NoState = absent.
   std::vector<bool> AcceptingStates;
   StateId Start = 0;
 };

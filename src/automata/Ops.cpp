@@ -2,69 +2,217 @@
 
 #include "automata/Ops.h"
 
+#include "automata/KernelStats.h"
 #include "support/HashUtil.h"
 
 #include <algorithm>
 #include <cassert>
 #include <deque>
-#include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace sus;
 using namespace sus::automata;
 
-Dfa sus::automata::determinize(const Nfa &N) {
-  Dfa Result;
-  std::map<std::vector<StateId>, StateId> Index;
-  std::deque<std::vector<StateId>> Work;
+namespace {
 
-  auto InternState = [&](std::vector<StateId> Set) -> StateId {
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+/// Hash for bitset keys (state sets as packed words).
+struct WordsHash {
+  size_t operator()(const std::vector<uint64_t> &V) const noexcept {
+    size_t Seed = V.size();
+    for (uint64_t X : V)
+      hashCombineValue(Seed, X);
+    return Seed;
+  }
+};
+
+/// Hash for packed (StateId, StateId) product keys.
+struct PairKeyHash {
+  size_t operator()(uint64_t Key) const noexcept { return hashAll(Key); }
+};
+
+inline bool testBit(const uint64_t *Words, StateId S) {
+  return (Words[S >> 6] >> (S & 63)) & 1;
+}
+
+inline void setBit(uint64_t *Words, StateId S) {
+  Words[S >> 6] |= uint64_t(1) << (S & 63);
+}
+
+/// Calls \p F with every set bit, ascending.
+template <typename Fn>
+void forEachBit(const uint64_t *Words, size_t NumWords, Fn F) {
+  for (size_t W = 0; W < NumWords; ++W) {
+    uint64_t Bits = Words[W];
+    while (Bits) {
+      unsigned B = static_cast<unsigned>(__builtin_ctzll(Bits));
+      Bits &= Bits - 1;
+      F(static_cast<StateId>(W * 64 + B));
+    }
+  }
+}
+
+/// Packs a product pair into one hash-map key. The second component may be
+/// Dfa::NoState (the implicit dead state of a virtual completion).
+inline uint64_t packPair(StateId SA, StateId SB) {
+  return (uint64_t(SA) << 32) | SB;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Determinization
+//===----------------------------------------------------------------------===//
+
+Dfa sus::automata::determinize(const Nfa &N) {
+  KernelTimerScope Timer;
+  Dfa Result;
+  const std::vector<SymbolCode> &Syms = N.alphabet();
+  const uint32_t K = static_cast<uint32_t>(Syms.size());
+  Result.reserveAlphabet(Syms);
+
+  const size_t NS = N.numStates();
+  if (NS == 0) {
+    // Empty automaton: the empty language, as a single rejecting state.
+    Result.setStart(Result.addState(false));
+    return Result;
+  }
+  const size_t W64 = (NS + 63) / 64;
+
+  // Dense symbol index per NFA edge, flattened per state (CSR). Symbols are
+  // ranked by code, so index order == symbol order.
+  std::vector<uint32_t> EdgeOff(NS + 1, 0);
+  for (StateId S = 0; S < NS; ++S)
+    EdgeOff[S + 1] =
+        EdgeOff[S] + static_cast<uint32_t>(N.edges(S).size());
+  std::vector<std::pair<uint32_t, StateId>> EdgeDat(EdgeOff[NS]);
+  {
+    const AlphabetMap &Map = Result.alphabetMap();
+    for (StateId S = 0; S < NS; ++S) {
+      uint32_t Cursor = EdgeOff[S];
+      for (const NfaEdge &E : N.edges(S))
+        EdgeDat[Cursor++] = {Map.indexOf(E.Symbol), E.Target};
+    }
+  }
+
+  // Accepting states as a bitset.
+  std::vector<uint64_t> AccBits(W64, 0);
+  for (StateId S = 0; S < NS; ++S)
+    if (N.isAccepting(S))
+      setBit(AccBits.data(), S);
+
+  bool HasEps = false;
+  for (StateId S = 0; S < NS && !HasEps; ++S)
+    HasEps = !N.epsilons(S).empty();
+
+  // In-place epsilon closure over a bitset.
+  std::vector<StateId> CloseWork;
+  auto Close = [&](std::vector<uint64_t> &Set) {
+    if (!HasEps)
+      return;
+    CloseWork.clear();
+    forEachBit(Set.data(), W64, [&](StateId S) { CloseWork.push_back(S); });
+    while (!CloseWork.empty()) {
+      StateId S = CloseWork.back();
+      CloseWork.pop_back();
+      for (StateId T : N.epsilons(S))
+        if (!testBit(Set.data(), T)) {
+          setBit(Set.data(), T);
+          CloseWork.push_back(T);
+        }
+    }
+  };
+
+  auto IsAcceptingSet = [&](const std::vector<uint64_t> &Set) {
+    for (size_t W = 0; W < W64; ++W)
+      if (Set[W] & AccBits[W])
+        return true;
+    return false;
+  };
+
+  std::unordered_map<std::vector<uint64_t>, StateId, WordsHash> Index;
+  std::deque<std::vector<uint64_t>> Work;
+
+  auto InternState = [&](std::vector<uint64_t> Set) -> StateId {
     auto It = Index.find(Set);
     if (It != Index.end())
       return It->second;
-    bool Accepting = false;
-    for (StateId S : Set)
-      if (N.isAccepting(S)) {
-        Accepting = true;
-        break;
-      }
-    StateId Id = Result.addState(Accepting);
+    StateId Id = Result.addState(IsAcceptingSet(Set));
     Index.emplace(Set, Id);
     Work.push_back(std::move(Set));
     return Id;
   };
 
-  StateId StartId = InternState(N.epsilonClosure({N.start()}));
-  Result.setStart(StartId);
+  std::vector<uint64_t> StartSet(W64, 0);
+  setBit(StartSet.data(), N.start());
+  Close(StartSet);
+  Result.setStart(InternState(std::move(StartSet)));
+
+  // Per-symbol successor buffers, reused across iterations; only the
+  // touched slices are cleared.
+  std::vector<uint64_t> Buf(size_t(K) * W64, 0);
+  std::vector<uint8_t> SymTouched(K, 0);
+  std::vector<uint32_t> Touched;
 
   while (!Work.empty()) {
-    std::vector<StateId> Set = Work.front();
+    std::vector<uint64_t> Set = std::move(Work.front());
     Work.pop_front();
     StateId From = Index.at(Set);
 
-    // Group successors by symbol.
-    std::map<SymbolCode, std::vector<StateId>> BySymbol;
-    for (StateId S : Set)
-      for (const NfaEdge &E : N.edges(S))
-        BySymbol[E.Symbol].push_back(E.Target);
+    Touched.clear();
+    forEachBit(Set.data(), W64, [&](StateId S) {
+      for (uint32_t E = EdgeOff[S]; E < EdgeOff[S + 1]; ++E) {
+        auto [SymIdx, Target] = EdgeDat[E];
+        if (!SymTouched[SymIdx]) {
+          SymTouched[SymIdx] = 1;
+          Touched.push_back(SymIdx);
+        }
+        setBit(Buf.data() + size_t(SymIdx) * W64, Target);
+      }
+    });
+    // Ascending symbol order keeps the discovery numbering deterministic
+    // (and identical to the classic by-symbol-map construction).
+    std::sort(Touched.begin(), Touched.end());
 
-    for (auto &[Sym, Targets] : BySymbol) {
-      StateId To = InternState(N.epsilonClosure(std::move(Targets)));
-      Result.setEdge(From, Sym, To);
+    for (uint32_t SymIdx : Touched) {
+      uint64_t *Slice = Buf.data() + size_t(SymIdx) * W64;
+      std::vector<uint64_t> Next(Slice, Slice + W64);
+      std::fill(Slice, Slice + W64, 0);
+      SymTouched[SymIdx] = 0;
+      Close(Next);
+      StateId To = InternState(std::move(Next));
+      Result.setEdge(From, Syms[SymIdx], To);
     }
   }
   return Result;
 }
 
+//===----------------------------------------------------------------------===//
+// Completion and complement
+//===----------------------------------------------------------------------===//
+
 Dfa sus::automata::complete(const Dfa &D,
-                            const std::set<SymbolCode> &Alphabet) {
+                            const std::vector<SymbolCode> &Alphabet) {
+  assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
+         "alphabet must be sorted");
+  KernelTimerScope Timer;
   Dfa Result;
-  for (StateId S = 0; S < D.numStates(); ++S)
+  std::vector<SymbolCode> All;
+  std::set_union(Alphabet.begin(), Alphabet.end(), D.alphabet().begin(),
+                 D.alphabet().end(), std::back_inserter(All));
+  Result.reserveAlphabet(All);
+
+  const StateId N = static_cast<StateId>(D.numStates());
+  for (StateId S = 0; S < N; ++S)
     Result.addState(D.isAccepting(S));
   StateId Sink = Result.addState(false);
   Result.setStart(D.start());
 
-  for (StateId S = 0; S < D.numStates(); ++S) {
+  for (StateId S = 0; S < N; ++S) {
     for (const NfaEdge &E : D.edges(S))
       Result.setEdge(S, E.Symbol, E.Target);
     for (SymbolCode Sym : Alphabet)
@@ -77,28 +225,44 @@ Dfa sus::automata::complete(const Dfa &D,
 }
 
 Dfa sus::automata::complement(const Dfa &D,
-                              const std::set<SymbolCode> &Alphabet) {
-  std::set<SymbolCode> Joint = Alphabet;
-  for (SymbolCode Sym : D.alphabet())
-    Joint.insert(Sym);
+                              const std::vector<SymbolCode> &Alphabet) {
+  assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
+         "alphabet must be sorted");
+  KernelTimerScope Timer;
+  std::vector<SymbolCode> Joint;
+  std::set_union(Alphabet.begin(), Alphabet.end(), D.alphabet().begin(),
+                 D.alphabet().end(), std::back_inserter(Joint));
   Dfa Completed = complete(D, Joint);
   for (StateId S = 0; S < Completed.numStates(); ++S)
     Completed.setAccepting(S, !Completed.isAccepting(S));
   return Completed;
 }
 
+//===----------------------------------------------------------------------===//
+// Products
+//===----------------------------------------------------------------------===//
+
 namespace {
 
 /// Shared reachable-product construction; acceptance is a callback so
-/// intersection and union reuse it.
+/// intersection and union reuse it. Pairs are interned through a hashed
+/// index; the BFS follows A's edges in ascending symbol order, so the
+/// result numbering is the deterministic discovery order.
 template <typename AcceptFn>
 Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
   Dfa Result;
-  std::map<std::pair<StateId, StateId>, StateId> Index;
-  std::deque<std::pair<StateId, StateId>> Work;
+  Result.reserveAlphabet(A.alphabet());
+  if (A.numStates() == 0 || B.numStates() == 0) {
+    // One operand is the empty automaton: the intersection is empty.
+    Result.setStart(Result.addState(false));
+    return Result;
+  }
+
+  std::unordered_map<uint64_t, StateId, PairKeyHash> Index;
+  std::deque<uint64_t> Work;
 
   auto InternState = [&](StateId SA, StateId SB) -> StateId {
-    auto Key = std::make_pair(SA, SB);
+    uint64_t Key = packPair(SA, SB);
     auto It = Index.find(Key);
     if (It != Index.end())
       return It->second;
@@ -110,9 +274,11 @@ Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
 
   Result.setStart(InternState(A.start(), B.start()));
   while (!Work.empty()) {
-    auto [SA, SB] = Work.front();
+    uint64_t Key = Work.front();
     Work.pop_front();
-    StateId From = Index.at({SA, SB});
+    StateId SA = static_cast<StateId>(Key >> 32);
+    StateId SB = static_cast<StateId>(Key);
+    StateId From = Index.at(Key);
     for (const NfaEdge &E : A.edges(SA)) {
       StateId TB = B.step(SB, E.Symbol);
       if (TB == Dfa::NoState)
@@ -126,15 +292,18 @@ Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
 } // namespace
 
 Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
+  KernelTimerScope Timer;
   return productImpl(A, B, [&](StateId SA, StateId SB) {
     return A.isAccepting(SA) && B.isAccepting(SB);
   });
 }
 
 Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
-  std::set<SymbolCode> Joint = A.alphabet();
-  for (SymbolCode Sym : B.alphabet())
-    Joint.insert(Sym);
+  KernelTimerScope Timer;
+  std::vector<SymbolCode> Joint;
+  std::set_union(A.alphabet().begin(), A.alphabet().end(),
+                 B.alphabet().begin(), B.alphabet().end(),
+                 std::back_inserter(Joint));
   Dfa CA = complete(A, Joint);
   Dfa CB = complete(B, Joint);
   return productImpl(CA, CB, [&](StateId SA, StateId SB) {
@@ -142,8 +311,15 @@ Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
   });
 }
 
+//===----------------------------------------------------------------------===//
+// Emptiness and witnesses
+//===----------------------------------------------------------------------===//
+
 std::optional<std::vector<SymbolCode>>
 sus::automata::shortestWitness(const Dfa &D) {
+  KernelTimerScope Timer;
+  if (D.numStates() == 0)
+    return std::nullopt;
   struct Pred {
     StateId From;
     SymbolCode Symbol;
@@ -184,99 +360,446 @@ sus::automata::shortestWitness(const Dfa &D) {
 }
 
 bool sus::automata::isEmpty(const Dfa &D) {
-  return !shortestWitness(D).has_value();
-}
-
-Dfa sus::automata::minimize(const Dfa &D) {
-  std::set<SymbolCode> Alphabet = D.alphabet();
-  Dfa C = complete(D, Alphabet);
-  // Re-collect: completion may have added a sink but no new symbols.
-  std::vector<SymbolCode> Syms(Alphabet.begin(), Alphabet.end());
-  size_t N = C.numStates();
-
-  // Drop unreachable states first so the partition refinement only sees the
-  // live part.
-  std::vector<bool> Reach(N, false);
+  KernelTimerScope Timer;
+  if (D.numStates() == 0)
+    return true;
+  if (D.isAccepting(D.start()))
+    return false;
+  std::vector<bool> Seen(D.numStates(), false);
   std::deque<StateId> Work;
-  Reach[C.start()] = true;
-  Work.push_back(C.start());
+  Seen[D.start()] = true;
+  Work.push_back(D.start());
   while (!Work.empty()) {
     StateId S = Work.front();
     Work.pop_front();
+    for (const NfaEdge &E : D.edges(S)) {
+      if (Seen[E.Target])
+        continue;
+      if (D.isAccepting(E.Target))
+        return false;
+      Seen[E.Target] = true;
+      Work.push_back(E.Target);
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// On-the-fly product emptiness
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The implicit dead state of a virtually-completed operand: a pair's
+/// second component is DeadSide once B fell off its transition table.
+constexpr StateId DeadSide = Dfa::NoState;
+
+} // namespace
+
+bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
+  KernelTimerScope Timer;
+  if (A.numStates() == 0 || B.numStates() == 0)
+    return true;
+  if (A.isAccepting(A.start()) && B.isAccepting(B.start()))
+    return false;
+  std::unordered_set<uint64_t, PairKeyHash> Seen;
+  std::deque<uint64_t> Work;
+  Seen.insert(packPair(A.start(), B.start()));
+  Work.push_back(packPair(A.start(), B.start()));
+  while (!Work.empty()) {
+    uint64_t Key = Work.front();
+    Work.pop_front();
+    StateId SA = static_cast<StateId>(Key >> 32);
+    StateId SB = static_cast<StateId>(Key);
+    for (const NfaEdge &E : A.edges(SA)) {
+      StateId TB = B.step(SB, E.Symbol);
+      if (TB == Dfa::NoState)
+        continue;
+      uint64_t Next = packPair(E.Target, TB);
+      if (!Seen.insert(Next).second)
+        continue;
+      if (A.isAccepting(E.Target) && B.isAccepting(TB))
+        return false;
+      Work.push_back(Next);
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<SymbolCode>>
+sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
+  KernelTimerScope Timer;
+  if (A.numStates() == 0 || B.numStates() == 0)
+    return std::nullopt;
+
+  // Mirrors shortestWitness over the materialized product: same BFS
+  // discovery order (A's edges ascending), same predecessor tree, hence
+  // bit-for-bit the same shortest word.
+  struct Node {
+    uint64_t Key;
+    uint32_t Pred; ///< Index of the predecessor node, or ~0u at the start.
+    SymbolCode Symbol;
+  };
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, uint32_t, PairKeyHash> Index;
+  std::deque<uint32_t> Work;
+
+  uint64_t StartKey = packPair(A.start(), B.start());
+  Nodes.push_back({StartKey, ~0u, 0});
+  Index.emplace(StartKey, 0);
+  Work.push_back(0);
+
+  uint32_t Found = ~0u;
+  if (A.isAccepting(A.start()) && B.isAccepting(B.start()))
+    Found = 0;
+
+  while (Found == ~0u && !Work.empty()) {
+    uint32_t I = Work.front();
+    Work.pop_front();
+    uint64_t Key = Nodes[I].Key;
+    StateId SA = static_cast<StateId>(Key >> 32);
+    StateId SB = static_cast<StateId>(Key);
+    for (const NfaEdge &E : A.edges(SA)) {
+      StateId TB = B.step(SB, E.Symbol);
+      if (TB == Dfa::NoState)
+        continue;
+      uint64_t Next = packPair(E.Target, TB);
+      if (Index.find(Next) != Index.end())
+        continue;
+      uint32_t J = static_cast<uint32_t>(Nodes.size());
+      Nodes.push_back({Next, I, E.Symbol});
+      Index.emplace(Next, J);
+      if (A.isAccepting(E.Target) && B.isAccepting(TB)) {
+        Found = J;
+        break;
+      }
+      Work.push_back(J);
+    }
+  }
+  if (Found == ~0u)
+    return std::nullopt;
+
+  std::vector<SymbolCode> Word;
+  for (uint32_t I = Found; Nodes[I].Pred != ~0u; I = Nodes[I].Pred)
+    Word.push_back(Nodes[I].Symbol);
+  std::reverse(Word.begin(), Word.end());
+  return Word;
+}
+
+bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
+  KernelTimerScope Timer;
+  if (A.numStates() == 0)
+    return true;
+
+  // Pairs (a, b) of the implicit product A ⊗ ¬B, where b == DeadSide once
+  // B has fallen off (the virtual completion's sink, which ¬B accepts).
+  auto Counterexample = [&](StateId SA, StateId SB) {
+    return A.isAccepting(SA) && (SB == DeadSide || !B.isAccepting(SB));
+  };
+
+  StateId SB0 = B.numStates() == 0 ? DeadSide : B.start();
+  if (Counterexample(A.start(), SB0))
+    return false;
+  std::unordered_set<uint64_t, PairKeyHash> Seen;
+  std::deque<uint64_t> Work;
+  Seen.insert(packPair(A.start(), SB0));
+  Work.push_back(packPair(A.start(), SB0));
+  while (!Work.empty()) {
+    uint64_t Key = Work.front();
+    Work.pop_front();
+    StateId SA = static_cast<StateId>(Key >> 32);
+    StateId SB = static_cast<StateId>(Key);
+    for (const NfaEdge &E : A.edges(SA)) {
+      StateId TB = SB == DeadSide ? DeadSide : B.step(SB, E.Symbol);
+      uint64_t Next = packPair(E.Target, TB);
+      if (!Seen.insert(Next).second)
+        continue;
+      if (Counterexample(E.Target, TB))
+        return false;
+      Work.push_back(Next);
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<SymbolCode>>
+sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
+  KernelTimerScope Timer;
+  if (A.numStates() == 0)
+    return std::nullopt;
+
+  auto Counterexample = [&](StateId SA, StateId SB) {
+    return A.isAccepting(SA) && (SB == DeadSide || !B.isAccepting(SB));
+  };
+
+  struct Node {
+    uint64_t Key;
+    uint32_t Pred;
+    SymbolCode Symbol;
+  };
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, uint32_t, PairKeyHash> Index;
+  std::deque<uint32_t> Work;
+
+  StateId SB0 = B.numStates() == 0 ? DeadSide : B.start();
+  uint64_t StartKey = packPair(A.start(), SB0);
+  Nodes.push_back({StartKey, ~0u, 0});
+  Index.emplace(StartKey, 0);
+  Work.push_back(0);
+
+  uint32_t Found = ~0u;
+  if (Counterexample(A.start(), SB0))
+    Found = 0;
+
+  while (Found == ~0u && !Work.empty()) {
+    uint32_t I = Work.front();
+    Work.pop_front();
+    uint64_t Key = Nodes[I].Key;
+    StateId SA = static_cast<StateId>(Key >> 32);
+    StateId SB = static_cast<StateId>(Key);
+    for (const NfaEdge &E : A.edges(SA)) {
+      StateId TB = SB == DeadSide ? DeadSide : B.step(SB, E.Symbol);
+      uint64_t Next = packPair(E.Target, TB);
+      if (Index.find(Next) != Index.end())
+        continue;
+      uint32_t J = static_cast<uint32_t>(Nodes.size());
+      Nodes.push_back({Next, I, E.Symbol});
+      Index.emplace(Next, J);
+      if (Counterexample(E.Target, TB)) {
+        Found = J;
+        break;
+      }
+      Work.push_back(J);
+    }
+  }
+  if (Found == ~0u)
+    return std::nullopt;
+
+  std::vector<SymbolCode> Word;
+  for (uint32_t I = Found; Nodes[I].Pred != ~0u; I = Nodes[I].Pred)
+    Word.push_back(Nodes[I].Symbol);
+  std::reverse(Word.begin(), Word.end());
+  return Word;
+}
+
+//===----------------------------------------------------------------------===//
+// Minimization (Hopcroft)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hopcroft partition refinement over a complete DFA given as a dense
+/// next-state table (\p Next, M states × K symbols). Returns the block id
+/// of every state; blocks are the Myhill–Nerode classes. O(K·M·log M).
+std::vector<uint32_t> hopcroftPartition(uint32_t M, uint32_t K,
+                                        const std::vector<uint32_t> &Next,
+                                        const std::vector<bool> &Acc) {
+  // Inverse transitions, CSR per symbol: bucket (a, t) holds the states s
+  // with Next[s·K + a] == t.
+  std::vector<uint32_t> InvOff(size_t(K) * M + 1, 0);
+  for (uint32_t S = 0; S < M; ++S)
+    for (uint32_t A = 0; A < K; ++A)
+      ++InvOff[size_t(A) * M + Next[size_t(S) * K + A] + 1];
+  for (size_t I = 1; I < InvOff.size(); ++I)
+    InvOff[I] += InvOff[I - 1];
+  std::vector<uint32_t> InvDat(size_t(M) * K);
+  {
+    std::vector<uint32_t> Cursor(InvOff.begin(), InvOff.end() - 1);
+    for (uint32_t S = 0; S < M; ++S)
+      for (uint32_t A = 0; A < K; ++A)
+        InvDat[Cursor[size_t(A) * M + Next[size_t(S) * K + A]]++] = S;
+  }
+
+  // Refinable partition: Elems is a permutation of states grouped by
+  // block; each block is the range [First[b], Past[b]) with a marked
+  // prefix of MarkedCnt[b] elements.
+  std::vector<uint32_t> Elems(M), Loc(M), Blk(M);
+  std::vector<uint32_t> First, Past, MarkedCnt;
+
+  uint32_t NumAcc = 0;
+  for (uint32_t S = 0; S < M; ++S)
+    NumAcc += Acc[S];
+  {
+    uint32_t NonPos = 0, AccPos = M - NumAcc;
+    for (uint32_t S = 0; S < M; ++S) {
+      uint32_t P = Acc[S] ? AccPos++ : NonPos++;
+      Elems[P] = S;
+      Loc[S] = P;
+    }
+  }
+  if (NumAcc == 0 || NumAcc == M) {
+    First = {0};
+    Past = {M};
+    MarkedCnt = {0};
+    for (uint32_t S = 0; S < M; ++S)
+      Blk[S] = 0;
+    return Blk; // No observation distinguishes any two states.
+  }
+  First = {0, M - NumAcc};
+  Past = {M - NumAcc, M};
+  MarkedCnt = {0, 0};
+  for (uint32_t S = 0; S < M; ++S)
+    Blk[S] = Acc[S] ? 1 : 0;
+
+  // Splitter worklist, encoded block·K + symbol.
+  std::vector<uint8_t> InW(size_t(M) * K, 0);
+  std::vector<uint64_t> WL;
+  uint32_t Smaller = NumAcc <= M - NumAcc ? 1 : 0;
+  for (uint32_t A = 0; A < K; ++A) {
+    InW[size_t(Smaller) * K + A] = 1;
+    WL.push_back(uint64_t(Smaller) * K + A);
+  }
+
+  std::vector<uint32_t> Pre, TouchedBlocks;
+  while (!WL.empty()) {
+    uint64_t Enc = WL.back();
+    WL.pop_back();
+    uint32_t B = static_cast<uint32_t>(Enc / K);
+    uint32_t A = static_cast<uint32_t>(Enc % K);
+    InW[Enc] = 0;
+
+    // Gather the preimage of block B under symbol A before any swapping.
+    Pre.clear();
+    for (uint32_t I = First[B]; I < Past[B]; ++I) {
+      uint32_t T = Elems[I];
+      for (uint32_t J = InvOff[size_t(A) * M + T];
+           J < InvOff[size_t(A) * M + T + 1]; ++J)
+        Pre.push_back(InvDat[J]);
+    }
+
+    // Mark: move preimage members to the front of their blocks.
+    for (uint32_t S : Pre) {
+      uint32_t SB = Blk[S];
+      uint32_t MPos = First[SB] + MarkedCnt[SB];
+      if (Loc[S] < MPos)
+        continue; // Already marked.
+      if (MarkedCnt[SB] == 0)
+        TouchedBlocks.push_back(SB);
+      uint32_t Other = Elems[MPos];
+      Elems[MPos] = S;
+      Elems[Loc[S]] = Other;
+      Loc[Other] = Loc[S];
+      Loc[S] = MPos;
+      ++MarkedCnt[SB];
+    }
+
+    // Split every touched block into (marked | unmarked).
+    for (uint32_t SB : TouchedBlocks) {
+      uint32_t Cnt = MarkedCnt[SB];
+      MarkedCnt[SB] = 0;
+      if (Cnt == Past[SB] - First[SB])
+        continue; // Whole block in the preimage: nothing to split.
+      uint32_t NB = static_cast<uint32_t>(First.size());
+      First.push_back(First[SB]);
+      Past.push_back(First[SB] + Cnt);
+      MarkedCnt.push_back(0);
+      First[SB] += Cnt; // Old id keeps the unmarked part.
+      for (uint32_t I = First[NB]; I < Past[NB]; ++I)
+        Blk[Elems[I]] = NB;
+
+      uint32_t SizeOld = Past[SB] - First[SB];
+      uint32_t SizeNew = Cnt;
+      for (uint32_t C = 0; C < K; ++C) {
+        uint64_t EncOld = uint64_t(SB) * K + C;
+        uint64_t EncNew = uint64_t(NB) * K + C;
+        if (InW[EncOld]) {
+          // (old block, C) is pending: both halves must be processed.
+          InW[EncNew] = 1;
+          WL.push_back(EncNew);
+        } else {
+          // Hopcroft's trick: the smaller half suffices.
+          uint64_t EncSmall = SizeNew <= SizeOld ? EncNew : EncOld;
+          InW[EncSmall] = 1;
+          WL.push_back(EncSmall);
+        }
+      }
+    }
+    TouchedBlocks.clear();
+  }
+  return Blk;
+}
+
+} // namespace
+
+Dfa sus::automata::minimize(const Dfa &D) {
+  KernelTimerScope Timer;
+  const std::vector<SymbolCode> &Alphabet = D.alphabet();
+  Dfa C = complete(D, Alphabet);
+  const uint32_t K = static_cast<uint32_t>(Alphabet.size());
+  const uint32_t N = static_cast<uint32_t>(C.numStates());
+
+  // Drop unreachable states first so the partition refinement only sees
+  // the live part.
+  std::vector<bool> Reach(N, false);
+  std::deque<StateId> BfsWork;
+  Reach[C.start()] = true;
+  BfsWork.push_back(C.start());
+  while (!BfsWork.empty()) {
+    StateId S = BfsWork.front();
+    BfsWork.pop_front();
     for (const NfaEdge &E : C.edges(S))
       if (!Reach[E.Target]) {
         Reach[E.Target] = true;
-        Work.push_back(E.Target);
+        BfsWork.push_back(E.Target);
       }
   }
 
-  // Moore-style partition refinement (O(n^2 * |Σ|) worst case, simple and
-  // deterministic; automata here are small).
-  std::vector<unsigned> Class(N, 0);
+  // Compact the reachable part (ascending id order, for determinism).
+  std::vector<StateId> Compact;
+  std::vector<uint32_t> ToCompact(N, ~0u);
   for (StateId S = 0; S < N; ++S)
-    Class[S] = C.isAccepting(S) ? 1 : 0;
-
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    // Signature of a state: (class, class of successor per symbol).
-    std::map<std::vector<unsigned>, unsigned> SigIndex;
-    std::vector<unsigned> NewClass(N, 0);
-    for (StateId S = 0; S < N; ++S) {
-      if (!Reach[S])
-        continue;
-      std::vector<unsigned> Sig;
-      Sig.reserve(Syms.size() + 1);
-      Sig.push_back(Class[S]);
-      for (SymbolCode Sym : Syms) {
-        StateId T = C.step(S, Sym);
-        assert(T != Dfa::NoState && "completed DFA must be total");
-        Sig.push_back(Class[T]);
-      }
-      auto [It, Inserted] =
-          SigIndex.emplace(std::move(Sig), SigIndex.size());
-      (void)Inserted;
-      NewClass[S] = It->second;
+    if (Reach[S]) {
+      ToCompact[S] = static_cast<uint32_t>(Compact.size());
+      Compact.push_back(S);
     }
-    for (StateId S = 0; S < N; ++S)
-      if (Reach[S] && NewClass[S] != Class[S])
-        Changed = true;
-    Class = std::move(NewClass);
+  const uint32_t M = static_cast<uint32_t>(Compact.size());
+
+  std::vector<uint32_t> Next(size_t(M) * K);
+  std::vector<bool> Acc(M);
+  for (uint32_t I = 0; I < M; ++I) {
+    Acc[I] = C.isAccepting(Compact[I]);
+    for (uint32_t A = 0; A < K; ++A) {
+      StateId T = C.stepIndex(Compact[I], A);
+      assert(T != Dfa::NoState && "completed DFA must be total");
+      Next[size_t(I) * K + A] = ToCompact[T];
+    }
   }
 
-  // Build the quotient automaton over reachable classes.
-  std::map<unsigned, StateId> ClassState;
+  std::vector<uint32_t> Blk = hopcroftPartition(M, K, Next, Acc);
+
+  // Build the quotient automaton over reachable classes, interned in
+  // first-occurrence scan order (start first) for a deterministic result.
   Dfa Result;
-  auto InternClass = [&](StateId Rep) -> StateId {
-    unsigned Cl = Class[Rep];
-    auto It = ClassState.find(Cl);
-    if (It != ClassState.end())
-      return It->second;
-    StateId Id = Result.addState(C.isAccepting(Rep));
-    ClassState.emplace(Cl, Id);
+  Result.reserveAlphabet(Alphabet);
+  std::vector<StateId> ClassState(M, Dfa::NoState);
+  auto InternClass = [&](uint32_t CompactId) -> StateId {
+    uint32_t B = Blk[CompactId];
+    if (ClassState[B] != Dfa::NoState)
+      return ClassState[B];
+    StateId Id = Result.addState(Acc[CompactId]);
+    ClassState[B] = Id;
     return Id;
   };
 
-  Result.setStart(InternClass(C.start()));
-  for (StateId S = 0; S < N; ++S) {
-    if (!Reach[S])
+  Result.setStart(InternClass(ToCompact[C.start()]));
+  std::vector<bool> Expanded(M, false);
+  for (uint32_t I = 0; I < M; ++I) {
+    uint32_t B = Blk[I];
+    if (Expanded[B])
       continue;
-    StateId From = InternClass(S);
-    for (SymbolCode Sym : Syms) {
-      StateId T = C.step(S, Sym);
-      Result.setEdge(From, Sym, InternClass(T));
-    }
+    Expanded[B] = true;
+    StateId From = InternClass(I);
+    for (uint32_t A = 0; A < K; ++A)
+      Result.setEdge(From, Alphabet[A], InternClass(Next[size_t(I) * K + A]));
   }
   return Result;
 }
 
+//===----------------------------------------------------------------------===//
+// Equivalence
+//===----------------------------------------------------------------------===//
+
 bool sus::automata::equivalent(const Dfa &A, const Dfa &B) {
-  std::set<SymbolCode> Joint = A.alphabet();
-  for (SymbolCode Sym : B.alphabet())
-    Joint.insert(Sym);
-  Dfa NotB = complement(B, Joint);
-  if (!isEmpty(intersect(A, NotB)))
-    return false;
-  Dfa NotA = complement(A, Joint);
-  return isEmpty(intersect(B, NotA));
+  KernelTimerScope Timer;
+  return containedIn(A, B) && containedIn(B, A);
 }

@@ -2,9 +2,15 @@
 ///
 /// \file
 /// The classic constructions the verifier needs: subset-construction
-/// determinization, completion, complement, product (intersection and
-/// union), emptiness with witness extraction, Hopcroft minimization and
-/// language-equivalence checking.
+/// determinization (hashed state sets over bitset closures), completion,
+/// complement, product (intersection and union), emptiness with witness
+/// extraction, Hopcroft minimization and language-equivalence checking —
+/// plus *on-the-fly* variants (intersectIsEmpty, containedIn, implicit
+/// product witnesses) that decide emptiness questions without ever
+/// materializing the complements and products they probe.
+///
+/// Alphabet parameters are sorted, duplicate-free symbol vectors (the form
+/// `Nfa::alphabet()`/`Dfa::alphabet()` return).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,25 +20,30 @@
 #include "automata/Nfa.h"
 
 #include <optional>
-#include <set>
 #include <vector>
 
 namespace sus {
 namespace automata {
 
 /// Subset construction. The result is deterministic but not necessarily
-/// complete (undefined transitions reject).
+/// complete (undefined transitions reject). State sets are tracked as
+/// bitsets and hashed (support/HashUtil.h); successor sets are expanded
+/// per dense symbol index, in ascending symbol order, so the result's
+/// state numbering is the deterministic BFS discovery order.
 Dfa determinize(const Nfa &N);
 
 /// Adds a non-accepting sink so that every state has a transition on every
-/// symbol in \p Alphabet.
-Dfa complete(const Dfa &D, const std::set<SymbolCode> &Alphabet);
+/// symbol in \p Alphabet (sorted, unique). Edges on symbols outside
+/// \p Alphabet are copied but not completed, mirroring the inputs.
+Dfa complete(const Dfa &D, const std::vector<SymbolCode> &Alphabet);
 
-/// Complement w.r.t. \p Alphabet (completes first, then flips acceptance).
-Dfa complement(const Dfa &D, const std::set<SymbolCode> &Alphabet);
+/// Complement w.r.t. \p Alphabet ∪ D's own alphabet (completes first, then
+/// flips acceptance). \p Alphabet must be sorted and unique.
+Dfa complement(const Dfa &D, const std::vector<SymbolCode> &Alphabet);
 
 /// Product automaton accepting the intersection of the two languages.
-/// Only the reachable part is built.
+/// Only the reachable part is built. Prefer intersectIsEmpty /
+/// intersectWitness when only emptiness of the product is needed.
 Dfa intersect(const Dfa &A, const Dfa &B);
 
 /// Product automaton accepting the union of the two languages; both inputs
@@ -43,15 +54,42 @@ Dfa unite(const Dfa &A, const Dfa &B);
 /// std::nullopt. (BFS over reachable states.)
 std::optional<std::vector<SymbolCode>> shortestWitness(const Dfa &D);
 
-/// Returns true if the language of \p D is empty.
+/// Returns true if the language of \p D is empty. (Early-exit BFS; no
+/// witness bookkeeping.)
 bool isEmpty(const Dfa &D);
 
-/// Hopcroft minimization. The input is completed over its own alphabet
-/// first; the result is the canonical minimal complete DFA (minus any
-/// unreachable states).
+/// Returns true if L(A) ∩ L(B) = ∅, exploring the product on the fly with
+/// early exit — the product is never materialized. Equivalent to
+/// isEmpty(intersect(A, B)).
+bool intersectIsEmpty(const Dfa &A, const Dfa &B);
+
+/// Shortest word in L(A) ∩ L(B) if any, else std::nullopt, via BFS over
+/// the *implicit* product. Returns exactly the witness that
+/// shortestWitness(intersect(A, B)) would.
+std::optional<std::vector<SymbolCode>> intersectWitness(const Dfa &A,
+                                                        const Dfa &B);
+
+/// Returns true if L(A) ⊆ L(B), exploring the implicit product of A with
+/// the (virtual) completed complement of B — neither the complement nor
+/// the product is built.
+bool containedIn(const Dfa &A, const Dfa &B);
+
+/// Shortest word in L(A) \ L(B) if any (the ⊆-counterexample), else
+/// std::nullopt. Same implicit-product BFS as containedIn, with
+/// predecessor tracking; matches the witness the materialized
+/// shortestWitness(intersect(A, complement(B, joint))) pipeline returns.
+std::optional<std::vector<SymbolCode>> differenceWitness(const Dfa &A,
+                                                         const Dfa &B);
+
+/// Hopcroft minimization — genuine partition refinement with a splitter
+/// worklist over per-symbol inverse transitions, O(|Σ|·n·log n). The input
+/// is completed over its own alphabet first; the result is the canonical
+/// minimal complete DFA (minus any unreachable states), numbered by
+/// first-occurrence scan order for determinism.
 Dfa minimize(const Dfa &D);
 
-/// Language equivalence via symmetric-difference emptiness.
+/// Language equivalence via two on-the-fly containment checks; no
+/// complement or product automata are materialized.
 bool equivalent(const Dfa &A, const Dfa &B);
 
 } // namespace automata

@@ -2,6 +2,7 @@
 
 #include "contract/ComplianceProduct.h"
 
+#include "automata/KernelStats.h"
 #include "automata/Ops.h"
 #include "hist/Printer.h"
 #include "support/DotWriter.h"
@@ -60,6 +61,9 @@ bool sus::contract::isStuckPair(const Expr *Client,
 
 ComplianceProduct::ComplianceProduct(HistContext &Ctx, const Expr *Client,
                                      const Expr *Server, size_t MaxStates) {
+  // The pair-BFS below is the Thm. 1 emptiness kernel; account it with the
+  // automata kernels so bench_verifier can report kernel time separately.
+  automata::KernelTimerScope Timer;
   struct PairHash {
     size_t operator()(const std::pair<const Expr *, const Expr *> &P) const {
       return hashAll(reinterpret_cast<uintptr_t>(P.first),

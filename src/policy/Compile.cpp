@@ -4,10 +4,11 @@
 
 #include "automata/Ops.h"
 #include "support/Casting.h"
+#include "support/HashUtil.h"
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <unordered_map>
 
 using namespace sus;
 using namespace sus::hist;
@@ -32,7 +33,17 @@ CompiledPolicy sus::policy::compilePolicy(const PolicyInstance &Instance,
   CompiledPolicy Result;
   Result.Universe = std::move(Unique);
 
-  std::map<std::vector<UStateId>, automata::StateId> Index;
+  // Hashed interning; state numbering is the BFS discovery order (a
+  // property of the Intern call sequence, not of the map's ordering).
+  struct SetHash {
+    size_t operator()(const std::vector<UStateId> &V) const noexcept {
+      size_t Seed = V.size();
+      for (UStateId S : V)
+        hashCombineValue(Seed, S);
+      return Seed;
+    }
+  };
+  std::unordered_map<std::vector<UStateId>, automata::StateId, SetHash> Index;
   std::deque<std::vector<UStateId>> Work;
 
   auto Offending = [&](const std::vector<UStateId> &Set) {

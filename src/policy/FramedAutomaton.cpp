@@ -2,10 +2,12 @@
 
 #include "policy/FramedAutomaton.h"
 
+#include "support/HashUtil.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
-#include <map>
+#include <unordered_map>
 
 using namespace sus;
 using namespace sus::hist;
@@ -68,7 +70,17 @@ sus::policy::buildFramedAutomaton(const PolicyInstance &Instance,
 
   // States: (compiled state, activation count 0..MaxActivation) plus an
   // absorbing violation state.
-  std::map<std::pair<automata::StateId, unsigned>, automata::StateId> Index;
+  // Hashed interning; numbering is the BFS discovery order, independent of
+  // the map's iteration order.
+  struct KeyHash {
+    size_t
+    operator()(const std::pair<automata::StateId, unsigned> &K) const noexcept {
+      return hashAll(K.first, K.second);
+    }
+  };
+  std::unordered_map<std::pair<automata::StateId, unsigned>,
+                     automata::StateId, KeyHash>
+      Index;
   std::deque<std::pair<automata::StateId, unsigned>> Work;
 
   automata::StateId Violation = Result.Automaton.addState(true);

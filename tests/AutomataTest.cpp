@@ -63,10 +63,78 @@ TEST(NfaTest, EpsilonClosureFollowsChains) {
 
 TEST(NfaTest, AlphabetCollectsEdgeSymbols) {
   Nfa N = makeContainsAa();
-  auto A = N.alphabet();
-  EXPECT_EQ(A.size(), 2u);
-  EXPECT_TRUE(A.count(0));
-  EXPECT_TRUE(A.count(1));
+  const auto &A = N.alphabet();
+  EXPECT_EQ(A, (std::vector<SymbolCode>{0, 1}));
+}
+
+TEST(NfaTest, AlphabetStaysSortedUnderInsertionOrder) {
+  Nfa N;
+  StateId Q0 = N.addState(true);
+  N.setStart(Q0);
+  N.addEdge(Q0, 7, Q0);
+  N.addEdge(Q0, 2, Q0);
+  N.addEdge(Q0, 7, Q0); // Duplicate symbol: alphabet unchanged.
+  N.addEdge(Q0, 5, Q0);
+  EXPECT_EQ(N.alphabet(), (std::vector<SymbolCode>{2, 5, 7}));
+}
+
+TEST(DfaTest, SetEdgeOverwritesDuplicate) {
+  Dfa D;
+  StateId Q0 = D.addState(false);
+  StateId Q1 = D.addState(true);
+  StateId Q2 = D.addState(false);
+  D.setStart(Q0);
+  D.setEdge(Q0, 3, Q1);
+  EXPECT_EQ(D.step(Q0, 3), Q1);
+  // Duplicate (state, symbol): the last write wins and the state keeps
+  // exactly one edge on the symbol.
+  D.setEdge(Q0, 3, Q2);
+  EXPECT_EQ(D.step(Q0, 3), Q2);
+  unsigned Count = 0;
+  for (const NfaEdge &E : D.edges(Q0)) {
+    EXPECT_EQ(E.Symbol, 3u);
+    EXPECT_EQ(E.Target, Q2);
+    ++Count;
+  }
+  EXPECT_EQ(Count, 1u);
+}
+
+TEST(DfaTest, EdgesViewIsAscendingAndSkipsMissing) {
+  Dfa D;
+  StateId Q0 = D.addState();
+  StateId Q1 = D.addState();
+  D.setStart(Q0);
+  // Insert out of order, with a gap (symbol 4 is only defined on Q1, so
+  // Q0's row has an absent cell to skip).
+  D.setEdge(Q0, 9, Q1);
+  D.setEdge(Q1, 4, Q0);
+  D.setEdge(Q0, 1, Q0);
+  std::vector<SymbolCode> Syms;
+  std::vector<StateId> Targets;
+  for (const NfaEdge &E : D.edges(Q0)) {
+    Syms.push_back(E.Symbol);
+    Targets.push_back(E.Target);
+  }
+  EXPECT_EQ(Syms, (std::vector<SymbolCode>{1, 9}));
+  EXPECT_EQ(Targets, (std::vector<StateId>{Q0, Q1}));
+  EXPECT_TRUE(D.edges(D.addState()).empty());
+}
+
+TEST(DfaTest, AlphabetGrowthPreservesExistingEdges) {
+  Dfa D;
+  StateId Q0 = D.addState(true);
+  D.setStart(Q0);
+  // Each insertion lands at a different rank (front, back, middle) and
+  // forces the table to re-layout around the existing edges.
+  D.setEdge(Q0, 50, Q0);
+  D.setEdge(Q0, 10, Q0);
+  D.setEdge(Q0, 90, Q0);
+  D.setEdge(Q0, 30, Q0);
+  D.setEdge(Q0, 70, Q0);
+  for (SymbolCode Sym : {10u, 30u, 50u, 70u, 90u})
+    EXPECT_EQ(D.step(Q0, Sym), Q0) << "symbol " << Sym;
+  EXPECT_EQ(D.step(Q0, 20), Dfa::NoState);
+  EXPECT_EQ(D.alphabet(), (std::vector<SymbolCode>{10, 30, 50, 70, 90}));
 }
 
 TEST(DeterminizeTest, PreservesLanguageOnExamples) {
