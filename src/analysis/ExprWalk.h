@@ -1,0 +1,91 @@
+//===- analysis/ExprWalk.h - History-expression DAG walking -----*- C++ -*-===//
+///
+/// \file
+/// A small pre-order walker over the hash-consed history-expression DAG.
+/// Every distinct node is visited exactly once (expressions are interned,
+/// so shared subterms appear once), in deterministic left-to-right order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_ANALYSIS_EXPRWALK_H
+#define SUS_ANALYSIS_EXPRWALK_H
+
+#include "hist/Expr.h"
+#include "support/Casting.h"
+#include "syntax/FileParser.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace sus {
+namespace analysis {
+
+/// Calls \p Visit on \p Root and every distinct sub-expression, pre-order,
+/// left-to-right. \p Visit takes `const hist::Expr *`.
+template <typename Fn> void walkExpr(const hist::Expr *Root, Fn &&Visit) {
+  std::vector<const hist::Expr *> Stack{Root};
+  std::unordered_set<const hist::Expr *> Seen;
+  while (!Stack.empty()) {
+    const hist::Expr *E = Stack.back();
+    Stack.pop_back();
+    if (!E || !Seen.insert(E).second)
+      continue;
+    Visit(E);
+
+    // Push children in reverse so they pop in syntactic order.
+    using namespace hist;
+    switch (E->kind()) {
+    case ExprKind::Empty:
+    case ExprKind::Var:
+    case ExprKind::Event:
+    case ExprKind::CloseMark:
+    case ExprKind::FrameOpen:
+    case ExprKind::FrameClose:
+      break;
+    case ExprKind::Mu:
+      Stack.push_back(cast<MuExpr>(E)->body());
+      break;
+    case ExprKind::Seq: {
+      const auto *S = cast<SeqExpr>(E);
+      Stack.push_back(S->tail());
+      Stack.push_back(S->head());
+      break;
+    }
+    case ExprKind::ExtChoice:
+    case ExprKind::IntChoice: {
+      const auto &Branches = cast<ChoiceExpr>(E)->branches();
+      for (auto It = Branches.rbegin(); It != Branches.rend(); ++It)
+        Stack.push_back(It->Body);
+      break;
+    }
+    case ExprKind::Request:
+      Stack.push_back(cast<RequestExpr>(E)->body());
+      break;
+    case ExprKind::Framing:
+      Stack.push_back(cast<FramingExpr>(E)->body());
+      break;
+    }
+  }
+}
+
+/// Every declared behaviour of a file — services first (repository order),
+/// then clients (declaration order) — with its name and decl-loc map.
+struct BehaviorRef {
+  Symbol Name;
+  const hist::Expr *Body;
+  bool IsService;
+};
+
+inline std::vector<BehaviorRef> allBehaviors(const syntax::SusFile &File) {
+  std::vector<BehaviorRef> Out;
+  for (const auto &[Loc, Service] : File.Repo.services())
+    Out.push_back({Loc, Service, true});
+  for (const auto &[Name, Client] : File.Clients)
+    Out.push_back({Name, Client, false});
+  return Out;
+}
+
+} // namespace analysis
+} // namespace sus
+
+#endif // SUS_ANALYSIS_EXPRWALK_H

@@ -1,0 +1,363 @@
+//===- analysis/PolicyLints.cpp - Usage-automaton hygiene passes ----------===//
+///
+/// Three passes over every declared policy shape:
+///
+///  - sus-lint-unreachable-state: states no event sequence can enter;
+///  - sus-lint-overlapping-guards: same-state, same-event transitions to
+///    different targets whose guards are not provably disjoint (the
+///    automaton silently becomes nondeterministic);
+///  - sus-lint-unsatisfiable-policy: no reachable offending state, so the
+///    policy can never flag a violation and every framing of it is inert.
+///
+/// Reachability treats every edge as traversable (guards ignored), which
+/// over-approximates the truth: a state we call reachable might not be,
+/// but a state we flag as unreachable definitely is. Lints stay
+/// false-positive-free at the price of missing guard-dead edges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "policy/UsageAutomaton.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+using namespace sus;
+using namespace sus::analysis;
+using namespace sus::policy;
+
+//===----------------------------------------------------------------------===//
+// Guard disjointness
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The (clamped) integer interval an integer-comparison atom admits.
+struct IntInterval {
+  int64_t Lo = std::numeric_limits<int64_t>::min();
+  int64_t Hi = std::numeric_limits<int64_t>::max();
+
+  bool empty() const { return Lo > Hi; }
+};
+
+bool intervalOf(CmpOp Op, int64_t C, IntInterval &Out) {
+  constexpr int64_t Min = std::numeric_limits<int64_t>::min();
+  constexpr int64_t Max = std::numeric_limits<int64_t>::max();
+  switch (Op) {
+  case CmpOp::LT:
+    if (C == Min)
+      Out = {Max, Min}; // empty
+    else
+      Out = {Min, C - 1};
+    return true;
+  case CmpOp::LE:
+    Out = {Min, C};
+    return true;
+  case CmpOp::GT:
+    if (C == Max)
+      Out = {Max, Min}; // empty
+    else
+      Out = {C + 1, Max};
+    return true;
+  case CmpOp::GE:
+    Out = {C, Max};
+    return true;
+  case CmpOp::EQ:
+    Out = {C, C};
+    return true;
+  case CmpOp::NE:
+    return false; // Not an interval.
+  }
+  return false;
+}
+
+/// True when `arg Op1 P` and `arg Op2 P` cannot both hold for any arg and
+/// any single value of the shared parameter P.
+bool cmpOpsContradict(CmpOp A, CmpOp B) {
+  auto Is = [&](CmpOp X, CmpOp Y) {
+    return (A == X && B == Y) || (A == Y && B == X);
+  };
+  return Is(CmpOp::LT, CmpOp::GE) || Is(CmpOp::LE, CmpOp::GT) ||
+         Is(CmpOp::LT, CmpOp::GT) || Is(CmpOp::LT, CmpOp::EQ) ||
+         Is(CmpOp::GT, CmpOp::EQ) || Is(CmpOp::EQ, CmpOp::NE);
+}
+
+/// True when some value satisfies `arg Op C` with C drawn from \p Vs.
+bool someValueSatisfies(CmpOp Op, const Value &C, const std::vector<Value> &Vs) {
+  for (const Value &V : Vs) {
+    switch (Op) {
+    case CmpOp::EQ:
+      if (V == C)
+        return true;
+      break;
+    case CmpOp::NE:
+      if (V != C)
+        return true;
+      break;
+    default:
+      // Ordered comparisons are integer-only; a type mismatch evaluates
+      // the atom to false, so non-integers cannot satisfy them.
+      if (V.isInt() && C.isInt() && evalCmp(Op, V.asInt(), C.asInt()))
+        return true;
+      break;
+    }
+  }
+  return false;
+}
+
+bool isSubset(const std::vector<Value> &A, const std::vector<Value> &B) {
+  // Constant sets are kept sorted and duplicate-free by the parser, but a
+  // linear probe keeps this correct regardless.
+  return std::all_of(A.begin(), A.end(), [&](const Value &V) {
+    return std::find(B.begin(), B.end(), V) != B.end();
+  });
+}
+
+bool intersects(const std::vector<Value> &A, const std::vector<Value> &B) {
+  return std::any_of(A.begin(), A.end(), [&](const Value &V) {
+    return std::find(B.begin(), B.end(), V) != B.end();
+  });
+}
+
+/// True when atoms \p A and \p B can be *proved* mutually exclusive: no
+/// event argument satisfies both, whatever the actual policy parameters.
+/// Sound but incomplete — "false" means "could not prove", not "overlap".
+bool atomsContradict(const GuardAtom &A, const GuardAtom &B) {
+  using K = GuardAtom::Kind;
+  // Normalize so A.K <= B.K; every rule below assumes that order.
+  if (static_cast<int>(A.K) > static_cast<int>(B.K))
+    return atomsContradict(B, A);
+
+  switch (A.K) {
+  case K::True:
+    return false;
+  case K::InParam:
+    // arg in P vs arg not in P: contradictory for the same parameter.
+    return B.K == K::NotInParam && A.ParamIndex == B.ParamIndex;
+  case K::NotInParam:
+    return false;
+  case K::CmpParam:
+    // arg Op1 P vs arg Op2 P over the same scalar parameter.
+    return B.K == K::CmpParam && A.ParamIndex == B.ParamIndex &&
+           cmpOpsContradict(A.Op, B.Op);
+  case K::CmpConst: {
+    if (B.K == K::CmpConst) {
+      const Value &CA = A.Constants.empty() ? Value() : A.Constants.front();
+      const Value &CB = B.Constants.empty() ? Value() : B.Constants.front();
+      if (CA.isInt() && CB.isInt()) {
+        IntInterval IA, IB;
+        if (intervalOf(A.Op, CA.asInt(), IA) &&
+            intervalOf(B.Op, CB.asInt(), IB))
+          return IA.empty() || IB.empty() || IA.Lo > IB.Hi || IB.Lo > IA.Hi;
+        // One side is NE: contradictory only against EQ on the same value.
+        if (A.Op == CmpOp::NE && B.Op == CmpOp::EQ)
+          return CA == CB;
+        if (B.Op == CmpOp::NE && A.Op == CmpOp::EQ)
+          return CA == CB;
+        return false;
+      }
+      // Name constants support only equality logic.
+      if (A.Op == CmpOp::EQ && B.Op == CmpOp::EQ)
+        return CA != CB;
+      if ((A.Op == CmpOp::EQ && B.Op == CmpOp::NE) ||
+          (A.Op == CmpOp::NE && B.Op == CmpOp::EQ))
+        return CA == CB;
+      return false;
+    }
+    if (B.K == K::InConst)
+      return !someValueSatisfies(A.Op, A.Constants.empty() ? Value()
+                                                           : A.Constants.front(),
+                                 B.Constants);
+    return false;
+  }
+  case K::InConst:
+    if (B.K == K::InConst)
+      return !intersects(A.Constants, B.Constants);
+    if (B.K == K::NotInConst)
+      return isSubset(A.Constants, B.Constants);
+    return false;
+  case K::NotInConst:
+    return false;
+  }
+  return false;
+}
+
+/// True when guards \p A and \p B are provably disjoint: some atom of one
+/// contradicts some atom of the other, so no event satisfies both.
+bool guardsDisjoint(const Guard &A, const Guard &B) {
+  for (const GuardAtom &AA : A.atoms())
+    for (const GuardAtom &BA : B.atoms())
+      if (atomsContradict(AA, BA))
+        return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared reachability
+//===----------------------------------------------------------------------===//
+
+/// Guard-agnostic forward reachability from the start state. Implicit
+/// self-loops never change the state, so only explicit edges matter.
+std::vector<bool> reachableStates(const UsageAutomaton &Shape) {
+  std::vector<bool> Seen(Shape.numStates(), false);
+  std::vector<UStateId> Work;
+  if (Shape.start() < Shape.numStates()) {
+    Seen[Shape.start()] = true;
+    Work.push_back(Shape.start());
+  }
+  while (!Work.empty()) {
+    UStateId S = Work.back();
+    Work.pop_back();
+    for (const UsageEdge &E : Shape.edges())
+      if (E.From == S && E.To < Seen.size() && !Seen[E.To]) {
+        Seen[E.To] = true;
+        Work.push_back(E.To);
+      }
+  }
+  return Seen;
+}
+
+/// Iterates every declared policy shape in declaration-site order.
+template <typename Fn> void forEachPolicy(LintContext &LC, Fn &&Visit) {
+  for (const auto &[Name, Loc] : LC.file().PolicyLocs)
+    if (const UsageAutomaton *Shape = LC.file().Registry.find(Name))
+      Visit(Name, *Shape);
+}
+
+//===----------------------------------------------------------------------===//
+// Passes
+//===----------------------------------------------------------------------===//
+
+class UnreachableStatePass : public LintPass {
+public:
+  std::string_view id() const override { return "sus-lint-unreachable-state"; }
+  std::string_view category() const override { return "lint.policy"; }
+  std::string_view description() const override {
+    return "policy states that no event sequence can enter";
+  }
+
+  void run(LintContext &LC) const override {
+    const StringInterner &In = LC.context().interner();
+    forEachPolicy(LC, [&](Symbol Name, const UsageAutomaton &Shape) {
+      std::vector<bool> Seen = reachableStates(Shape);
+      for (UStateId S = 0; S < Shape.numStates(); ++S) {
+        if (Seen[S])
+          continue;
+        LC.emit(id(), category(),
+                LC.declLoc(LC.file().PolicyLocs, Name),
+                "state '" + Shape.stateLabel(S) + "' of policy '" +
+                    std::string(In.text(Name)) +
+                    "' is unreachable from the start state");
+      }
+    });
+  }
+};
+
+class OverlappingGuardsPass : public LintPass {
+public:
+  std::string_view id() const override { return "sus-lint-overlapping-guards"; }
+  std::string_view category() const override { return "lint.policy"; }
+  std::string_view description() const override {
+    return "same-event transitions whose guards are not provably disjoint";
+  }
+
+  void run(LintContext &LC) const override {
+    const StringInterner &In = LC.context().interner();
+    forEachPolicy(LC, [&](Symbol Name, const UsageAutomaton &Shape) {
+      std::vector<Symbol> ParamNames;
+      for (const PolicyParam &P : Shape.params())
+        ParamNames.push_back(P.Name);
+      const std::vector<UsageEdge> &Edges = Shape.edges();
+      for (size_t I = 0; I < Edges.size(); ++I) {
+        for (size_t J = I + 1; J < Edges.size(); ++J) {
+          const UsageEdge &A = Edges[I], &B = Edges[J];
+          if (A.From != B.From || A.To == B.To)
+            continue;
+          // A wildcard matches every event, so it overlaps any co-located
+          // edge; two named edges only overlap on the same event name.
+          if (!A.Wildcard && !B.Wildcard) {
+            if (A.EventName != B.EventName)
+              continue;
+            if (guardsDisjoint(A.G, B.G))
+              continue;
+          }
+          std::string Event = A.Wildcard
+                                  ? (B.Wildcard ? std::string("*")
+                                                : std::string(In.text(B.EventName)))
+                                  : std::string(In.text(A.EventName));
+          Diagnostic *D = LC.emit(
+              id(), category(), LC.declLoc(LC.file().PolicyLocs, Name),
+              "policy '" + std::string(In.text(Name)) +
+                  "': transitions from state '" + Shape.stateLabel(A.From) +
+                  "' on event '" + Event +
+                  "' overlap: the automaton becomes nondeterministic");
+          if (!D)
+            continue;
+          auto Render = [&](const UsageEdge &E) {
+            std::string G = E.Wildcard ? std::string("*")
+                                       : E.G.str(In, ParamNames);
+            if (G.empty())
+              G = "true";
+            return G;
+          };
+          D->note(SourceLoc{0, 0, LC.fileName()},
+                  "guard '" + Render(A) + "' leads to state '" +
+                      Shape.stateLabel(A.To) + "'");
+          D->note(SourceLoc{0, 0, LC.fileName()},
+                  "guard '" + Render(B) + "' leads to state '" +
+                      Shape.stateLabel(B.To) + "'");
+        }
+      }
+    });
+  }
+};
+
+class UnsatisfiablePolicyPass : public LintPass {
+public:
+  std::string_view id() const override {
+    return "sus-lint-unsatisfiable-policy";
+  }
+  std::string_view category() const override { return "lint.policy"; }
+  std::string_view description() const override {
+    return "policies with no reachable offending state (never violated)";
+  }
+
+  void run(LintContext &LC) const override {
+    const StringInterner &In = LC.context().interner();
+    forEachPolicy(LC, [&](Symbol Name, const UsageAutomaton &Shape) {
+      std::vector<bool> Seen = reachableStates(Shape);
+      for (UStateId S = 0; S < Shape.numStates(); ++S)
+        if (Seen[S] && Shape.isOffending(S))
+          return;
+      LC.emit(id(), category(), LC.declLoc(LC.file().PolicyLocs, Name),
+              "policy '" + std::string(In.text(Name)) +
+                  "' has no reachable offending state: it can never be "
+                  "violated, so enforcing it is pointless");
+    });
+  }
+};
+
+} // namespace
+
+namespace sus {
+namespace analysis {
+
+const LintPass &unreachableStatePass() {
+  static const UnreachableStatePass P;
+  return P;
+}
+
+const LintPass &overlappingGuardsPass() {
+  static const OverlappingGuardsPass P;
+  return P;
+}
+
+const LintPass &unsatisfiablePolicyPass() {
+  static const UnsatisfiablePolicyPass P;
+  return P;
+}
+
+} // namespace analysis
+} // namespace sus

@@ -38,6 +38,29 @@ std::pair<uint32_t, bool> AlphabetMap::insert(SymbolCode Sym) {
   return {Rank, true};
 }
 
+bool AlphabetMap::audit() const {
+  for (size_t I = 0; I < Syms.size(); ++I) {
+    if (I > 0 && Syms[I - 1] >= Syms[I])
+      return false; // Not strictly ascending.
+    if (indexOf(Syms[I]) != I)
+      return false; // Lookup tables disagree with the symbol list.
+  }
+  // No stale entries: every direct/sparse slot must point back into Syms.
+  size_t Live = 0;
+  for (SymbolCode S = 0; S < Direct.size(); ++S)
+    if (Direct[S] != NoIndex) {
+      if (Direct[S] >= Syms.size() || Syms[Direct[S]] != S)
+        return false;
+      ++Live;
+    }
+  for (const auto &[S, Idx] : Sparse) {
+    if (Idx >= Syms.size() || Syms[Idx] != S)
+      return false;
+    ++Live;
+  }
+  return Live == Syms.size();
+}
+
 //===----------------------------------------------------------------------===//
 // Nfa
 //===----------------------------------------------------------------------===//
@@ -86,6 +109,34 @@ std::vector<StateId> Nfa::epsilonClosure(std::vector<StateId> States) const {
   std::sort(States.begin(), States.end());
   States.erase(std::unique(States.begin(), States.end()), States.end());
   return States;
+}
+
+bool Nfa::audit() const {
+  size_t N = Edges.size();
+  if (Eps.size() != N || Accepting.size() != N)
+    return false;
+  if (N > 0 && Start >= N)
+    return false;
+  for (size_t I = 1; I < Alpha.size(); ++I)
+    if (Alpha[I - 1] >= Alpha[I])
+      return false;
+  std::vector<bool> SymbolUsed(Alpha.size(), false);
+  for (size_t S = 0; S < N; ++S) {
+    for (const NfaEdge &E : Edges[S]) {
+      if (E.Target >= N)
+        return false;
+      auto It = std::lower_bound(Alpha.begin(), Alpha.end(), E.Symbol);
+      if (It == Alpha.end() || *It != E.Symbol)
+        return false; // Edge symbol missing from the cached alphabet.
+      SymbolUsed[It - Alpha.begin()] = true;
+    }
+    for (StateId T : Eps[S])
+      if (T >= N)
+        return false;
+  }
+  // The cached alphabet must not claim symbols no edge carries.
+  return std::all_of(SymbolUsed.begin(), SymbolUsed.end(),
+                     [](bool Used) { return Used; });
 }
 
 bool Nfa::accepts(const std::vector<SymbolCode> &Word) const {
@@ -167,6 +218,29 @@ void Dfa::reserveAlphabet(const std::vector<SymbolCode> &Syms) {
     if (Inserted)
       relayout(Alpha.size(), Idx);
   }
+}
+
+bool Dfa::audit() const {
+  if (!Alpha.audit())
+    return false;
+  size_t N = numStates();
+  size_t NumSyms = Alpha.size();
+  if (Width < NumSyms || Table.size() != N * Width)
+    return false;
+  if (N > 0 && Start >= N)
+    return false;
+  for (size_t S = 0; S < N; ++S) {
+    const StateId *Row = Table.data() + S * Width;
+    for (size_t I = 0; I < NumSyms; ++I)
+      if (Row[I] != NoState && Row[I] >= N)
+        return false;
+    // Padding columns beyond the alphabet must stay empty; relayout and
+    // addState rely on it when a new symbol slots in without a regrow.
+    for (size_t I = NumSyms; I < Width; ++I)
+      if (Row[I] != NoState)
+        return false;
+  }
+  return true;
 }
 
 StateId Dfa::run(const std::vector<SymbolCode> &Word) const {

@@ -80,6 +80,11 @@ public:
   /// All symbols, ascending.
   const std::vector<SymbolCode> &symbols() const { return Syms; }
 
+  /// Structural self-check: Syms sorted and duplicate-free, and the
+  /// direct/sparse lookup tables an exact inverse of it. Returns true
+  /// when sound. See SUS_AUDIT below.
+  bool audit() const;
+
 private:
   /// Largest code kept in the direct-mapped table; beyond this, codes go
   /// to the Sparse fallback so a stray huge code cannot blow up memory.
@@ -125,6 +130,12 @@ public:
 
   /// Epsilon closure of a state set (in-place canonical sorted form).
   std::vector<StateId> epsilonClosure(std::vector<StateId> States) const;
+
+  /// Structural self-check: parallel per-state vectors in sync, start and
+  /// every edge/epsilon target in range, and the cached effective
+  /// alphabet exactly the set of symbols on edges. Returns true when
+  /// sound. See SUS_AUDIT below.
+  bool audit() const;
 
 private:
   std::vector<std::vector<NfaEdge>> Edges;
@@ -244,6 +255,12 @@ public:
   const AlphabetMap &alphabetMap() const { return Alpha; }
   size_t numSymbols() const { return Alpha.size(); }
 
+  /// Structural self-check: the flat table sized numStates × Width with
+  /// Width ≥ |Σ|, every defined transition in range, padding columns
+  /// empty, and the alphabet map internally consistent. Returns true
+  /// when sound. See SUS_AUDIT below.
+  bool audit() const;
+
 private:
   /// Grows the table to cover \p NewSyms columns; \p InsertedAt is the
   /// rank the newest symbol received (columns at/after it shift right).
@@ -258,5 +275,17 @@ private:
 
 } // namespace automata
 } // namespace sus
+
+/// SUS_AUDIT: when the build enables the SUS_AUDIT CMake option, the
+/// automata kernels (automata/Ops.cpp) run the structural audit of every
+/// input automaton at entry and abort on corruption. The audits are
+/// O(states × symbols) scans — far too slow for release hot paths, and
+/// invaluable under sanitizers, so the ASan CI job turns them on.
+#ifdef SUS_AUDIT
+#define SUS_AUDIT_AUTOMATON(A)                                                 \
+  assert((A).audit() && "automaton structural audit failed")
+#else
+#define SUS_AUDIT_AUTOMATON(A) ((void)0)
+#endif
 
 #endif // SUS_AUTOMATA_NFA_H

@@ -69,6 +69,7 @@ inline uint64_t packPair(StateId SA, StateId SB) {
 //===----------------------------------------------------------------------===//
 
 Dfa sus::automata::determinize(const Nfa &N) {
+  SUS_AUDIT_AUTOMATON(N);
   KernelTimerScope Timer;
   Dfa Result;
   const std::vector<SymbolCode> &Syms = N.alphabet();
@@ -197,6 +198,7 @@ Dfa sus::automata::determinize(const Nfa &N) {
 
 Dfa sus::automata::complete(const Dfa &D,
                             const std::vector<SymbolCode> &Alphabet) {
+  SUS_AUDIT_AUTOMATON(D);
   assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
          "alphabet must be sorted");
   KernelTimerScope Timer;
@@ -226,6 +228,7 @@ Dfa sus::automata::complete(const Dfa &D,
 
 Dfa sus::automata::complement(const Dfa &D,
                               const std::vector<SymbolCode> &Alphabet) {
+  SUS_AUDIT_AUTOMATON(D);
   assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
          "alphabet must be sorted");
   KernelTimerScope Timer;
@@ -292,6 +295,8 @@ Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
 } // namespace
 
 Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
+  SUS_AUDIT_AUTOMATON(A);
+  SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer;
   return productImpl(A, B, [&](StateId SA, StateId SB) {
     return A.isAccepting(SA) && B.isAccepting(SB);
@@ -299,6 +304,8 @@ Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
 }
 
 Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
+  SUS_AUDIT_AUTOMATON(A);
+  SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer;
   std::vector<SymbolCode> Joint;
   std::set_union(A.alphabet().begin(), A.alphabet().end(),
@@ -317,6 +324,7 @@ Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
 
 std::optional<std::vector<SymbolCode>>
 sus::automata::shortestWitness(const Dfa &D) {
+  SUS_AUDIT_AUTOMATON(D);
   KernelTimerScope Timer;
   if (D.numStates() == 0)
     return std::nullopt;
@@ -360,6 +368,7 @@ sus::automata::shortestWitness(const Dfa &D) {
 }
 
 bool sus::automata::isEmpty(const Dfa &D) {
+  SUS_AUDIT_AUTOMATON(D);
   KernelTimerScope Timer;
   if (D.numStates() == 0)
     return true;
@@ -397,6 +406,8 @@ constexpr StateId DeadSide = Dfa::NoState;
 } // namespace
 
 bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
+  SUS_AUDIT_AUTOMATON(A);
+  SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer;
   if (A.numStates() == 0 || B.numStates() == 0)
     return true;
@@ -428,6 +439,8 @@ bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
 
 std::optional<std::vector<SymbolCode>>
 sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
+  SUS_AUDIT_AUTOMATON(A);
+  SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer;
   if (A.numStates() == 0 || B.numStates() == 0)
     return std::nullopt;
@@ -487,6 +500,8 @@ sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
 }
 
 bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
+  SUS_AUDIT_AUTOMATON(A);
+  SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer;
   if (A.numStates() == 0)
     return true;
@@ -524,6 +539,8 @@ bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
 
 std::optional<std::vector<SymbolCode>>
 sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
+  SUS_AUDIT_AUTOMATON(A);
+  SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer;
   if (A.numStates() == 0)
     return std::nullopt;
@@ -722,6 +739,7 @@ std::vector<uint32_t> hopcroftPartition(uint32_t M, uint32_t K,
 } // namespace
 
 Dfa sus::automata::minimize(const Dfa &D) {
+  SUS_AUDIT_AUTOMATON(D);
   KernelTimerScope Timer;
   const std::vector<SymbolCode> &Alphabet = D.alphabet();
   Dfa C = complete(D, Alphabet);

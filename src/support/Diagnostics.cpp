@@ -2,9 +2,13 @@
 
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
 using namespace sus;
 
-static const char *severityName(DiagSeverity S) {
+const char *sus::severityName(DiagSeverity S) {
   switch (S) {
   case DiagSeverity::Note:
     return "note";
@@ -16,17 +20,133 @@ static const char *severityName(DiagSeverity S) {
   return "unknown";
 }
 
-void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
-                              std::string Message) {
+Diagnostic &DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                                     std::string Message) {
   if (Severity == DiagSeverity::Error)
     ++NumErrors;
-  Diags.push_back({Severity, Loc, std::move(Message)});
+  Diags.push_back({Severity, Loc, std::move(Message), {}, {}, {}});
+  return Diags.back();
+}
+
+std::vector<size_t> DiagnosticEngine::renderOrder() const {
+  std::vector<size_t> Order(Diags.size());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  auto Key = [&](size_t I) {
+    const Diagnostic &D = Diags[I];
+    return std::make_tuple(D.Loc.File, D.Loc.Line, D.Loc.Col, D.Severity);
+  };
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](size_t A, size_t B) { return Key(A) < Key(B); });
+
+  // Drop exact duplicates: after the stable sort they are adjacent.
+  auto SameDiag = [&](size_t A, size_t B) {
+    const Diagnostic &X = Diags[A];
+    const Diagnostic &Y = Diags[B];
+    return X.Severity == Y.Severity && X.Loc == Y.Loc &&
+           X.Message == Y.Message && X.ID == Y.ID && X.Notes == Y.Notes;
+  };
+  Order.erase(std::unique(Order.begin(), Order.end(), SameDiag), Order.end());
+  return Order;
+}
+
+static void printLocPrefix(std::ostream &OS, const SourceLoc &Loc) {
+  if (!Loc.File.empty())
+    OS << Loc.File << ":";
+  if (Loc.isValid())
+    OS << Loc.Line << ":" << Loc.Col << ": ";
+  else if (!Loc.File.empty())
+    OS << " ";
 }
 
 void DiagnosticEngine::print(std::ostream &OS) const {
-  for (const Diagnostic &D : Diags) {
-    if (D.Loc.isValid())
-      OS << D.Loc.Line << ":" << D.Loc.Col << ": ";
-    OS << severityName(D.Severity) << ": " << D.Message << "\n";
+  for (size_t I : renderOrder()) {
+    const Diagnostic &D = Diags[I];
+    printLocPrefix(OS, D.Loc);
+    OS << severityName(D.Severity) << ": " << D.Message;
+    if (!D.ID.empty())
+      OS << " [" << D.ID << "]";
+    OS << "\n";
+    for (const DiagNote &N : D.Notes) {
+      OS << "  ";
+      printLocPrefix(OS, N.Loc);
+      OS << "note: " << N.Message << "\n";
+    }
   }
+}
+
+/// Escapes \p S for a JSON string literal.
+static void printJsonString(std::ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        const char *Hex = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xF] << Hex[C & 0xF];
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+static void printJsonDiag(std::ostream &OS, const DiagSeverity Severity,
+                          const SourceLoc &Loc, const std::string &Message,
+                          const std::string &ID, const std::string &Category) {
+  OS << "{\"file\": ";
+  printJsonString(OS, Loc.File);
+  OS << ", \"line\": " << Loc.Line << ", \"col\": " << Loc.Col
+     << ", \"severity\": ";
+  printJsonString(OS, severityName(Severity));
+  OS << ", \"id\": ";
+  printJsonString(OS, ID);
+  OS << ", \"category\": ";
+  printJsonString(OS, Category);
+  OS << ", \"message\": ";
+  printJsonString(OS, Message);
+}
+
+void DiagnosticEngine::printJson(std::ostream &OS) const {
+  OS << "[";
+  bool First = true;
+  for (size_t I : renderOrder()) {
+    const Diagnostic &D = Diags[I];
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n  ";
+    printJsonDiag(OS, D.Severity, D.Loc, D.Message, D.ID, D.Category);
+    OS << ", \"notes\": [";
+    bool FirstNote = true;
+    for (const DiagNote &N : D.Notes) {
+      if (!FirstNote)
+        OS << ",";
+      FirstNote = false;
+      OS << "\n    ";
+      printJsonDiag(OS, DiagSeverity::Note, N.Loc, N.Message, "", "");
+      OS << "}";
+    }
+    if (!FirstNote)
+      OS << "\n  ";
+    OS << "]}";
+  }
+  if (!First)
+    OS << "\n";
+  OS << "]\n";
 }

@@ -1,9 +1,13 @@
 //===- support/Diagnostics.h - Diagnostics engine ---------------*- C++ -*-===//
 ///
 /// \file
-/// Diagnostic collection for the DSL front end and the verifier. Library
-/// code never prints or aborts on user errors: it reports into a
-/// DiagnosticEngine and returns failure, letting tools decide how to render.
+/// Diagnostic collection for the DSL front end, the verifier and the lint
+/// passes. Library code never prints or aborts on user errors: it reports
+/// into a DiagnosticEngine and returns failure, letting tools decide how to
+/// render. Diagnostics carry an optional stable identifier (e.g.
+/// "sus-lint-unreachable-state"), a category, and attached notes; rendering
+/// is stably sorted by (file, line, col, severity) with exact duplicates
+/// removed, in either human-readable text or machine-readable JSON.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,64 +16,119 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sus {
 
 /// A location in a DSL source buffer (1-based; 0 means "unknown").
+///
+/// \c File names the buffer the location points into; it is a view so that
+/// the thousands of tokens a parse produces share one owner. The string it
+/// references (typically the driver's copy of the input path) must outlive
+/// every diagnostic carrying the location.
 struct SourceLoc {
   unsigned Line = 0;
   unsigned Col = 0;
+  std::string_view File;
 
   bool isValid() const { return Line != 0; }
   friend bool operator==(SourceLoc A, SourceLoc B) {
-    return A.Line == B.Line && A.Col == B.Col;
+    return A.Line == B.Line && A.Col == B.Col && A.File == B.File;
   }
 };
 
 /// Severity of a diagnostic.
 enum class DiagSeverity { Note, Warning, Error };
 
+/// Renders a severity ("note", "warning", "error").
+const char *severityName(DiagSeverity S);
+
+/// A note attached to a primary diagnostic (extra context, e.g. the witness
+/// trace of a doomed plan). Notes travel with their parent through sorting.
+struct DiagNote {
+  SourceLoc Loc;
+  std::string Message;
+
+  friend bool operator==(const DiagNote &A, const DiagNote &B) {
+    return A.Loc == B.Loc && A.Message == B.Message;
+  }
+};
+
 /// A single rendered diagnostic.
 struct Diagnostic {
   DiagSeverity Severity;
   SourceLoc Loc;
   std::string Message;
+
+  /// Stable identifier, e.g. "sus-lint-unreachable-state"; empty for
+  /// uncategorized diagnostics (parser errors and the like).
+  std::string ID;
+
+  /// Coarse grouping, e.g. "lint.policy"; empty when uncategorized.
+  std::string Category;
+
+  /// Attached notes, rendered right below the primary line.
+  std::vector<DiagNote> Notes;
+
+  /// Attaches a note; returns *this for chaining.
+  Diagnostic &note(SourceLoc NoteLoc, std::string NoteMessage) {
+    Notes.push_back({NoteLoc, std::move(NoteMessage)});
+    return *this;
+  }
 };
+
+/// How DiagnosticEngine::print renders.
+enum class DiagFormat { Text, Json };
 
 /// Accumulates diagnostics; owned by the tool or test driver.
 class DiagnosticEngine {
 public:
   /// Reports a diagnostic at \p Loc. Messages follow the LLVM style: start
-  /// lowercase, no trailing period.
-  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+  /// lowercase, no trailing period. The returned reference is valid until
+  /// the next report; use it to set the ID/category or attach notes.
+  Diagnostic &report(DiagSeverity Severity, SourceLoc Loc,
+                     std::string Message);
 
   /// Reports an error with no location.
-  void error(std::string Message) {
-    report(DiagSeverity::Error, SourceLoc(), std::move(Message));
+  Diagnostic &error(std::string Message) {
+    return report(DiagSeverity::Error, SourceLoc(), std::move(Message));
   }
 
   /// Reports an error at \p Loc.
-  void error(SourceLoc Loc, std::string Message) {
-    report(DiagSeverity::Error, Loc, std::move(Message));
+  Diagnostic &error(SourceLoc Loc, std::string Message) {
+    return report(DiagSeverity::Error, Loc, std::move(Message));
   }
 
   /// Reports a warning at \p Loc.
-  void warning(SourceLoc Loc, std::string Message) {
-    report(DiagSeverity::Warning, Loc, std::move(Message));
+  Diagnostic &warning(SourceLoc Loc, std::string Message) {
+    return report(DiagSeverity::Warning, Loc, std::move(Message));
   }
 
   /// Reports a note at \p Loc.
-  void note(SourceLoc Loc, std::string Message) {
-    report(DiagSeverity::Note, Loc, std::move(Message));
+  Diagnostic &note(SourceLoc Loc, std::string Message) {
+    return report(DiagSeverity::Note, Loc, std::move(Message));
   }
 
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
-  /// Renders all diagnostics as "line:col: severity: message" lines.
+  /// Renders all diagnostics as "file:line:col: severity: message [id]"
+  /// lines, stably sorted by (file, line, col, severity) — passes may
+  /// interleave files, but the rendering groups them — with exact
+  /// duplicates (same severity, location, message, ID) printed once.
   void print(std::ostream &OS) const;
+
+  /// Renders all diagnostics as a JSON array (same order and dedup as
+  /// print), one object per diagnostic:
+  ///   {"file","line","col","severity","id","category","message","notes"}
+  void printJson(std::ostream &OS) const;
+
+  /// Dispatches on \p Format.
+  void print(std::ostream &OS, DiagFormat Format) const {
+    Format == DiagFormat::Json ? printJson(OS) : print(OS);
+  }
 
   /// Drops all collected diagnostics.
   void clear() {
@@ -78,6 +137,9 @@ public:
   }
 
 private:
+  /// Indices into Diags, sorted for rendering, exact duplicates removed.
+  std::vector<size_t> renderOrder() const;
+
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
 };

@@ -64,7 +64,9 @@ private:
       error("expected policy name");
       return false;
     }
+    SourceLoc DeclLoc = peek().Loc;
     Symbol Name = Ctx.symbol(next().Text);
+    File.PolicyLocs[Name] = DeclLoc;
 
     std::vector<PolicyParam> Params;
     if (accept(TokenKind::LParen) && !accept(TokenKind::RParen)) {
@@ -318,7 +320,9 @@ private:
       error("expected a name");
       return false;
     }
+    SourceLoc DeclLoc = peek().Loc;
     Symbol Name = Ctx.symbol(next().Text);
+    (IsService ? File.ServiceLocs : File.ClientLocs)[Name] = DeclLoc;
     if (!expect(TokenKind::LBrace, "to open behaviour"))
       return false;
     HistParser HP(Tokens, Ctx, Diags);
@@ -370,7 +374,9 @@ private:
       error("expected a name");
       return false;
     }
+    SourceLoc DeclLoc = peek().Loc;
     Symbol Name = Ctx.symbol(next().Text);
+    (IsService ? File.ServiceLocs : File.ClientLocs)[Name] = DeclLoc;
     if (!expect(TokenKind::LBrace, "to open program body"))
       return false;
 
@@ -407,6 +413,7 @@ private:
       return false;
     }
     PlanDecl Decl;
+    Decl.Loc = peek().Loc;
     Decl.Name = Ctx.symbol(next().Text);
     if (!acceptIdent("for")) {
       error("expected 'for' after plan name");
@@ -451,8 +458,9 @@ private:
 
 std::optional<SusFile> sus::syntax::parseSusFile(HistContext &Ctx,
                                                  std::string_view Buffer,
-                                                 DiagnosticEngine &Diags) {
-  std::vector<Token> Tokens = tokenize(Buffer, Diags);
+                                                 DiagnosticEngine &Diags,
+                                                 std::string_view FileName) {
+  std::vector<Token> Tokens = tokenize(Buffer, Diags, FileName);
   if (Diags.hasErrors())
     return std::nullopt;
   FileParser P(Tokens, Ctx, Diags);

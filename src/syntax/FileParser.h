@@ -32,6 +32,7 @@
 #include "policy/UsageAutomaton.h"
 #include "syntax/Lexer.h"
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -43,6 +44,7 @@ struct PlanDecl {
   Symbol Name;
   Symbol Client;
   plan::Plan Pi;
+  SourceLoc Loc; ///< Location of the plan's name token.
 };
 
 /// Everything a .sus file declares.
@@ -51,6 +53,12 @@ struct SusFile {
   plan::Repository Repo; ///< All `service` declarations.
   std::vector<std::pair<Symbol, const hist::Expr *>> Clients;
   std::vector<PlanDecl> Plans;
+
+  /// Locations of the name tokens of the declarations, for diagnostics
+  /// (services, clients and policies live in separate namespaces).
+  std::map<Symbol, SourceLoc> PolicyLocs;
+  std::map<Symbol, SourceLoc> ServiceLocs;
+  std::map<Symbol, SourceLoc> ClientLocs;
 
   const hist::Expr *findClient(Symbol Name) const {
     for (const auto &[N, E] : Clients)
@@ -65,12 +73,20 @@ struct SusFile {
         return &P;
     return nullptr;
   }
+
+  SourceLoc locOf(const std::map<Symbol, SourceLoc> &Locs, Symbol Name) const {
+    auto It = Locs.find(Name);
+    return It == Locs.end() ? SourceLoc() : It->second;
+  }
 };
 
 /// Parses \p Buffer; std::nullopt (with diagnostics) on any error.
+/// \p FileName, when given, is stamped into every source location (it must
+/// outlive the diagnostics; see SourceLoc::File).
 std::optional<SusFile> parseSusFile(hist::HistContext &Ctx,
                                     std::string_view Buffer,
-                                    DiagnosticEngine &Diags);
+                                    DiagnosticEngine &Diags,
+                                    std::string_view FileName = {});
 
 } // namespace syntax
 } // namespace sus

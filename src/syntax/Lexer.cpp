@@ -79,7 +79,8 @@ bool isIdentCont(char C) {
 } // namespace
 
 std::vector<Token> sus::syntax::tokenize(std::string_view Buffer,
-                                         DiagnosticEngine &Diags) {
+                                         DiagnosticEngine &Diags,
+                                         std::string_view FileName) {
   std::vector<Token> Tokens;
   size_t I = 0;
   unsigned Line = 1, Col = 1;
@@ -103,7 +104,7 @@ std::vector<Token> sus::syntax::tokenize(std::string_view Buffer,
 
   while (I < Buffer.size()) {
     char C = Buffer[I];
-    SourceLoc Loc{Line, Col};
+    SourceLoc Loc{Line, Col, FileName};
 
     if (std::isspace(static_cast<unsigned char>(C))) {
       Advance();
@@ -239,6 +240,6 @@ std::vector<Token> sus::syntax::tokenize(std::string_view Buffer,
     Advance();
   }
 
-  Tokens.push_back({TokenKind::Eof, SourceLoc{Line, Col}, {}, 0});
+  Tokens.push_back({TokenKind::Eof, SourceLoc{Line, Col, FileName}, {}, 0});
   return Tokens;
 }

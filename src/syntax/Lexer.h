@@ -71,8 +71,10 @@ const char *tokenKindName(TokenKind K);
 /// Tokenizes a whole buffer. Errors (stray characters) are reported into
 /// \p Diags and skipped; the result always ends with an Eof token. The
 /// returned Text views point into \p Buffer, which must outlive them.
-std::vector<Token> tokenize(std::string_view Buffer,
-                            DiagnosticEngine &Diags);
+/// \p FileName, when given, is stamped into every token's SourceLoc; the
+/// string it views must outlive the tokens and any diagnostics citing them.
+std::vector<Token> tokenize(std::string_view Buffer, DiagnosticEngine &Diags,
+                            std::string_view FileName = {});
 
 } // namespace syntax
 } // namespace sus

@@ -10,9 +10,15 @@
 ///   susc --run file.sus          also execute the first valid plan
 ///   susc --trace file.sus        print the execution trace with --run
 ///   susc --dot-policies file.sus print policy automata as Graphviz
+///   susc lint file.sus           run the semantic lint passes
+///
+/// `susc lint` exits 0 when the file is clean, 1 when any finding was
+/// reported (even warnings), and 2 on usage, I/O or parse errors — the
+/// CI-friendly contract.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "core/Verifier.h"
 #include "hist/Bisim.h"
 #include "hist/Printer.h"
@@ -44,10 +50,12 @@ struct CliOptions {
   bool Cost = false;
   bool Explore = false;
   unsigned Jobs = 1;
+  DiagFormat Format = DiagFormat::Text;
 };
 
 void printUsage(std::ostream &OS) {
   OS << "usage: susc [options] file.sus\n"
+        "       susc lint [lint options] file.sus\n"
         "  --plan NAME      check only the declared plan NAME\n"
         "  --run            execute the first valid plan of each client\n"
         "  --trace          with --run, print every applied step\n"
@@ -60,7 +68,35 @@ void printUsage(std::ostream &OS) {
         "  --no-enumerate   only check declared plans\n"
         "  --jobs N         verify candidate plans on N worker threads\n"
         "                   (0 = one per hardware thread); the report is\n"
-        "                   identical at any width\n";
+        "                   identical at any width\n"
+        "  --diag-format=F  render diagnostics as 'text' or 'json'\n"
+        "run 'susc lint --help' for the lint options\n";
+}
+
+void printLintUsage(std::ostream &OS) {
+  OS << "usage: susc lint [options] file.sus\n"
+        "  --diag-format=F  render findings as 'text' or 'json'\n"
+        "  -Werror          promote every lint warning to an error\n"
+        "  -Werror=ID       promote the pass ID to an error\n"
+        "  --disable=ID     suppress the pass ID entirely\n"
+        "  --list-passes    list every pass with its ID and exit\n"
+        "exit codes: 0 clean, 1 findings reported, 2 usage/parse error\n";
+}
+
+/// Parses --diag-format=F; returns false (with a message) on a bad value.
+bool parseDiagFormat(const std::string &Arg, DiagFormat &Format) {
+  std::string Value = Arg.substr(Arg.find('=') + 1);
+  if (Value == "text") {
+    Format = DiagFormat::Text;
+    return true;
+  }
+  if (Value == "json") {
+    Format = DiagFormat::Json;
+    return true;
+  }
+  std::cerr << "susc: --diag-format expects 'text' or 'json', got '" << Value
+            << "'\n";
+  return false;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -94,11 +130,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DotPolicies = true;
     } else if (Arg == "--no-enumerate") {
       Opts.Enumerate = false;
+    } else if (Arg.rfind("--diag-format=", 0) == 0) {
+      if (!parseDiagFormat(Arg, Opts.Format))
+        return false;
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage(std::cout);
       std::exit(0);
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "susc: unknown option '" << Arg << "'\n";
+      printUsage(std::cerr);
       return false;
     } else if (Opts.InputPath.empty()) {
       Opts.InputPath = Arg;
@@ -128,7 +168,7 @@ int runTool(const CliOptions &Opts) {
   DiagnosticEngine Diags;
   std::optional<syntax::SusFile> File =
       syntax::parseSusFile(Ctx, Source, Diags);
-  Diags.print(std::cerr);
+  Diags.print(std::cerr, Opts.Format);
   if (!File)
     return 2;
 
@@ -313,9 +353,97 @@ int runTool(const CliOptions &Opts) {
   return AllClientsOk ? 0 : 1;
 }
 
+//===----------------------------------------------------------------------===//
+// susc lint
+//===----------------------------------------------------------------------===//
+
+struct LintCliOptions {
+  std::string InputPath;
+  analysis::LintOptions Lint;
+  DiagFormat Format = DiagFormat::Text;
+  bool ListPasses = false;
+};
+
+bool parseLintArgs(int Argc, char **Argv, LintCliOptions &Opts) {
+  // Argv[1] is the "lint" subcommand itself.
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--diag-format=", 0) == 0) {
+      if (!parseDiagFormat(Arg, Opts.Format))
+        return false;
+    } else if (Arg == "-Werror") {
+      Opts.Lint.WarningsAsErrors = true;
+    } else if (Arg.rfind("-Werror=", 0) == 0) {
+      Opts.Lint.ErrorIds.insert(Arg.substr(std::string("-Werror=").size()));
+    } else if (Arg.rfind("--disable=", 0) == 0) {
+      Opts.Lint.DisabledIds.insert(
+          Arg.substr(std::string("--disable=").size()));
+    } else if (Arg == "--list-passes") {
+      Opts.ListPasses = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printLintUsage(std::cout);
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "susc: unknown option '" << Arg << "'\n";
+      printLintUsage(std::cerr);
+      return false;
+    } else if (Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      std::cerr << "susc: multiple input files\n";
+      return false;
+    }
+  }
+  if (Opts.InputPath.empty() && !Opts.ListPasses) {
+    printLintUsage(std::cerr);
+    return false;
+  }
+  return true;
+}
+
+int runLint(const LintCliOptions &Opts) {
+  if (Opts.ListPasses) {
+    for (const analysis::LintPass *Pass : analysis::allLintPasses())
+      std::cout << Pass->id() << "  [" << Pass->category() << "]  "
+                << Pass->description() << "\n";
+    return 0;
+  }
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::cerr << "susc: cannot open '" << Opts.InputPath << "'\n";
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  hist::HistContext Ctx;
+  DiagnosticEngine Diags;
+  std::optional<syntax::SusFile> File =
+      syntax::parseSusFile(Ctx, Source, Diags, Opts.InputPath);
+  if (!File) {
+    Diags.print(std::cout, Opts.Format);
+    return 2;
+  }
+
+  analysis::LintContext LC(Ctx, *File, Opts.InputPath, Opts.Lint, Diags);
+  unsigned Findings = analysis::runLintPasses(LC);
+  Diags.print(std::cout, Opts.Format);
+  if (Opts.Format == DiagFormat::Text)
+    std::cout << Opts.InputPath << ": " << Findings << " finding(s)\n";
+  return Findings ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::string(Argv[1]) == "lint") {
+    LintCliOptions Opts;
+    if (!parseLintArgs(Argc, Argv, Opts))
+      return 2;
+    return runLint(Opts);
+  }
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;

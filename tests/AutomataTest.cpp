@@ -137,6 +137,49 @@ TEST(DfaTest, AlphabetGrowthPreservesExistingEdges) {
   EXPECT_EQ(D.alphabet(), (std::vector<SymbolCode>{10, 30, 50, 70, 90}));
 }
 
+TEST(AuditTest, AlphabetMapAcceptsTypicalConstruction) {
+  AlphabetMap M;
+  EXPECT_TRUE(M.audit());
+  // Mixed small (direct-mapped) and huge (sparse) codes, inserted out of
+  // order so every insertion shifts ranks.
+  for (SymbolCode Sym : {7u, 3u, (1u << 20), 5u, (1u << 18), 1u})
+    M.insert(Sym);
+  EXPECT_TRUE(M.audit());
+  EXPECT_EQ(M.size(), 6u);
+}
+
+TEST(AuditTest, NfaAcceptsTypicalConstruction) {
+  EXPECT_TRUE(Nfa().audit());
+  Nfa N = makeContainsAa();
+  StateId Extra = N.addState();
+  N.addEpsilon(Extra, N.start());
+  EXPECT_TRUE(N.audit());
+}
+
+TEST(AuditTest, DfaAcceptsConstructionAndKernelResults) {
+  EXPECT_TRUE(Dfa().audit());
+  Dfa D = determinize(makeContainsAa());
+  EXPECT_TRUE(D.audit());
+  EXPECT_TRUE(complete(D, D.alphabet()).audit());
+  EXPECT_TRUE(complement(D, D.alphabet()).audit());
+  EXPECT_TRUE(minimize(D).audit());
+  Dfa D2 = determinize(makeAbStar());
+  EXPECT_TRUE(intersect(D, D2).audit());
+  EXPECT_TRUE(unite(D, D2).audit());
+}
+
+TEST(AuditTest, DfaAuditSurvivesRelayout) {
+  // Same construction as AlphabetGrowthPreservesExistingEdges: every
+  // setEdge inserts at a fresh rank and re-layouts the flat table.
+  Dfa D;
+  StateId Q0 = D.addState(true);
+  D.setStart(Q0);
+  for (SymbolCode Sym : {50u, 10u, 90u, 30u, 70u}) {
+    D.setEdge(Q0, Sym, Q0);
+    EXPECT_TRUE(D.audit()) << "after inserting symbol " << Sym;
+  }
+}
+
 TEST(DeterminizeTest, PreservesLanguageOnExamples) {
   Nfa N = makeContainsAa();
   Dfa D = determinize(N);

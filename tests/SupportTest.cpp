@@ -119,10 +119,10 @@ TEST(CastingTest, PresentVariantsTolerateNull) {
 
 TEST(DiagnosticsTest, CountsErrorsOnly) {
   DiagnosticEngine D;
-  D.warning(SourceLoc{1, 2}, "something odd");
+  D.warning(SourceLoc{1, 2, {}}, "something odd");
   EXPECT_FALSE(D.hasErrors());
   D.error("bad things");
-  D.error(SourceLoc{3, 4}, "more bad things");
+  D.error(SourceLoc{3, 4, {}}, "more bad things");
   EXPECT_TRUE(D.hasErrors());
   EXPECT_EQ(D.errorCount(), 2u);
   EXPECT_EQ(D.diagnostics().size(), 3u);
@@ -130,10 +130,84 @@ TEST(DiagnosticsTest, CountsErrorsOnly) {
 
 TEST(DiagnosticsTest, PrintIncludesLocationWhenKnown) {
   DiagnosticEngine D;
-  D.error(SourceLoc{7, 9}, "unexpected token");
+  D.error(SourceLoc{7, 9, {}}, "unexpected token");
   std::ostringstream OS;
   D.print(OS);
   EXPECT_EQ(OS.str(), "7:9: error: unexpected token\n");
+}
+
+TEST(DiagnosticsTest, PrintSortsBySourceOrderAndSeverity) {
+  DiagnosticEngine D;
+  // Reported out of order on purpose; rendering must sort by (file,
+  // line, column, severity) with a stable tie-break.
+  D.warning(SourceLoc{9, 1, "b.sus"}, "late file");
+  D.error(SourceLoc{5, 3, "a.sus"}, "later line");
+  D.warning(SourceLoc{2, 8, "a.sus"}, "later column");
+  D.error(SourceLoc{2, 4, "a.sus"}, "error after co-located warning");
+  D.warning(SourceLoc{2, 4, "a.sus"}, "first");
+  std::ostringstream OS;
+  D.print(OS);
+  EXPECT_EQ(OS.str(), "a.sus:2:4: warning: first\n"
+                      "a.sus:2:4: error: error after co-located warning\n"
+                      "a.sus:2:8: warning: later column\n"
+                      "a.sus:5:3: error: later line\n"
+                      "b.sus:9:1: warning: late file\n");
+}
+
+TEST(DiagnosticsTest, PrintDropsExactDuplicates) {
+  DiagnosticEngine D;
+  D.warning(SourceLoc{4, 2, "a.sus"}, "dup");
+  D.warning(SourceLoc{4, 2, "a.sus"}, "dup");
+  // Same location but different severity or message: NOT a duplicate.
+  D.error(SourceLoc{4, 2, "a.sus"}, "dup");
+  D.warning(SourceLoc{4, 2, "a.sus"}, "other");
+  std::ostringstream OS;
+  D.print(OS);
+  EXPECT_EQ(OS.str(), "a.sus:4:2: warning: dup\n"
+                      "a.sus:4:2: warning: other\n"
+                      "a.sus:4:2: error: dup\n");
+  // The underlying diagnostic list is untouched by rendering.
+  EXPECT_EQ(D.diagnostics().size(), 4u);
+}
+
+TEST(DiagnosticsTest, PrintRendersIdAndNotes) {
+  DiagnosticEngine D;
+  Diagnostic &W = D.warning(SourceLoc{3, 1, "x.sus"}, "suspicious loop");
+  W.ID = "sus-lint-demo";
+  W.note(SourceLoc{4, 2, "x.sus"}, "loop entered here");
+  std::ostringstream OS;
+  D.print(OS);
+  EXPECT_EQ(OS.str(), "x.sus:3:1: warning: suspicious loop [sus-lint-demo]\n"
+                      "  x.sus:4:2: note: loop entered here\n");
+}
+
+TEST(DiagnosticsTest, PrintJsonEscapesAndStructures) {
+  DiagnosticEngine D;
+  Diagnostic &W = D.warning(SourceLoc{1, 2, "q.sus"}, "say \"hi\"\\now");
+  W.ID = "sus-lint-demo";
+  W.Category = "lint.test";
+  W.note(SourceLoc{0, 0, "q.sus"}, "a note");
+  std::ostringstream OS;
+  D.print(OS, DiagFormat::Json);
+  EXPECT_EQ(
+      OS.str(),
+      "[\n"
+      "  {\"file\": \"q.sus\", \"line\": 1, \"col\": 2, "
+      "\"severity\": \"warning\", \"id\": \"sus-lint-demo\", "
+      "\"category\": \"lint.test\", \"message\": \"say \\\"hi\\\"\\\\now\", "
+      "\"notes\": [\n"
+      "    {\"file\": \"q.sus\", \"line\": 0, \"col\": 0, "
+      "\"severity\": \"note\", \"id\": \"\", \"category\": \"\", "
+      "\"message\": \"a note\"}\n"
+      "  ]}\n"
+      "]\n");
+}
+
+TEST(DiagnosticsTest, PrintJsonEmptyIsEmptyArray) {
+  DiagnosticEngine D;
+  std::ostringstream OS;
+  D.print(OS, DiagFormat::Json);
+  EXPECT_EQ(OS.str(), "[]\n");
 }
 
 TEST(DiagnosticsTest, ClearResets) {
