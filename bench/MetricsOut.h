@@ -1,0 +1,67 @@
+//===- bench/MetricsOut.h - --metrics-out=FILE for the benches --*- C++ -*-===//
+///
+/// \file
+/// Shared support for emitting the pipeline metrics registry from the
+/// benchmark binaries: `bench_x --metrics-out=FILE` writes the same
+/// sus-metrics-v1 JSON as `susc --metrics-out FILE` after the benchmarks
+/// ran. The flag is stripped before benchmark::Initialize (which would
+/// otherwise reject it as unrecognized).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_BENCH_METRICS_OUT_H
+#define SUS_BENCH_METRICS_OUT_H
+
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace sus {
+namespace bench {
+
+/// Removes `--metrics-out=FILE` from \p Argv, compacting the array and
+/// shrinking \p Argc. Enables the metrics registry when the flag is
+/// present. Returns the requested path, or "" when the flag was absent.
+inline std::string stripMetricsOutArg(int &Argc, char **Argv) {
+  constexpr const char *Flag = "--metrics-out=";
+  const size_t FlagLen = std::strlen(Flag);
+  std::string Path;
+  int Out = 0;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], Flag, FlagLen) == 0) {
+      Path = Argv[I] + FlagLen;
+      continue;
+    }
+    Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  if (!Path.empty())
+    metrics::enable();
+  return Path;
+}
+
+/// Writes the registry JSON to \p Path. No-op for an empty path. Returns
+/// 0 on success, 1 (with a diagnostic) if the file cannot be written.
+inline int writeMetricsOut(const std::string &Path) {
+  if (Path.empty())
+    return 0;
+  std::ofstream OutFile(Path);
+  if (!OutFile) {
+    std::fprintf(stderr, "bench: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  metrics::writeJson(OutFile);
+  if (!OutFile.good()) {
+    std::fprintf(stderr, "bench: error writing '%s'\n", Path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace bench
+} // namespace sus
+
+#endif // SUS_BENCH_METRICS_OUT_H

@@ -7,12 +7,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "MetricsOut.h"
 #include "automata/Ops.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 using namespace sus::automata;
@@ -136,10 +138,13 @@ BENCHMARK(BM_ContainedIn)->RangeMultiplier(2)->Range(8, 64);
 
 } // namespace
 
-/// Like BENCHMARK_MAIN(), plus a `--quick` alias that CI uses: it rewrites
-/// itself to a short --benchmark_min_time so the whole suite smoke-runs in
-/// seconds (the bundled benchmark library wants a plain double there).
+/// Like BENCHMARK_MAIN(), plus a `--quick` alias that CI uses (rewritten
+/// to a short --benchmark_min_time so the whole suite smoke-runs in
+/// seconds; the bundled benchmark library wants a plain double there) and
+/// `--metrics-out=FILE` to dump the kernel-time metrics registry as
+/// sus-metrics-v1 JSON after the run.
 int main(int argc, char **argv) {
+  std::string MetricsPath = sus::bench::stripMetricsOutArg(argc, argv);
   std::vector<char *> Args;
   static char MinTime[] = "--benchmark_min_time=0.01";
   for (int I = 0; I < argc; ++I) {
@@ -153,5 +158,5 @@ int main(int argc, char **argv) {
   if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sus::bench::writeMetricsOut(MetricsPath);
 }

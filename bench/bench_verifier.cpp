@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "MetricsOut.h"
 #include "Workloads.h"
 #include "automata/KernelStats.h"
 #include "core/Verifier.h"
@@ -234,4 +235,14 @@ BENCHMARK(BM_EnumerateBindUndo)->Args({8, 4})->Args({16, 3})->Args({16, 4});
 
 } // namespace
 
-BENCHMARK_MAIN();
+/// Like BENCHMARK_MAIN(), plus `--metrics-out=FILE`: dump the pipeline
+/// metrics registry (cache hit rates, pool counters, kernel time) as
+/// sus-metrics-v1 JSON after the run.
+int main(int argc, char **argv) {
+  std::string MetricsPath = stripMetricsOutArg(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return writeMetricsOut(MetricsPath);
+}

@@ -2,7 +2,9 @@
 
 #include "automata/KernelStats.h"
 
-#include <atomic>
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <chrono>
 
 using namespace sus;
@@ -10,8 +12,13 @@ using namespace sus::automata;
 
 namespace {
 
-std::atomic<uint64_t> TotalNanos{0};
 thread_local unsigned Depth = 0;
+
+metrics::TimeAccount &account() {
+  static metrics::TimeAccount &A =
+      metrics::timeAccount(KernelTimeAccountName);
+  return A;
+}
 
 uint64_t nowNanos() {
   return static_cast<uint64_t>(
@@ -22,21 +29,22 @@ uint64_t nowNanos() {
 
 } // namespace
 
-uint64_t sus::automata::kernelNanos() {
-  return TotalNanos.load(std::memory_order_relaxed);
-}
+uint64_t sus::automata::kernelNanos() { return account().nanos(); }
 
-void sus::automata::resetKernelNanos() {
-  TotalNanos.store(0, std::memory_order_relaxed);
-}
+void sus::automata::resetKernelNanos() { account().resetValue(); }
 
-KernelTimerScope::KernelTimerScope() : StartNanos(0) {
+KernelTimerScope::KernelTimerScope(const char *Name)
+    : StartNanos(0), Name(Name) {
   if (Depth++ == 0)
     StartNanos = nowNanos();
 }
 
 KernelTimerScope::~KernelTimerScope() {
-  if (--Depth == 0)
-    TotalNanos.fetch_add(nowNanos() - StartNanos,
-                         std::memory_order_relaxed);
+  if (--Depth != 0)
+    return;
+  uint64_t EndNanos = nowNanos();
+  account().add(EndNanos - StartNanos);
+  if (trace::enabled())
+    trace::detail::record(Name, "automata", StartNanos, EndNanos, nullptr,
+                          nullptr, nullptr, 0);
 }

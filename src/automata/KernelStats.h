@@ -1,17 +1,23 @@
 //===- automata/KernelStats.h - Automata kernel accounting ------*- C++ -*-===//
 ///
 /// \file
-/// A process-wide wall-clock accumulator for time spent inside the automata
-/// kernels the verifier bottoms out in: every entry point of automata/Ops.h
-/// plus the ComplianceProduct construction (the Thm. 1 emptiness kernel).
+/// Wall-clock accounting for time spent inside the automata kernels the
+/// verifier bottoms out in: every entry point of automata/Ops.h plus the
+/// ComplianceProduct construction (the Thm. 1 emptiness kernel).
 /// bench_verifier (B7) reads it to report kernel time separately from
 /// pipeline time, so kernel and pipeline speedups stay distinguishable
 /// across PRs.
 ///
-/// The accounting is re-entrancy aware (nested kernel calls are counted
-/// once, at the outermost scope) and thread-safe (workers accumulate into
-/// one atomic); the cost is two clock reads per outermost kernel call,
-/// which is noise next to any kernel's actual work.
+/// Since the observability PR the storage lives in the process-wide
+/// metrics registry (support/Metrics.h) as the always-on time account
+/// "automata.kernel_ns" — one home for wall-time accounting, and the
+/// account shows up in every --metrics-out report. This header remains
+/// the automata-layer facade: re-entrancy aware (nested kernel calls are
+/// counted once, at the outermost scope) and thread-safe (workers
+/// accumulate into one atomic). The cost is two clock reads per
+/// outermost kernel call, which is noise next to any kernel's actual
+/// work. When span tracing is on, each outermost kernel call additionally
+/// emits an "automata"-category span named after the kernel.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +29,9 @@
 namespace sus {
 namespace automata {
 
+/// The registry name of the kernel time account.
+inline constexpr const char *KernelTimeAccountName = "automata.kernel_ns";
+
 /// Cumulative nanoseconds spent inside automata-kernel entry points since
 /// process start (or the last resetKernelNanos), summed over all threads.
 uint64_t kernelNanos();
@@ -31,17 +40,19 @@ uint64_t kernelNanos();
 void resetKernelNanos();
 
 /// RAII guard placed at every kernel entry point. Only the outermost scope
-/// on each thread accumulates, so nested kernels (e.g. minimize calling
-/// complete) are not double-counted.
+/// on each thread accumulates (and traces), so nested kernels (e.g.
+/// minimize calling complete) are not double-counted. \p Name must be a
+/// string literal; it becomes the trace span name.
 class KernelTimerScope {
 public:
-  KernelTimerScope();
+  explicit KernelTimerScope(const char *Name = "automata.kernel");
   ~KernelTimerScope();
   KernelTimerScope(const KernelTimerScope &) = delete;
   KernelTimerScope &operator=(const KernelTimerScope &) = delete;
 
 private:
   uint64_t StartNanos; ///< Only meaningful for the outermost scope.
+  const char *Name;
 };
 
 } // namespace automata

@@ -70,7 +70,7 @@ inline uint64_t packPair(StateId SA, StateId SB) {
 
 Dfa sus::automata::determinize(const Nfa &N) {
   SUS_AUDIT_AUTOMATON(N);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.determinize");
   Dfa Result;
   const std::vector<SymbolCode> &Syms = N.alphabet();
   const uint32_t K = static_cast<uint32_t>(Syms.size());
@@ -201,7 +201,7 @@ Dfa sus::automata::complete(const Dfa &D,
   SUS_AUDIT_AUTOMATON(D);
   assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
          "alphabet must be sorted");
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.complete");
   Dfa Result;
   std::vector<SymbolCode> All;
   std::set_union(Alphabet.begin(), Alphabet.end(), D.alphabet().begin(),
@@ -231,7 +231,7 @@ Dfa sus::automata::complement(const Dfa &D,
   SUS_AUDIT_AUTOMATON(D);
   assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
          "alphabet must be sorted");
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.complement");
   std::vector<SymbolCode> Joint;
   std::set_union(Alphabet.begin(), Alphabet.end(), D.alphabet().begin(),
                  D.alphabet().end(), std::back_inserter(Joint));
@@ -297,7 +297,7 @@ Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
 Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.intersect");
   return productImpl(A, B, [&](StateId SA, StateId SB) {
     return A.isAccepting(SA) && B.isAccepting(SB);
   });
@@ -306,7 +306,7 @@ Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
 Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.unite");
   std::vector<SymbolCode> Joint;
   std::set_union(A.alphabet().begin(), A.alphabet().end(),
                  B.alphabet().begin(), B.alphabet().end(),
@@ -325,7 +325,7 @@ Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
 std::optional<std::vector<SymbolCode>>
 sus::automata::shortestWitness(const Dfa &D) {
   SUS_AUDIT_AUTOMATON(D);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.shortestWitness");
   if (D.numStates() == 0)
     return std::nullopt;
   struct Pred {
@@ -369,7 +369,7 @@ sus::automata::shortestWitness(const Dfa &D) {
 
 bool sus::automata::isEmpty(const Dfa &D) {
   SUS_AUDIT_AUTOMATON(D);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.isEmpty");
   if (D.numStates() == 0)
     return true;
   if (D.isAccepting(D.start()))
@@ -408,7 +408,7 @@ constexpr StateId DeadSide = Dfa::NoState;
 bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.intersectIsEmpty");
   if (A.numStates() == 0 || B.numStates() == 0)
     return true;
   if (A.isAccepting(A.start()) && B.isAccepting(B.start()))
@@ -441,7 +441,7 @@ std::optional<std::vector<SymbolCode>>
 sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.intersectWitness");
   if (A.numStates() == 0 || B.numStates() == 0)
     return std::nullopt;
 
@@ -502,7 +502,7 @@ sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
 bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.containedIn");
   if (A.numStates() == 0)
     return true;
 
@@ -541,7 +541,7 @@ std::optional<std::vector<SymbolCode>>
 sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.differenceWitness");
   if (A.numStates() == 0)
     return std::nullopt;
 
@@ -740,7 +740,7 @@ std::vector<uint32_t> hopcroftPartition(uint32_t M, uint32_t K,
 
 Dfa sus::automata::minimize(const Dfa &D) {
   SUS_AUDIT_AUTOMATON(D);
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.minimize");
   const std::vector<SymbolCode> &Alphabet = D.alphabet();
   Dfa C = complete(D, Alphabet);
   const uint32_t K = static_cast<uint32_t>(Alphabet.size());
@@ -818,6 +818,6 @@ Dfa sus::automata::minimize(const Dfa &D) {
 //===----------------------------------------------------------------------===//
 
 bool sus::automata::equivalent(const Dfa &A, const Dfa &B) {
-  KernelTimerScope Timer;
+  KernelTimerScope Timer("automata.equivalent");
   return containedIn(A, B) && containedIn(B, A);
 }

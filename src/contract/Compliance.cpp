@@ -2,6 +2,9 @@
 
 #include "contract/Compliance.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include "contract/ReadySets.h"
 #include "support/HashUtil.h"
 
@@ -31,7 +34,11 @@ std::string ComplianceWitness::str(const HistContext &Ctx) const {
 ComplianceResult sus::contract::checkCompliance(HistContext &Ctx,
                                                 const Expr *ClientContract,
                                                 const Expr *ServerContract) {
+  trace::Span Span("compliance.check", "pipeline");
+  static metrics::Counter &Checks = metrics::counter("compliance.checks");
+  Checks.add();
   ComplianceProduct Product(Ctx, ClientContract, ServerContract);
+  Span.count("states", static_cast<int64_t>(Product.numStates()));
   ComplianceResult Result;
   Result.ExploredStates = Product.numStates();
   Result.Compliant = Product.isEmptyLanguage() && Product.isComplete();

@@ -63,7 +63,7 @@ ComplianceProduct::ComplianceProduct(HistContext &Ctx, const Expr *Client,
                                      const Expr *Server, size_t MaxStates) {
   // The pair-BFS below is the Thm. 1 emptiness kernel; account it with the
   // automata kernels so bench_verifier can report kernel time separately.
-  automata::KernelTimerScope Timer;
+  automata::KernelTimerScope Timer("contract.compliance_product");
   struct PairHash {
     size_t operator()(const std::pair<const Expr *, const Expr *> &P) const {
       return hashAll(reinterpret_cast<uintptr_t>(P.first),

@@ -3,6 +3,7 @@
 #include "contract/Project.h"
 
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <unordered_map>
 
@@ -69,6 +70,7 @@ private:
 } // namespace
 
 const Expr *sus::contract::project(HistContext &Ctx, const Expr *E) {
+  trace::Span Span("projection", "pipeline");
   Projector P(Ctx);
   return P.visit(E);
 }

@@ -4,7 +4,9 @@
 
 #include "hist/Clone.h"
 #include "plan/RequestExtract.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -130,15 +132,21 @@ std::vector<RequestCheck> Verifier::buildRequestChecks(
 
 validity::StaticValidityResult Verifier::securityOf(const hist::Expr *Client,
                                                     plan::Loc ClientLoc,
-                                                    const plan::Plan &Pi) {
+                                                    const plan::Plan &Pi,
+                                                    bool *CacheHit) {
+  if (CacheHit)
+    *CacheHit = false;
   validity::StaticValidityOptions VOpts;
   VOpts.MaxStates = Options.MaxStatesPerPlan;
   if (!Options.UseCache)
     return validity::checkPlanValidity(Ctx, Client, ClientLoc, Pi, Repo,
                                        Registry, VOpts);
   if (std::optional<validity::StaticValidityResult> Hit =
-          Cache->findValidity(Client, ClientLoc, Pi, VOpts.MaxStates))
+          Cache->findValidity(Client, ClientLoc, Pi, VOpts.MaxStates)) {
+    if (CacheHit)
+      *CacheHit = true;
     return *Hit;
+  }
   validity::StaticValidityResult R = validity::checkPlanValidity(
       Ctx, Client, ClientLoc, Pi, Repo, Registry, VOpts);
   Cache->recordValidity(Client, ClientLoc, Pi, VOpts.MaxStates, R);
@@ -151,10 +159,13 @@ validity::StaticValidityResult Verifier::securityOf(const hist::Expr *Client,
 
 PlanVerdict Verifier::checkPlan(const hist::Expr *Client,
                                 plan::Loc ClientLoc, const plan::Plan &Pi) {
+  trace::Span Span("plan.verify", "verifier");
   PlanVerdict Verdict;
   Verdict.Pi = Pi;
   Verdict.RequestChecks = buildRequestChecks(collectPlanSites(Client, Pi), Pi);
-  Verdict.Security = securityOf(Client, ClientLoc, Pi);
+  bool CacheHit = false;
+  Verdict.Security = securityOf(Client, ClientLoc, Pi, &CacheHit);
+  Span.tag("cache", CacheHit ? "hit" : "miss");
   return Verdict;
 }
 
@@ -172,12 +183,16 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
   // needs the session HistContext for compliance.
   std::vector<std::map<hist::RequestId, plan::RequestSite>> Sites;
   Sites.reserve(Plans.size());
-  for (const plan::Plan &Pi : Plans) {
-    Sites.push_back(collectPlanSites(Client, Pi));
-    for (const auto &[Id, Site] : Sites.back()) {
-      std::optional<plan::Loc> L = Pi.lookup(Id);
-      if (L && Repo.find(*L))
-        Cache->compliance(Ctx, Site.body(), Repo.find(*L));
+  {
+    trace::Span PrewarmSpan("plan.prewarm", "verifier");
+    PrewarmSpan.count("plans", static_cast<int64_t>(Plans.size()));
+    for (const plan::Plan &Pi : Plans) {
+      Sites.push_back(collectPlanSites(Client, Pi));
+      for (const auto &[Id, Site] : Sites.back()) {
+        std::optional<plan::Loc> L = Pi.lookup(Id);
+        if (L && Repo.find(*L))
+          Cache->compliance(Ctx, Site.body(), Repo.find(*L));
+      }
     }
   }
 
@@ -195,6 +210,8 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
   }
 
   if (!Misses.empty()) {
+    trace::Span FanoutSpan("plan.fanout", "verifier");
+    FanoutSpan.count("misses", static_cast<int64_t>(Misses.size()));
     if (!Pool || Pool->numWorkers() != Jobs)
       Pool = std::make_unique<ThreadPool>(Jobs);
 
@@ -204,6 +221,8 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
     std::vector<std::unique_ptr<Shard>> Shards(Pool->numWorkers());
     for (size_t I : Misses)
       Pool->submit([&, I](unsigned Worker) {
+        trace::Span PlanSpan("plan.verify", "verifier");
+        PlanSpan.tag("cache", "miss");
         if (!Shards[Worker])
           Shards[Worker] = std::make_unique<Shard>(Ctx, Client, Repo);
         Shard &S = *Shards[Worker];
@@ -229,6 +248,7 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
 
 VerificationReport Verifier::verifyClient(const hist::Expr *Client,
                                           plan::Loc ClientLoc) {
+  trace::Span ClientSpan("client.verify", "verifier");
   VerificationReport Report;
 
   plan::EnumeratorOptions EOpts;
@@ -244,6 +264,12 @@ VerificationReport Verifier::verifyClient(const hist::Expr *Client,
   Report.CandidateCount = Enumeration.Plans.size();
   Report.BindingsTried = Enumeration.BindingsTried;
   Report.Truncated = Enumeration.Truncated;
+  ClientSpan.count("candidates", static_cast<int64_t>(Report.CandidateCount));
+  {
+    static metrics::Counter &PlansChecked =
+        metrics::counter("verifier.plans_checked");
+    PlansChecked.add(Enumeration.Plans.size());
+  }
 
   unsigned Jobs = effectiveJobs();
   if (Jobs > 1 && Enumeration.Plans.size() > 1) {

@@ -175,10 +175,13 @@ private:
   buildRequestChecks(const std::map<hist::RequestId, plan::RequestSite> &ById,
                      const plan::Plan &Pi);
 
-  /// Cache-aware whole-plan security check on the session context.
+  /// Cache-aware whole-plan security check on the session context. When
+  /// \p CacheHit is non-null it reports whether the verdict came from the
+  /// VerifierCache (always false with UseCache off).
   validity::StaticValidityResult securityOf(const hist::Expr *Client,
                                             plan::Loc ClientLoc,
-                                            const plan::Plan &Pi);
+                                            const plan::Plan &Pi,
+                                            bool *CacheHit = nullptr);
 
   /// Checks every enumerated plan through the parallel pipeline:
   /// compliance pre-warmed serially through the cache, security fanned

@@ -2,8 +2,43 @@
 
 #include "core/VerifierCache.h"
 
+#include "support/Metrics.h"
+
 using namespace sus;
 using namespace sus::core;
+
+namespace {
+
+/// Registry mirrors of VerifierStats: the same counts, visible in every
+/// --metrics-out report without threading the cache to the exporter.
+struct HitMissCounters {
+  metrics::Counter &Hits;
+  metrics::Counter &Misses;
+  void count(bool Hit) { (Hit ? Hits : Misses).add(); }
+};
+
+HitMissCounters &complianceCounters() {
+  static HitMissCounters C{metrics::counter("verifier.cache.compliance.hits"),
+                           metrics::counter(
+                               "verifier.cache.compliance.misses")};
+  return C;
+}
+
+HitMissCounters &projectionCounters() {
+  static HitMissCounters C{metrics::counter("verifier.cache.projection.hits"),
+                           metrics::counter(
+                               "verifier.cache.projection.misses")};
+  return C;
+}
+
+HitMissCounters &validityCounters() {
+  static HitMissCounters C{metrics::counter("verifier.cache.validity.hits"),
+                           metrics::counter(
+                               "verifier.cache.validity.misses")};
+  return C;
+}
+
+} // namespace
 
 const hist::Expr *VerifierCache::projectionLocked(hist::HistContext &Ctx,
                                                   const hist::Expr *E) {
@@ -11,8 +46,10 @@ const hist::Expr *VerifierCache::projectionLocked(hist::HistContext &Ctx,
   auto It = Projections.find(E);
   if (It != Projections.end()) {
     ++Stats.ProjectionHits;
+    projectionCounters().count(true);
     return It->second;
   }
+  projectionCounters().count(false);
   const hist::Expr *P = contract::project(Ctx, E);
   Projections.emplace(E, P);
   return P;
@@ -34,8 +71,10 @@ VerifierCache::compliance(hist::HistContext &Ctx,
   auto It = Compliances.find(Key);
   if (It != Compliances.end()) {
     ++Stats.ComplianceHits;
+    complianceCounters().count(true);
     return It->second;
   }
+  complianceCounters().count(false);
   contract::ComplianceResult R = contract::checkCompliance(
       Ctx, projectionLocked(Ctx, RequestBody), projectionLocked(Ctx, Service));
   Compliances.emplace(Key, R);
@@ -48,9 +87,12 @@ VerifierCache::findValidity(const hist::Expr *Client, plan::Loc ClientLoc,
   std::lock_guard<std::mutex> Lock(M);
   ++Stats.ValidityLookups;
   auto It = Validities.find(ValidityKey{Client, ClientLoc, Pi, MaxStates});
-  if (It == Validities.end())
+  if (It == Validities.end()) {
+    validityCounters().count(false);
     return std::nullopt;
+  }
   ++Stats.ValidityHits;
+  validityCounters().count(true);
   return It->second;
 }
 

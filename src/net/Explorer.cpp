@@ -5,6 +5,8 @@
 #include "hist/Derive.h"
 #include "support/Casting.h"
 #include "support/HashUtil.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <deque>
@@ -248,7 +250,9 @@ void Explorer::movesOf(size_t Component, const CNode *Node,
 }
 
 ExplorationResult Explorer::run() {
+  trace::Span ExploreSpan("net.explore", "net");
   ExplorationResult Result;
+  size_t Expanded = 0, DedupHits = 0, MovesGenerated = 0;
 
   struct VecHash {
     size_t operator()(const std::vector<uint64_t> &V) const noexcept {
@@ -269,8 +273,10 @@ ExplorationResult Explorer::run() {
                     std::optional<std::pair<uint32_t, std::string>> From) {
     std::vector<uint64_t> Key = encode(S);
     auto It = Index.find(Key);
-    if (It != Index.end())
+    if (It != Index.end()) {
+      ++DedupHits;
       return;
+    }
     if (States.size() >= Options.MaxStates) {
       Truncated = true;
       return;
@@ -297,6 +303,7 @@ ExplorationResult Explorer::run() {
   while (!Work.empty()) {
     uint32_t I = Work.front();
     Work.pop_front();
+    ++Expanded;
     NetState Current = States[I]; // Copy: States may reallocate below.
 
     if (AllDone(Current)) {
@@ -309,6 +316,7 @@ ExplorationResult Explorer::run() {
       std::vector<CMove> Moves;
       movesOf(C, Current.Trees[C], Current, Moves);
       MovesSeen += Moves.size();
+      MovesGenerated += Moves.size();
       for (const CMove &M : Moves) {
         NetState Next = Current;
         Next.Trees[C] = M.NewTree;
@@ -336,6 +344,15 @@ ExplorationResult Explorer::run() {
 
   Result.States = States.size();
   Result.Exhaustive = !Truncated;
+  ExploreSpan.count("states", static_cast<int64_t>(Result.States));
+  ExploreSpan.tag("coverage", Truncated ? "truncated" : "exhaustive");
+  if (metrics::enabled()) {
+    metrics::counter("net.explorer.states_expanded").add(Expanded);
+    metrics::counter("net.explorer.dedup_hits").add(DedupHits);
+    metrics::counter("net.explorer.moves_generated").add(MovesGenerated);
+    metrics::gauge("net.explorer.states_peak")
+        .setMax(static_cast<int64_t>(Result.States));
+  }
   return Result;
 }
 

@@ -5,6 +5,8 @@
 #include "hist/Derive.h"
 #include "hist/Printer.h"
 #include "support/Casting.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -305,6 +307,7 @@ bool Interpreter::apply(const Step &S) {
 }
 
 RunStats Interpreter::run(uint64_t Seed, size_t MaxSteps) {
+  trace::Span RunSpan("net.run", "net");
   RunStats Stats;
   std::mt19937_64 Rng(Seed);
   for (size_t N = 0; N < MaxSteps; ++N) {
@@ -327,9 +330,17 @@ RunStats Interpreter::run(uint64_t Seed, size_t MaxSteps) {
       break;
     size_t Pick = std::uniform_int_distribution<size_t>(
         0, Applicable.size() - 1)(Rng);
-    bool Ok = apply(*Applicable[Pick]);
-    assert(Ok && "applicable step must apply");
-    (void)Ok;
+    if (!apply(*Applicable[Pick])) {
+      // The step was enumerated as applicable yet refused to apply: the
+      // step/apply contract is broken. The old assert-only check silently
+      // swallowed this in NDEBUG builds *and* counted the phantom step;
+      // record the failure, leave the component stuck, and stop instead
+      // of spinning on a step that will never fire.
+      ++Stats.FailedApplies;
+      if (metrics::enabled())
+        metrics::counter("net.interpreter.failed_applies").add();
+      break;
+    }
     ++Stats.StepsTaken;
   }
 
@@ -342,6 +353,17 @@ RunStats Interpreter::run(uint64_t Seed, size_t MaxSteps) {
       Stats.StuckComponents.push_back(C);
     }
   }
+  // Bumped once per run, not per step, so the registry lookup is off the
+  // hot path (and skipped entirely while metrics are off).
+  if (metrics::enabled()) {
+    metrics::counter("net.interpreter.steps").add(Stats.StepsTaken);
+    metrics::counter("net.interpreter.monitor_blocks")
+        .add(Stats.BlockedAttempts);
+    metrics::counter("net.interpreter.capacity_waits")
+        .add(Stats.CapacityWaits);
+  }
+  RunSpan.count("steps", static_cast<int64_t>(Stats.StepsTaken));
+  RunSpan.tag("outcome", Stats.AllCompleted ? "completed" : "stuck");
   return Stats;
 }
 

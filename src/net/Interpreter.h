@@ -84,10 +84,15 @@ struct Step {
 
 /// Aggregate outcome of a scheduled run.
 struct RunStats {
-  size_t StepsTaken = 0;
+  size_t StepsTaken = 0;      ///< Successfully applied steps only.
   size_t BlockedAttempts = 0; ///< Steps the monitor refused (angelic).
   size_t CapacityWaits = 0;   ///< Opens deferred by full services.
   size_t Violations = 0;      ///< Invalid histories (monitor off only).
+  /// Steps that were enumerated as applicable but failed to apply. Always
+  /// 0 unless the step/apply contract is broken; a failed apply stops the
+  /// run and leaves the acting component in StuckComponents rather than
+  /// silently counting the step as taken.
+  size_t FailedApplies = 0;
   bool AllCompleted = false;
   std::vector<size_t> StuckComponents;
 };

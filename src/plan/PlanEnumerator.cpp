@@ -2,6 +2,9 @@
 
 #include "plan/PlanEnumerator.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <map>
 #include <set>
 
@@ -106,7 +109,14 @@ EnumerationResult sus::plan::enumeratePlans(const Expr *Client,
                                             const Repository &Repo,
                                             const EnumeratorOptions &Options) {
   EnumerationResult Result;
+  trace::Span Span("plan.enumerate", "verifier");
   Enumerator E(Repo, Options, Result);
   E.run(Client);
+  Span.count("plans", static_cast<int64_t>(Result.Plans.size()));
+  static metrics::Counter &Bindings =
+      metrics::counter("plan.enumerator.bindings_tried");
+  static metrics::Counter &Plans = metrics::counter("plan.enumerator.plans");
+  Bindings.add(Result.BindingsTried);
+  Plans.add(Result.Plans.size());
   return Result;
 }

@@ -2,6 +2,9 @@
 
 #include "policy/Compile.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include "automata/Ops.h"
 #include "support/Casting.h"
 #include "support/HashUtil.h"
@@ -24,6 +27,10 @@ CompiledPolicy::codeOf(const hist::Event &Ev) const {
 
 CompiledPolicy sus::policy::compilePolicy(const PolicyInstance &Instance,
                                           std::vector<hist::Event> Universe) {
+  trace::Span Span("policy.compile", "pipeline");
+  Span.count("universe", static_cast<int64_t>(Universe.size()));
+  static metrics::Counter &Compiles = metrics::counter("policy.compiles");
+  Compiles.add();
   // Deduplicate the universe, preserving first occurrence.
   std::vector<hist::Event> Unique;
   for (const hist::Event &Ev : Universe)

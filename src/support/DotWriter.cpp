@@ -7,10 +7,18 @@ using namespace sus;
 std::string DotWriter::escape(std::string_view Str) {
   std::string Out;
   Out.reserve(Str.size());
-  for (char C : Str) {
-    if (C == '"' || C == '\\')
+  for (size_t I = 0; I < Str.size(); ++I) {
+    char C = Str[I];
+    if (C == '"' || C == '\\') {
       Out.push_back('\\');
-    if (C == '\n') {
+      Out.push_back(C);
+      continue;
+    }
+    // Raw line breaks would terminate the quoted literal mid-string; fold
+    // them (including CRLF as one break) into DOT's \n escape.
+    if (C == '\n' || C == '\r') {
+      if (C == '\r' && I + 1 < Str.size() && Str[I + 1] == '\n')
+        ++I;
       Out += "\\n";
       continue;
     }

@@ -1,0 +1,193 @@
+//===- support/Metrics.cpp - Process-wide metrics registry ----------------===//
+
+#include "support/Metrics.h"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+using namespace sus;
+
+namespace {
+
+/// Name → instrument tables. Instruments are never destroyed or moved
+/// once created (handles are cached at call sites), and the registry
+/// itself leaks so handles survive static destruction.
+struct Registry {
+  std::mutex M;
+  std::map<std::string, std::unique_ptr<metrics::Counter>, std::less<>>
+      Counters;
+  std::map<std::string, std::unique_ptr<metrics::Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<metrics::Histogram>, std::less<>>
+      Histograms;
+  std::map<std::string, std::unique_ptr<metrics::TimeAccount>, std::less<>>
+      TimeAccounts;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+template <typename Map>
+typename Map::mapped_type::element_type &findOrCreate(Map &Table,
+                                                      std::string_view Name) {
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    It = Table
+             .emplace(std::string(Name),
+                      std::make_unique<
+                          typename Map::mapped_type::element_type>())
+             .first;
+  return *It->second;
+}
+
+void writeJsonString(std::ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (static_cast<unsigned char>(C) < 0x20)
+      OS << "\\u00" << "0123456789abcdef"[(C >> 4) & 0xf]
+         << "0123456789abcdef"[C & 0xf];
+    else
+      OS << C;
+  }
+  OS << '"';
+}
+
+} // namespace
+
+std::atomic<bool> metrics::detail::Enabled{false};
+
+unsigned metrics::detail::shardIndex() {
+  static std::atomic<unsigned> NextShard{0};
+  thread_local unsigned Shard =
+      NextShard.fetch_add(1, std::memory_order_relaxed) % NumShards;
+  return Shard;
+}
+
+void metrics::Histogram::observe(uint64_t V) {
+  if (!enabled())
+    return;
+  unsigned Shard = detail::shardIndex();
+  CountShards[Shard].Value.fetch_add(1, std::memory_order_relaxed);
+  SumShards[Shard].Value.fetch_add(V, std::memory_order_relaxed);
+  Buckets[std::bit_width(V)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (V < Cur &&
+         !Min.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !Max.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t metrics::Histogram::bucket(unsigned B) const {
+  return B < NumBuckets ? Buckets[B].load(std::memory_order_relaxed) : 0;
+}
+
+void metrics::Histogram::resetValue() {
+  for (unsigned I = 0; I < detail::NumShards; ++I) {
+    CountShards[I].Value.store(0, std::memory_order_relaxed);
+    SumShards[I].Value.store(0, std::memory_order_relaxed);
+  }
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Min.store(~uint64_t(0), std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+void metrics::enable() {
+  detail::Enabled.store(true, std::memory_order_relaxed);
+}
+
+void metrics::disable() {
+  detail::Enabled.store(false, std::memory_order_relaxed);
+}
+
+void metrics::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (auto &[Name, C] : R.Counters)
+    C->resetValue();
+  for (auto &[Name, G] : R.Gauges)
+    G->resetValue();
+  for (auto &[Name, H] : R.Histograms)
+    H->resetValue();
+}
+
+metrics::Counter &metrics::counter(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return findOrCreate(R.Counters, Name);
+}
+
+metrics::Gauge &metrics::gauge(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return findOrCreate(R.Gauges, Name);
+}
+
+metrics::Histogram &metrics::histogram(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return findOrCreate(R.Histograms, Name);
+}
+
+metrics::TimeAccount &metrics::timeAccount(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return findOrCreate(R.TimeAccounts, Name);
+}
+
+void metrics::writeJson(std::ostream &OS) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  OS << "{\n  \"schema\": \"sus-metrics-v1\",\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : R.Counters) {
+    OS << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJsonString(OS, Name);
+    OS << ": " << C->value();
+  }
+  OS << "\n  },\n  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : R.Gauges) {
+    OS << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJsonString(OS, Name);
+    OS << ": " << G->value();
+  }
+  OS << "\n  },\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : R.Histograms) {
+    OS << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJsonString(OS, Name);
+    OS << ": {\"count\": " << H->count() << ", \"sum\": " << H->sum()
+       << ", \"min\": " << H->min() << ", \"max\": " << H->max()
+       << ", \"buckets\": [";
+    // Log2 buckets, trailing zeros trimmed to the highest non-empty one.
+    unsigned Last = 0;
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B)
+      if (H->bucket(B) != 0)
+        Last = B;
+    for (unsigned B = 0; B <= Last; ++B)
+      OS << (B ? ", " : "") << H->bucket(B);
+    OS << "]}";
+  }
+  OS << "\n  },\n  \"time_accounts\": {";
+  First = true;
+  for (const auto &[Name, T] : R.TimeAccounts) {
+    OS << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJsonString(OS, Name);
+    OS << ": " << T->nanos();
+  }
+  OS << "\n  }\n}\n";
+}

@@ -2,9 +2,47 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cassert>
+#include <chrono>
+#include <string>
 
 using namespace sus;
+
+namespace {
+
+/// Pool-wide instruments (all pools share them: the registry is process
+/// scoped and susc owns at most one pool at a time).
+metrics::Counter &tasksCounter() {
+  static metrics::Counter &C = metrics::counter("pool.tasks");
+  return C;
+}
+
+metrics::Counter &stealsCounter() {
+  static metrics::Counter &C = metrics::counter("pool.steals");
+  return C;
+}
+
+metrics::Gauge &maxQueueDepthGauge() {
+  static metrics::Gauge &G = metrics::gauge("pool.max_queue_depth");
+  return G;
+}
+
+metrics::Histogram &taskNanosHistogram() {
+  static metrics::Histogram &H = metrics::histogram("pool.task_ns");
+  return H;
+}
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
 
 unsigned ThreadPool::defaultWorkers() {
   unsigned N = std::thread::hardware_concurrency();
@@ -38,6 +76,8 @@ void ThreadPool::submit(Task T) {
   {
     std::lock_guard<std::mutex> Lock(StateMutex);
     ++Unfinished;
+    tasksCounter().add();
+    maxQueueDepthGauge().setMax(static_cast<int64_t>(Unfinished));
     WorkerQueue &WQ = *Queues[NextQueue];
     NextQueue = (NextQueue + 1) % Queues.size();
     std::lock_guard<std::mutex> QLock(WQ.M);
@@ -64,6 +104,7 @@ bool ThreadPool::grabTask(unsigned Id, Task &Out) {
     if (!Victim.Q.empty()) {
       Out = std::move(Victim.Q.front());
       Victim.Q.pop_front();
+      stealsCounter().add();
       return true;
     }
   }
@@ -74,7 +115,7 @@ void ThreadPool::workerLoop(unsigned Id) {
   for (;;) {
     Task T;
     if (grabTask(Id, T)) {
-      T(Id);
+      runTask(Id, T);
       std::lock_guard<std::mutex> Lock(StateMutex);
       assert(Unfinished > 0 && "task accounting underflow");
       if (--Unfinished == 0)
@@ -98,6 +139,23 @@ void ThreadPool::workerLoop(unsigned Id) {
       continue;
     WorkAvailable.wait(Lock);
   }
+}
+
+void ThreadPool::runTask(unsigned Id, Task &T) {
+  // Gated clock reads: with metrics and tracing off, running a task costs
+  // two relaxed atomic loads on top of the task itself.
+  if (!metrics::enabled() && !trace::enabled()) {
+    T(Id);
+    return;
+  }
+  trace::Span Span("pool.task", "pool");
+  Span.count("worker", Id);
+  uint64_t Start = nowNanos();
+  T(Id);
+  uint64_t Nanos = nowNanos() - Start;
+  taskNanosHistogram().observe(Nanos);
+  metrics::counter("pool.worker" + std::to_string(Id) + ".busy_ns")
+      .add(Nanos);
 }
 
 void ThreadPool::waitIdle() {

@@ -58,6 +58,10 @@ public:
 private:
   void workerLoop(unsigned Id);
 
+  /// Executes \p T, accounting busy time to the metrics registry and a
+  /// "pool.task" span when observability is on.
+  void runTask(unsigned Id, Task &T);
+
   /// Pops work for worker \p Id: its own deque back first, then steals
   /// from the front of the others. Returns false when nothing is queued.
   bool grabTask(unsigned Id, Task &Out);

@@ -2,6 +2,8 @@
 
 #include "syntax/FileParser.h"
 
+#include "support/Trace.h"
+
 #include "hist/WellFormed.h"
 #include "lambda/TypeEffect.h"
 #include "syntax/HistParser.h"
@@ -460,6 +462,8 @@ std::optional<SusFile> sus::syntax::parseSusFile(HistContext &Ctx,
                                                  std::string_view Buffer,
                                                  DiagnosticEngine &Diags,
                                                  std::string_view FileName) {
+  trace::Span Span("parse", "pipeline");
+  Span.count("bytes", static_cast<int64_t>(Buffer.size()));
   std::vector<Token> Tokens = tokenize(Buffer, Diags, FileName);
   if (Diags.hasErrors())
     return std::nullopt;

@@ -25,9 +25,12 @@
 #include "hist/TransitionSystem.h"
 #include "net/Explorer.h"
 #include "net/Interpreter.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "syntax/FileParser.h"
 #include "validity/CostAnalysis.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -43,6 +46,8 @@ struct CliOptions {
   std::string OnlyPlan;
   std::string DotLts;
   std::string BisimA, BisimB;
+  std::string TraceOut;   ///< Chrome trace_event JSON output path.
+  std::string MetricsOut; ///< sus-metrics-v1 JSON output path.
   bool Run = false;
   bool Trace = false;
   bool DotPolicies = false;
@@ -52,6 +57,10 @@ struct CliOptions {
   unsigned Jobs = 1;
   DiagFormat Format = DiagFormat::Text;
 };
+
+/// Hard ceiling for --jobs: far above any sane machine, low enough that a
+/// typo cannot ask for a million threads.
+constexpr unsigned long MaxJobs = 256;
 
 void printUsage(std::ostream &OS) {
   OS << "usage: susc [options] file.sus\n"
@@ -67,8 +76,10 @@ void printUsage(std::ostream &OS) {
         "                   declared plans (capacity-deadlock search)\n"
         "  --no-enumerate   only check declared plans\n"
         "  --jobs N         verify candidate plans on N worker threads\n"
-        "                   (0 = one per hardware thread); the report is\n"
-        "                   identical at any width\n"
+        "                   (1 <= N <= 256); the report is identical at\n"
+        "                   any width\n"
+        "  --trace-out F    write a Chrome trace_event JSON span trace to F\n"
+        "  --metrics-out F  write pipeline metrics JSON (sus-metrics-v1) to F\n"
         "  --diag-format=F  render diagnostics as 'text' or 'json'\n"
         "run 'susc lint --help' for the lint options\n";
 }
@@ -80,7 +91,47 @@ void printLintUsage(std::ostream &OS) {
         "  -Werror=ID       promote the pass ID to an error\n"
         "  --disable=ID     suppress the pass ID entirely\n"
         "  --list-passes    list every pass with its ID and exit\n"
+        "  --trace-out F    write a Chrome trace_event JSON span trace to F\n"
+        "  --metrics-out F  write pipeline metrics JSON (sus-metrics-v1) to F\n"
         "exit codes: 0 clean, 1 findings reported, 2 usage/parse error\n";
+}
+
+/// Consumes the value operand of \p Flag. Emits the "missing value"
+/// diagnostic (rather than falling through to "unknown option" or silently
+/// eating the next flag) when \p Flag is the last argument.
+bool takeValue(int Argc, char **Argv, int &I, const std::string &Flag,
+               std::string &Out) {
+  if (I + 1 >= Argc) {
+    std::cerr << "susc: missing value for '" << Flag << "'\n";
+    return false;
+  }
+  Out = Argv[++I];
+  return true;
+}
+
+/// Parses the --jobs operand: digits only, in [1, MaxJobs]. Rejects 0 (the
+/// old "0 = one per hardware thread" shorthand was indistinguishable from a
+/// typo) and negative values (which strtoul would silently wrap).
+bool parseJobsValue(const std::string &Value, unsigned &Jobs) {
+  if (Value.empty() || Value.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "susc: --jobs expects a positive integer, got '" << Value
+              << "'\n";
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+  if (errno == ERANGE || N > MaxJobs) {
+    std::cerr << "susc: --jobs value '" << Value << "' is out of range (max "
+              << MaxJobs << ")\n";
+    return false;
+  }
+  if (N == 0) {
+    std::cerr << "susc: --jobs must be at least 1, got '" << Value << "'\n";
+    return false;
+  }
+  Jobs = static_cast<unsigned>(N);
+  return true;
 }
 
 /// Parses --diag-format=F; returns false (with a message) on a bad value.
@@ -102,22 +153,27 @@ bool parseDiagFormat(const std::string &Arg, DiagFormat &Format) {
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--plan" && I + 1 < Argc) {
-      Opts.OnlyPlan = Argv[++I];
-    } else if (Arg == "--dot-lts" && I + 1 < Argc) {
-      Opts.DotLts = Argv[++I];
-    } else if (Arg == "--bisim" && I + 2 < Argc) {
-      Opts.BisimA = Argv[++I];
-      Opts.BisimB = Argv[++I];
-    } else if (Arg == "--jobs" && I + 1 < Argc) {
-      const char *Value = Argv[++I];
-      char *End = nullptr;
-      Opts.Jobs = static_cast<unsigned>(std::strtoul(Value, &End, 10));
-      if (End == Value || *End != '\0') {
-        std::cerr << "susc: --jobs expects a number, got '" << Value
-                  << "'\n";
+    if (Arg == "--plan") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.OnlyPlan))
         return false;
-      }
+    } else if (Arg == "--dot-lts") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.DotLts))
+        return false;
+    } else if (Arg == "--bisim") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.BisimA) ||
+          !takeValue(Argc, Argv, I, Arg, Opts.BisimB))
+        return false;
+    } else if (Arg == "--jobs") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseJobsValue(Value, Opts.Jobs))
+        return false;
+    } else if (Arg == "--trace-out") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.TraceOut))
+        return false;
+    } else if (Arg == "--metrics-out") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.MetricsOut))
+        return false;
     } else if (Arg == "--cost") {
       Opts.Cost = true;
     } else if (Arg == "--explore") {
@@ -361,6 +417,8 @@ struct LintCliOptions {
   std::string InputPath;
   analysis::LintOptions Lint;
   DiagFormat Format = DiagFormat::Text;
+  std::string TraceOut;   ///< Chrome trace_event JSON output path.
+  std::string MetricsOut; ///< sus-metrics-v1 JSON output path.
   bool ListPasses = false;
 };
 
@@ -368,7 +426,13 @@ bool parseLintArgs(int Argc, char **Argv, LintCliOptions &Opts) {
   // Argv[1] is the "lint" subcommand itself.
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--diag-format=", 0) == 0) {
+    if (Arg == "--trace-out") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.TraceOut))
+        return false;
+    } else if (Arg == "--metrics-out") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.MetricsOut))
+        return false;
+    } else if (Arg.rfind("--diag-format=", 0) == 0) {
       if (!parseDiagFormat(Arg, Opts.Format))
         return false;
     } else if (Arg == "-Werror") {
@@ -435,6 +499,47 @@ int runLint(const LintCliOptions &Opts) {
   return Findings ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Observability plumbing
+//===----------------------------------------------------------------------===//
+
+/// Turns the tracer/registry on ahead of the tool run when the matching
+/// output flag was given. With both flags absent this is a no-op and every
+/// instrumentation point in the pipeline stays a single atomic load.
+void enableObservability(const std::string &TraceOut,
+                         const std::string &MetricsOut) {
+  if (!TraceOut.empty())
+    trace::enable();
+  if (!MetricsOut.empty())
+    metrics::enable();
+}
+
+/// Writes the trace/metrics files after the tool ran. Returns false (with a
+/// diagnostic) if an output file cannot be written; the caller folds that
+/// into exit code 2 unless the run itself already failed harder.
+bool writeObservability(const std::string &TraceOut,
+                        const std::string &MetricsOut) {
+  bool Ok = true;
+  auto WriteTo = [&Ok](const std::string &Path, auto &&Emit) {
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::cerr << "susc: cannot write '" << Path << "'\n";
+      Ok = false;
+      return;
+    }
+    Emit(Out);
+    if (!Out.good()) {
+      std::cerr << "susc: error writing '" << Path << "'\n";
+      Ok = false;
+    }
+  };
+  if (!TraceOut.empty())
+    WriteTo(TraceOut, [](std::ostream &OS) { trace::writeChromeTrace(OS); });
+  if (!MetricsOut.empty())
+    WriteTo(MetricsOut, [](std::ostream &OS) { metrics::writeJson(OS); });
+  return Ok;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -442,10 +547,18 @@ int main(int Argc, char **Argv) {
     LintCliOptions Opts;
     if (!parseLintArgs(Argc, Argv, Opts))
       return 2;
-    return runLint(Opts);
+    enableObservability(Opts.TraceOut, Opts.MetricsOut);
+    int Code = runLint(Opts);
+    if (!writeObservability(Opts.TraceOut, Opts.MetricsOut) && Code == 0)
+      Code = 2;
+    return Code;
   }
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
-  return runTool(Opts);
+  enableObservability(Opts.TraceOut, Opts.MetricsOut);
+  int Code = runTool(Opts);
+  if (!writeObservability(Opts.TraceOut, Opts.MetricsOut) && Code == 0)
+    Code = 2;
+  return Code;
 }

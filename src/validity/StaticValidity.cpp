@@ -2,6 +2,9 @@
 
 #include "validity/StaticValidity.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include "hist/Derive.h"
 #include "support/Casting.h"
 #include "support/HashUtil.h"
@@ -532,6 +535,11 @@ StaticValidityResult sus::validity::checkPlanValidity(
     const plan::Plan &P, const plan::Repository &Repo,
     const policy::PolicyRegistry &Registry,
     const StaticValidityOptions &Options) {
+  trace::Span Span("validity.static", "pipeline");
   Checker C(Ctx, P, Repo, Registry, Options);
-  return C.run(Client, ClientLoc);
+  StaticValidityResult Result = C.run(Client, ClientLoc);
+  Span.tag("verdict", Result.Valid ? "valid" : "invalid");
+  static metrics::Counter &Checks = metrics::counter("validity.checks");
+  Checks.add();
+  return Result;
 }

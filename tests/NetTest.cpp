@@ -153,6 +153,72 @@ TEST_F(NetTest, PlanGapStepsAreNeverApplicable) {
   EXPECT_FALSE(Stats.AllCompleted);
 }
 
+TEST_F(NetTest, RunStatsCleanRunHasNoFailuresOrStuckComponents) {
+  Interpreter I = makeC1(Ex.pi1());
+  RunStats Stats = I.run(/*Seed=*/7);
+  EXPECT_TRUE(Stats.AllCompleted);
+  EXPECT_GT(Stats.StepsTaken, 0u);
+  EXPECT_EQ(Stats.Violations, 0u);
+  EXPECT_EQ(Stats.FailedApplies, 0u);
+  EXPECT_TRUE(Stats.StuckComponents.empty());
+}
+
+TEST_F(NetTest, RunStatsStuckRunListsTheComponent) {
+  plan::Plan Bad;
+  Bad.bind(1, Ex.LBr);
+  Bad.bind(3, Ex.LS1); // Black-listed for C1: the monitor wedges it.
+  Interpreter I = makeC1(Bad);
+  RunStats Stats = I.run(/*Seed=*/3);
+  EXPECT_FALSE(Stats.AllCompleted);
+  ASSERT_EQ(Stats.StuckComponents.size(), 1u);
+  EXPECT_EQ(Stats.StuckComponents[0], 0u);
+  // Enumerated-but-inapplicable steps are never attempted, so a blocked
+  // run still has zero failed applies.
+  EXPECT_EQ(Stats.FailedApplies, 0u);
+  // At quiescence the component still offers steps — all refused by the
+  // monitor, and apply() rejects them rather than forcing them through.
+  auto Steps = I.steps();
+  bool SawBlocked = false;
+  for (const Step &S : Steps)
+    if (S.Blocked) {
+      SawBlocked = true;
+      EXPECT_FALSE(I.apply(S));
+    }
+  EXPECT_TRUE(SawBlocked);
+}
+
+TEST_F(NetTest, RunStatsViolationsOnlyAccrueWithTheMonitorOff) {
+  plan::Plan Bad;
+  Bad.bind(1, Ex.LBr);
+  Bad.bind(3, Ex.LS1);
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Interpreter Monitored = makeC1(Bad);
+    RunStats On = Monitored.run(Seed);
+    EXPECT_EQ(On.Violations, 0u) << "seed " << Seed;
+
+    Interpreter Unmonitored(Ctx, Ex.Repo, Ex.Registry,
+                            {{Ex.LC1, Ex.C1, Bad}},
+                            InterpreterOptions{/*MonitorEnabled=*/false});
+    RunStats Off = Unmonitored.run(Seed);
+    EXPECT_GT(Off.Violations, 0u) << "seed " << Seed;
+    EXPECT_EQ(Off.FailedApplies, 0u) << "seed " << Seed;
+  }
+}
+
+TEST_F(NetTest, RunStatsFailedAppliesIsZeroAcrossSeedsAndModes) {
+  // run() re-enumerates before every pick, so an applicable step always
+  // applies; FailedApplies > 0 would mean the step/apply contract broke
+  // (the run loop then stops instead of counting the step as taken).
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    for (bool Monitor : {true, false}) {
+      Interpreter I = makeC1(Ex.pi1(), Monitor);
+      RunStats Stats = I.run(Seed);
+      EXPECT_EQ(Stats.FailedApplies, 0u)
+          << "seed " << Seed << " monitor " << Monitor;
+    }
+  }
+}
+
 TEST_F(NetTest, TwoClientsInterleaveIndependently) {
   // The Fig. 3 network: C1 under π1 and C2 under its valid plan; both
   // components complete regardless of interleaving.

@@ -17,11 +17,14 @@
 #include "plan/PlanEnumerator.h"
 #include "plan/RequestExtract.h"
 #include "policy/Prelude.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -195,6 +198,42 @@ TEST_F(PipelineTest, ParallelReportMatchesSerialOnHotelExample) {
     VerificationReport P = VP.verifyClient(Client, Loc);
     expectReportsEqual(S, P, Ctx);
   }
+}
+
+TEST_F(PipelineTest, ObservabilityUnderParallelVerificationStaysDeterministic) {
+  // Tracing and metrics on, 8 worker shards: the instrumentation must not
+  // perturb verdicts (and under TSan this doubles as the race check for
+  // the span ring and sharded instruments).
+  trace::enable(/*Capacity=*/4096);
+  metrics::enable();
+  metrics::reset();
+
+  VerifierOptions Serial;
+  Serial.Jobs = 1;
+  VerifierOptions Parallel;
+  Parallel.Jobs = 8;
+  Verifier VS(Ctx, Ex.Repo, Ex.Registry, Serial);
+  Verifier VP(Ctx, Ex.Repo, Ex.Registry, Parallel);
+  VerificationReport S = VS.verifyClient(Ex.C1, Ex.LC1);
+  VerificationReport P = VP.verifyClient(Ex.C1, Ex.LC1);
+  expectReportsEqual(S, P, Ctx);
+
+  EXPECT_GT(trace::spanCount(), 0u);
+  EXPECT_GT(metrics::counter("verifier.plans_checked").value(), 0u);
+  EXPECT_GT(metrics::counter("pool.tasks").value(), 0u);
+
+  // Both exports render without crashing and carry their envelope.
+  std::ostringstream Trace, Json;
+  trace::writeChromeTrace(Trace);
+  metrics::writeJson(Json);
+  EXPECT_NE(Trace.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.str().find("\"schema\": \"sus-metrics-v1\""),
+            std::string::npos);
+
+  trace::disable();
+  trace::reset();
+  metrics::disable();
+  metrics::reset();
 }
 
 /// A synthetic workload whose security checks run the policy monitors in

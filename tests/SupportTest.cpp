@@ -5,12 +5,16 @@
 #include "support/Diagnostics.h"
 #include "support/DotWriter.h"
 #include "support/HashUtil.h"
+#include "support/Metrics.h"
 #include "support/StringInterner.h"
+#include "support/Trace.h"
 #include "support/Value.h"
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace sus;
 
@@ -279,6 +283,188 @@ TEST(ValueTest, StrRendersEachKind) {
 TEST(HashUtilTest, HashAllIsOrderSensitive) {
   EXPECT_NE(hashAll(1, 2), hashAll(2, 1));
   EXPECT_EQ(hashAll(1, 2), hashAll(1, 2));
+}
+
+TEST(DotWriterTest, EscapeHandlesQuotesBackslashesAndNewlines) {
+  EXPECT_EQ(DotWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(DotWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(DotWriter::escape("line1\nline2"), "line1\\nline2");
+  // An escaped sequence in the input gets both characters re-escaped.
+  EXPECT_EQ(DotWriter::escape("\\n"), "\\\\n");
+}
+
+TEST(DotWriterTest, EscapeFoldsCarriageReturns) {
+  // Raw CR and CRLF would end a DOT quoted literal mid-string just like
+  // LF; both fold to the \n escape, CRLF as a single break.
+  EXPECT_EQ(DotWriter::escape("a\rb"), "a\\nb");
+  EXPECT_EQ(DotWriter::escape("a\r\nb"), "a\\nb");
+  EXPECT_EQ(DotWriter::escape("a\r\rb"), "a\\n\\nb");
+  EXPECT_EQ(DotWriter::escape("a\n\rb"), "a\\n\\nb");
+}
+
+//===----------------------------------------------------------------------===//
+// Span tracing
+//===----------------------------------------------------------------------===//
+
+/// Restores a quiet tracer/registry around each test so process-wide
+/// state cannot leak across cases.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    trace::disable();
+    trace::reset();
+  }
+  void TearDown() override {
+    trace::disable();
+    trace::reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace::enabled());
+  {
+    trace::Span S("test.span", "test");
+    S.count("n", 1);
+  }
+  EXPECT_EQ(trace::spanCount(), 0u);
+  EXPECT_EQ(trace::droppedSpans(), 0u);
+}
+
+TEST_F(TraceTest, RecordsSpansWithArgs) {
+  trace::enable(/*Capacity=*/16);
+  {
+    trace::Span S("test.tagged", "test");
+    S.tag("verdict", "ok");
+    S.count("items", 42);
+  }
+  { trace::Span S("test.plain", "test"); }
+  EXPECT_EQ(trace::spanCount(), 2u);
+
+  std::ostringstream OS;
+  trace::writeChromeTrace(OS);
+  std::string Json = OS.str();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"test.tagged\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"verdict\":\"ok\""), std::string::npos);
+  EXPECT_NE(Json.find("\"items\":42"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingKeepsTheMostRecentSpansAndCountsDrops) {
+  trace::enable(/*Capacity=*/4);
+  for (int I = 0; I < 7; ++I) {
+    trace::Span S("test.wrap", "test");
+  }
+  EXPECT_EQ(trace::spanCount(), 4u);
+  EXPECT_EQ(trace::droppedSpans(), 3u);
+  trace::reset();
+  EXPECT_EQ(trace::spanCount(), 0u);
+  EXPECT_EQ(trace::droppedSpans(), 0u);
+}
+
+TEST_F(TraceTest, SpansAfterDisableAreNotRecorded) {
+  trace::enable(16);
+  { trace::Span S("test.kept", "test"); }
+  trace::disable();
+  { trace::Span S("test.lost", "test"); }
+  EXPECT_EQ(trace::spanCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+class MetricsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    metrics::disable();
+    metrics::reset();
+  }
+  void TearDown() override {
+    metrics::disable();
+    metrics::reset();
+  }
+};
+
+TEST_F(MetricsTest, DisabledMutationsAreNoOps) {
+  metrics::Counter &C = metrics::counter("test.disabled.counter");
+  metrics::Gauge &G = metrics::gauge("test.disabled.gauge");
+  metrics::Histogram &H = metrics::histogram("test.disabled.hist");
+  C.add(5);
+  G.set(7);
+  G.setMax(9);
+  H.observe(3);
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(H.count(), 0u);
+}
+
+TEST_F(MetricsTest, CounterMergesAcrossThreads) {
+  metrics::enable();
+  metrics::Counter &C = metrics::counter("test.threads.counter");
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I < 1000; ++I)
+        C.add();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), 4000u);
+}
+
+TEST_F(MetricsTest, GaugeSetAndHighWaterMark) {
+  metrics::enable();
+  metrics::Gauge &G = metrics::gauge("test.gauge");
+  G.set(10);
+  EXPECT_EQ(G.value(), 10);
+  G.setMax(5); // Below the mark: no change.
+  EXPECT_EQ(G.value(), 10);
+  G.setMax(25);
+  EXPECT_EQ(G.value(), 25);
+}
+
+TEST_F(MetricsTest, HistogramLog2BucketsAndEnvelope) {
+  metrics::enable();
+  metrics::Histogram &H = metrics::histogram("test.hist");
+  H.observe(0); // bucket 0
+  H.observe(1); // bucket 1: bit_width(1) == 1
+  H.observe(5); // bucket 3: bit_width(5) == 3
+  H.observe(7); // bucket 3
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 13u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 7u);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(1), 1u);
+  EXPECT_EQ(H.bucket(2), 0u);
+  EXPECT_EQ(H.bucket(3), 2u);
+}
+
+TEST_F(MetricsTest, TimeAccountsAreAlwaysOn) {
+  ASSERT_FALSE(metrics::enabled());
+  metrics::TimeAccount &T = metrics::timeAccount("test.time");
+  T.resetValue();
+  T.add(125);
+  T.add(75);
+  EXPECT_EQ(T.nanos(), 200u);
+  T.resetValue();
+  EXPECT_EQ(T.nanos(), 0u);
+}
+
+TEST_F(MetricsTest, WriteJsonEmitsTheV1Shape) {
+  metrics::enable();
+  metrics::counter("test.json.counter").add(3);
+  metrics::gauge("test.json.gauge").set(-4);
+  metrics::histogram("test.json.hist").observe(2);
+  std::ostringstream OS;
+  metrics::writeJson(OS);
+  std::string Json = OS.str();
+  EXPECT_NE(Json.find("\"schema\": \"sus-metrics-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"test.json.counter\": 3"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.json.gauge\": -4"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(Json.find("\"buckets\""), std::string::npos);
 }
 
 } // namespace

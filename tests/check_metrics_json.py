@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""CI check for the susc observability outputs.
+
+Usage: check_metrics_json.py SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS
+
+Runs the shipped example through susc four ways and asserts:
+  1. `--metrics-out` emits JSON valid against tests/metrics_schema.json
+     (the normative sus-metrics-v1 schema);
+  2. `--trace-out` emits well-formed Chrome trace_event JSON;
+  3. both also work through the `susc lint` subcommand;
+  4. stdout/stderr and the exit code are bit-for-bit identical with and
+     without the observability flags (the instrumentation may never
+     change a verdict).
+
+The schema validator is deliberately minimal and self-contained — it
+implements exactly the JSON Schema subset the schema file uses (type,
+const, required, properties, additionalProperties, items, minimum) so
+the check needs nothing beyond the standard library.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"check_metrics_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(instance, schema, path="$"):
+    """Validates the subset of JSON Schema used by metrics_schema.json."""
+    if "const" in schema:
+        if instance != schema["const"]:
+            fail(f"{path}: expected {schema['const']!r}, got {instance!r}")
+        return
+    ty = schema.get("type")
+    if ty == "object":
+        if not isinstance(instance, dict):
+            fail(f"{path}: expected object, got {type(instance).__name__}")
+        for key in schema.get("required", []):
+            if key not in instance:
+                fail(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                validate(value, props[key], f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(value, extra, f"{path}.{key}")
+            elif extra is False:
+                fail(f"{path}: unexpected key '{key}'")
+    elif ty == "array":
+        if not isinstance(instance, list):
+            fail(f"{path}: expected array, got {type(instance).__name__}")
+        items = schema.get("items")
+        if items is not None:
+            for i, value in enumerate(instance):
+                validate(value, items, f"{path}[{i}]")
+    elif ty == "integer":
+        if not isinstance(instance, int) or isinstance(instance, bool):
+            fail(f"{path}: expected integer, got {instance!r}")
+        if "minimum" in schema and instance < schema["minimum"]:
+            fail(f"{path}: {instance} below minimum {schema['minimum']}")
+    else:
+        fail(f"{path}: schema uses unsupported type {ty!r}")
+
+
+def run(argv):
+    return subprocess.run(argv, capture_output=True, text=True)
+
+
+def check_trace(path):
+    trace = json.loads(Path(path).read_text())
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    for i, ev in enumerate(events):
+        for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(f"{path}: traceEvents[{i}] missing '{key}'")
+        if ev["ph"] != "X":
+            fail(f"{path}: traceEvents[{i}] is not a complete event")
+        if ev["dur"] < 0:
+            fail(f"{path}: traceEvents[{i}] has negative duration")
+    return len(events)
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail(f"usage: {sys.argv[0]} SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS")
+    susc, schema_path, example = sys.argv[1:4]
+    schema = json.loads(Path(schema_path).read_text())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics = str(Path(tmp) / "metrics.json")
+        trace = str(Path(tmp) / "trace.json")
+
+        # Baseline: no observability flags.
+        plain = run([susc, "--jobs", "4", example])
+
+        # Instrumented run: must behave identically on stdout/stderr.
+        observed = run([susc, "--jobs", "4", "--metrics-out", metrics,
+                        "--trace-out", trace, example])
+        if observed.returncode != plain.returncode:
+            fail(f"exit code changed: {plain.returncode} -> "
+                 f"{observed.returncode}")
+        if observed.stdout != plain.stdout or observed.stderr != plain.stderr:
+            fail("observability flags changed the tool output")
+
+        validate(json.loads(Path(metrics).read_text()), schema)
+        n_events = check_trace(trace)
+
+        # The lint subcommand honours the same flags.
+        lint_metrics = str(Path(tmp) / "lint-metrics.json")
+        lint_trace = str(Path(tmp) / "lint-trace.json")
+        lint = run([susc, "lint", "--metrics-out", lint_metrics,
+                    "--trace-out", lint_trace, example])
+        if lint.returncode not in (0, 1):
+            fail(f"susc lint failed: exit {lint.returncode}\n{lint.stderr}")
+        validate(json.loads(Path(lint_metrics).read_text()), schema)
+        check_trace(lint_trace)
+
+    print(f"check_metrics_json: OK ({n_events} trace events, "
+          f"metrics valid against {Path(schema_path).name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
