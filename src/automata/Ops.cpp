@@ -4,6 +4,7 @@
 
 #include "automata/KernelStats.h"
 #include "support/HashUtil.h"
+#include "support/ResourceGovernor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -62,15 +63,30 @@ inline uint64_t packPair(StateId SA, StateId SB) {
   return (uint64_t(SA) << 32) | SB;
 }
 
+/// Loop-granularity governor poll; a null governor costs one branch.
+inline std::optional<ResourceExhausted> pollGov(const ResourceGovernor *Gov) {
+  return Gov ? Gov->poll() : std::nullopt;
+}
+
+/// Charges the \p Spent-th materialized state against the \p K budget.
+inline std::optional<ResourceExhausted>
+chargeGov(const ResourceGovernor *Gov, ResourceKind K, uint64_t Spent) {
+  return Gov ? Gov->charge(K, Spent) : std::nullopt;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
 // Determinization
 //===----------------------------------------------------------------------===//
 
-Dfa sus::automata::determinize(const Nfa &N) {
+namespace {
+
+Outcome<Dfa> determinizeImpl(const Nfa &N, const ResourceGovernor *Gov) {
   SUS_AUDIT_AUTOMATON(N);
   KernelTimerScope Timer("automata.determinize");
+  if (auto E = pollGov(Gov))
+    return *E;
   Dfa Result;
   const std::vector<SymbolCode> &Syms = N.alphabet();
   const uint32_t K = static_cast<uint32_t>(Syms.size());
@@ -138,10 +154,16 @@ Dfa sus::automata::determinize(const Nfa &N) {
   std::unordered_map<std::vector<uint64_t>, StateId, WordsHash> Index;
   std::deque<std::vector<uint64_t>> Work;
 
+  std::optional<ResourceExhausted> Trip;
   auto InternState = [&](std::vector<uint64_t> Set) -> StateId {
     auto It = Index.find(Set);
     if (It != Index.end())
       return It->second;
+    if (auto E = chargeGov(Gov, ResourceKind::SubsetStates,
+                           Result.numStates() + 1)) {
+      Trip = E;
+      return Dfa::NoState;
+    }
     StateId Id = Result.addState(IsAcceptingSet(Set));
     Index.emplace(Set, Id);
     Work.push_back(std::move(Set));
@@ -151,7 +173,10 @@ Dfa sus::automata::determinize(const Nfa &N) {
   std::vector<uint64_t> StartSet(W64, 0);
   setBit(StartSet.data(), N.start());
   Close(StartSet);
-  Result.setStart(InternState(std::move(StartSet)));
+  StateId StartId = InternState(std::move(StartSet));
+  if (Trip)
+    return *Trip;
+  Result.setStart(StartId);
 
   // Per-symbol successor buffers, reused across iterations; only the
   // touched slices are cleared.
@@ -160,6 +185,8 @@ Dfa sus::automata::determinize(const Nfa &N) {
   std::vector<uint32_t> Touched;
 
   while (!Work.empty()) {
+    if (auto E = pollGov(Gov))
+      return *E;
     std::vector<uint64_t> Set = std::move(Work.front());
     Work.pop_front();
     StateId From = Index.at(Set);
@@ -186,10 +213,23 @@ Dfa sus::automata::determinize(const Nfa &N) {
       SymTouched[SymIdx] = 0;
       Close(Next);
       StateId To = InternState(std::move(Next));
+      if (Trip)
+        return *Trip;
       Result.setEdge(From, Syms[SymIdx], To);
     }
   }
   return Result;
+}
+
+} // namespace
+
+Dfa sus::automata::determinize(const Nfa &N) {
+  return determinizeImpl(N, nullptr).takeValue();
+}
+
+Outcome<Dfa> sus::automata::determinize(const Nfa &N,
+                                        const ResourceGovernor &Gov) {
+  return determinizeImpl(N, &Gov);
 }
 
 //===----------------------------------------------------------------------===//
@@ -252,7 +292,10 @@ namespace {
 /// index; the BFS follows A's edges in ascending symbol order, so the
 /// result numbering is the deterministic discovery order.
 template <typename AcceptFn>
-Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
+Outcome<Dfa> productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept,
+                         const ResourceGovernor *Gov) {
+  if (auto E = pollGov(Gov))
+    return *E;
   Dfa Result;
   Result.reserveAlphabet(A.alphabet());
   if (A.numStates() == 0 || B.numStates() == 0) {
@@ -264,19 +307,30 @@ Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
   std::unordered_map<uint64_t, StateId, PairKeyHash> Index;
   std::deque<uint64_t> Work;
 
+  std::optional<ResourceExhausted> Trip;
   auto InternState = [&](StateId SA, StateId SB) -> StateId {
     uint64_t Key = packPair(SA, SB);
     auto It = Index.find(Key);
     if (It != Index.end())
       return It->second;
+    if (auto E = chargeGov(Gov, ResourceKind::ProductStates,
+                           Result.numStates() + 1)) {
+      Trip = E;
+      return Dfa::NoState;
+    }
     StateId Id = Result.addState(Accept(SA, SB));
     Index.emplace(Key, Id);
     Work.push_back(Key);
     return Id;
   };
 
-  Result.setStart(InternState(A.start(), B.start()));
+  StateId StartId = InternState(A.start(), B.start());
+  if (Trip)
+    return *Trip;
+  Result.setStart(StartId);
   while (!Work.empty()) {
+    if (auto E = pollGov(Gov))
+      return *E;
     uint64_t Key = Work.front();
     Work.pop_front();
     StateId SA = static_cast<StateId>(Key >> 32);
@@ -286,21 +340,39 @@ Dfa productImpl(const Dfa &A, const Dfa &B, AcceptFn Accept) {
       StateId TB = B.step(SB, E.Symbol);
       if (TB == Dfa::NoState)
         continue;
-      Result.setEdge(From, E.Symbol, InternState(E.Target, TB));
+      StateId To = InternState(E.Target, TB);
+      if (Trip)
+        return *Trip;
+      Result.setEdge(From, E.Symbol, To);
     }
   }
   return Result;
 }
 
-} // namespace
-
-Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
+template <typename AcceptFn>
+Outcome<Dfa> intersectImpl(const Dfa &A, const Dfa &B, AcceptFn Accept,
+                           const ResourceGovernor *Gov) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer("automata.intersect");
-  return productImpl(A, B, [&](StateId SA, StateId SB) {
+  return productImpl(A, B, Accept, Gov);
+}
+
+} // namespace
+
+Dfa sus::automata::intersect(const Dfa &A, const Dfa &B) {
+  auto Accept = [&](StateId SA, StateId SB) {
     return A.isAccepting(SA) && B.isAccepting(SB);
-  });
+  };
+  return intersectImpl(A, B, Accept, nullptr).takeValue();
+}
+
+Outcome<Dfa> sus::automata::intersect(const Dfa &A, const Dfa &B,
+                                      const ResourceGovernor &Gov) {
+  auto Accept = [&](StateId SA, StateId SB) {
+    return A.isAccepting(SA) && B.isAccepting(SB);
+  };
+  return intersectImpl(A, B, Accept, &Gov);
 }
 
 Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
@@ -313,9 +385,13 @@ Dfa sus::automata::unite(const Dfa &A, const Dfa &B) {
                  std::back_inserter(Joint));
   Dfa CA = complete(A, Joint);
   Dfa CB = complete(B, Joint);
-  return productImpl(CA, CB, [&](StateId SA, StateId SB) {
-    return CA.isAccepting(SA) || CB.isAccepting(SB);
-  });
+  return productImpl(
+             CA, CB,
+             [&](StateId SA, StateId SB) {
+               return CA.isAccepting(SA) || CB.isAccepting(SB);
+             },
+             nullptr)
+      .takeValue();
 }
 
 //===----------------------------------------------------------------------===//
@@ -405,10 +481,15 @@ constexpr StateId DeadSide = Dfa::NoState;
 
 } // namespace
 
-bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
+namespace {
+
+Outcome<bool> intersectIsEmptyImpl(const Dfa &A, const Dfa &B,
+                                   const ResourceGovernor *Gov) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer("automata.intersectIsEmpty");
+  if (auto E = pollGov(Gov))
+    return *E;
   if (A.numStates() == 0 || B.numStates() == 0)
     return true;
   if (A.isAccepting(A.start()) && B.isAccepting(B.start()))
@@ -418,6 +499,8 @@ bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
   Seen.insert(packPair(A.start(), B.start()));
   Work.push_back(packPair(A.start(), B.start()));
   while (!Work.empty()) {
+    if (auto E = pollGov(Gov))
+      return *E;
     uint64_t Key = Work.front();
     Work.pop_front();
     StateId SA = static_cast<StateId>(Key >> 32);
@@ -429,6 +512,8 @@ bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
       uint64_t Next = packPair(E.Target, TB);
       if (!Seen.insert(Next).second)
         continue;
+      if (auto Ex = chargeGov(Gov, ResourceKind::ProductStates, Seen.size()))
+        return *Ex;
       if (A.isAccepting(E.Target) && B.isAccepting(TB))
         return false;
       Work.push_back(Next);
@@ -437,13 +522,29 @@ bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
   return true;
 }
 
-std::optional<std::vector<SymbolCode>>
-sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
+} // namespace
+
+bool sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B) {
+  return intersectIsEmptyImpl(A, B, nullptr).takeValue();
+}
+
+Outcome<bool> sus::automata::intersectIsEmpty(const Dfa &A, const Dfa &B,
+                                              const ResourceGovernor &Gov) {
+  return intersectIsEmptyImpl(A, B, &Gov);
+}
+
+namespace {
+
+Outcome<std::optional<std::vector<SymbolCode>>>
+intersectWitnessImpl(const Dfa &A, const Dfa &B, const ResourceGovernor *Gov) {
+  using Witness = std::optional<std::vector<SymbolCode>>;
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer("automata.intersectWitness");
+  if (auto E = pollGov(Gov))
+    return *E;
   if (A.numStates() == 0 || B.numStates() == 0)
-    return std::nullopt;
+    return Witness(std::nullopt);
 
   // Mirrors shortestWitness over the materialized product: same BFS
   // discovery order (A's edges ascending), same predecessor tree, hence
@@ -467,6 +568,8 @@ sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
     Found = 0;
 
   while (Found == ~0u && !Work.empty()) {
+    if (auto E = pollGov(Gov))
+      return *E;
     uint32_t I = Work.front();
     Work.pop_front();
     uint64_t Key = Nodes[I].Key;
@@ -479,6 +582,9 @@ sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
       uint64_t Next = packPair(E.Target, TB);
       if (Index.find(Next) != Index.end())
         continue;
+      if (auto Ex = chargeGov(Gov, ResourceKind::ProductStates,
+                              Nodes.size() + 1))
+        return *Ex;
       uint32_t J = static_cast<uint32_t>(Nodes.size());
       Nodes.push_back({Next, I, E.Symbol});
       Index.emplace(Next, J);
@@ -490,19 +596,37 @@ sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
     }
   }
   if (Found == ~0u)
-    return std::nullopt;
+    return Witness(std::nullopt);
 
   std::vector<SymbolCode> Word;
   for (uint32_t I = Found; Nodes[I].Pred != ~0u; I = Nodes[I].Pred)
     Word.push_back(Nodes[I].Symbol);
   std::reverse(Word.begin(), Word.end());
-  return Word;
+  return Witness(std::move(Word));
 }
 
-bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
+} // namespace
+
+std::optional<std::vector<SymbolCode>>
+sus::automata::intersectWitness(const Dfa &A, const Dfa &B) {
+  return intersectWitnessImpl(A, B, nullptr).takeValue();
+}
+
+Outcome<std::optional<std::vector<SymbolCode>>>
+sus::automata::intersectWitness(const Dfa &A, const Dfa &B,
+                                const ResourceGovernor &Gov) {
+  return intersectWitnessImpl(A, B, &Gov);
+}
+
+namespace {
+
+Outcome<bool> containedInImpl(const Dfa &A, const Dfa &B,
+                              const ResourceGovernor *Gov) {
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer("automata.containedIn");
+  if (auto E = pollGov(Gov))
+    return *E;
   if (A.numStates() == 0)
     return true;
 
@@ -520,6 +644,8 @@ bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
   Seen.insert(packPair(A.start(), SB0));
   Work.push_back(packPair(A.start(), SB0));
   while (!Work.empty()) {
+    if (auto E = pollGov(Gov))
+      return *E;
     uint64_t Key = Work.front();
     Work.pop_front();
     StateId SA = static_cast<StateId>(Key >> 32);
@@ -529,6 +655,8 @@ bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
       uint64_t Next = packPair(E.Target, TB);
       if (!Seen.insert(Next).second)
         continue;
+      if (auto Ex = chargeGov(Gov, ResourceKind::ProductStates, Seen.size()))
+        return *Ex;
       if (Counterexample(E.Target, TB))
         return false;
       Work.push_back(Next);
@@ -537,13 +665,29 @@ bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
   return true;
 }
 
-std::optional<std::vector<SymbolCode>>
-sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
+} // namespace
+
+bool sus::automata::containedIn(const Dfa &A, const Dfa &B) {
+  return containedInImpl(A, B, nullptr).takeValue();
+}
+
+Outcome<bool> sus::automata::containedIn(const Dfa &A, const Dfa &B,
+                                         const ResourceGovernor &Gov) {
+  return containedInImpl(A, B, &Gov);
+}
+
+namespace {
+
+Outcome<std::optional<std::vector<SymbolCode>>>
+differenceWitnessImpl(const Dfa &A, const Dfa &B, const ResourceGovernor *Gov) {
+  using Witness = std::optional<std::vector<SymbolCode>>;
   SUS_AUDIT_AUTOMATON(A);
   SUS_AUDIT_AUTOMATON(B);
   KernelTimerScope Timer("automata.differenceWitness");
+  if (auto E = pollGov(Gov))
+    return *E;
   if (A.numStates() == 0)
-    return std::nullopt;
+    return Witness(std::nullopt);
 
   auto Counterexample = [&](StateId SA, StateId SB) {
     return A.isAccepting(SA) && (SB == DeadSide || !B.isAccepting(SB));
@@ -569,6 +713,8 @@ sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
     Found = 0;
 
   while (Found == ~0u && !Work.empty()) {
+    if (auto E = pollGov(Gov))
+      return *E;
     uint32_t I = Work.front();
     Work.pop_front();
     uint64_t Key = Nodes[I].Key;
@@ -579,6 +725,9 @@ sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
       uint64_t Next = packPair(E.Target, TB);
       if (Index.find(Next) != Index.end())
         continue;
+      if (auto Ex = chargeGov(Gov, ResourceKind::ProductStates,
+                              Nodes.size() + 1))
+        return *Ex;
       uint32_t J = static_cast<uint32_t>(Nodes.size());
       Nodes.push_back({Next, I, E.Symbol});
       Index.emplace(Next, J);
@@ -590,13 +739,26 @@ sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
     }
   }
   if (Found == ~0u)
-    return std::nullopt;
+    return Witness(std::nullopt);
 
   std::vector<SymbolCode> Word;
   for (uint32_t I = Found; Nodes[I].Pred != ~0u; I = Nodes[I].Pred)
     Word.push_back(Nodes[I].Symbol);
   std::reverse(Word.begin(), Word.end());
-  return Word;
+  return Witness(std::move(Word));
+}
+
+} // namespace
+
+std::optional<std::vector<SymbolCode>>
+sus::automata::differenceWitness(const Dfa &A, const Dfa &B) {
+  return differenceWitnessImpl(A, B, nullptr).takeValue();
+}
+
+Outcome<std::optional<std::vector<SymbolCode>>>
+sus::automata::differenceWitness(const Dfa &A, const Dfa &B,
+                                 const ResourceGovernor &Gov) {
+  return differenceWitnessImpl(A, B, &Gov);
 }
 
 //===----------------------------------------------------------------------===//
@@ -610,7 +772,9 @@ namespace {
 /// of every state; blocks are the Myhill–Nerode classes. O(K·M·log M).
 std::vector<uint32_t> hopcroftPartition(uint32_t M, uint32_t K,
                                         const std::vector<uint32_t> &Next,
-                                        const std::vector<bool> &Acc) {
+                                        const std::vector<bool> &Acc,
+                                        const ResourceGovernor *Gov,
+                                        std::optional<ResourceExhausted> &Trip) {
   // Inverse transitions, CSR per symbol: bucket (a, t) holds the states s
   // with Next[s·K + a] == t.
   std::vector<uint32_t> InvOff(size_t(K) * M + 1, 0);
@@ -669,6 +833,10 @@ std::vector<uint32_t> hopcroftPartition(uint32_t M, uint32_t K,
 
   std::vector<uint32_t> Pre, TouchedBlocks;
   while (!WL.empty()) {
+    if (auto E = pollGov(Gov)) {
+      Trip = E;
+      return Blk;
+    }
     uint64_t Enc = WL.back();
     WL.pop_back();
     uint32_t B = static_cast<uint32_t>(Enc / K);
@@ -738,9 +906,13 @@ std::vector<uint32_t> hopcroftPartition(uint32_t M, uint32_t K,
 
 } // namespace
 
-Dfa sus::automata::minimize(const Dfa &D) {
+namespace {
+
+Outcome<Dfa> minimizeImpl(const Dfa &D, const ResourceGovernor *Gov) {
   SUS_AUDIT_AUTOMATON(D);
   KernelTimerScope Timer("automata.minimize");
+  if (auto E = pollGov(Gov))
+    return *E;
   const std::vector<SymbolCode> &Alphabet = D.alphabet();
   Dfa C = complete(D, Alphabet);
   const uint32_t K = static_cast<uint32_t>(Alphabet.size());
@@ -753,6 +925,8 @@ Dfa sus::automata::minimize(const Dfa &D) {
   Reach[C.start()] = true;
   BfsWork.push_back(C.start());
   while (!BfsWork.empty()) {
+    if (auto E = pollGov(Gov))
+      return *E;
     StateId S = BfsWork.front();
     BfsWork.pop_front();
     for (const NfaEdge &E : C.edges(S))
@@ -783,7 +957,10 @@ Dfa sus::automata::minimize(const Dfa &D) {
     }
   }
 
-  std::vector<uint32_t> Blk = hopcroftPartition(M, K, Next, Acc);
+  std::optional<ResourceExhausted> Trip;
+  std::vector<uint32_t> Blk = hopcroftPartition(M, K, Next, Acc, Gov, Trip);
+  if (Trip)
+    return *Trip;
 
   // Build the quotient automaton over reachable classes, interned in
   // first-occurrence scan order (start first) for a deterministic result.
@@ -813,6 +990,17 @@ Dfa sus::automata::minimize(const Dfa &D) {
   return Result;
 }
 
+} // namespace
+
+Dfa sus::automata::minimize(const Dfa &D) {
+  return minimizeImpl(D, nullptr).takeValue();
+}
+
+Outcome<Dfa> sus::automata::minimize(const Dfa &D,
+                                     const ResourceGovernor &Gov) {
+  return minimizeImpl(D, &Gov);
+}
+
 //===----------------------------------------------------------------------===//
 // Equivalence
 //===----------------------------------------------------------------------===//
@@ -820,4 +1008,13 @@ Dfa sus::automata::minimize(const Dfa &D) {
 bool sus::automata::equivalent(const Dfa &A, const Dfa &B) {
   KernelTimerScope Timer("automata.equivalent");
   return containedIn(A, B) && containedIn(B, A);
+}
+
+Outcome<bool> sus::automata::equivalent(const Dfa &A, const Dfa &B,
+                                        const ResourceGovernor &Gov) {
+  KernelTimerScope Timer("automata.equivalent");
+  Outcome<bool> Forward = containedInImpl(A, B, &Gov);
+  if (!Forward.ok() || !Forward.value())
+    return Forward;
+  return containedInImpl(B, A, &Gov);
 }

@@ -18,6 +18,7 @@
 #define SUS_AUTOMATA_OPS_H
 
 #include "automata/Nfa.h"
+#include "support/ResourceGovernor.h"
 
 #include <optional>
 #include <vector>
@@ -91,6 +92,32 @@ Dfa minimize(const Dfa &D);
 /// Language equivalence via two on-the-fly containment checks; no
 /// complement or product automata are materialized.
 bool equivalent(const Dfa &A, const Dfa &B);
+
+//===----------------------------------------------------------------------===//
+// Governed variants
+//===----------------------------------------------------------------------===//
+//
+// Each governed kernel polls \p Gov once per popped work item and charges
+// materialized states against the relevant budget (SubsetStates for
+// determinize, ProductStates for the product/emptiness family) *before*
+// allocating them. On a trip the kernel abandons its partial result and
+// returns the ResourceExhausted; it never throws and never returns a
+// half-built automaton. With an unhit governor the result is bit-for-bit
+// identical to the ungoverned overload (same algorithm, same numbering).
+
+Outcome<Dfa> determinize(const Nfa &N, const ResourceGovernor &Gov);
+Outcome<Dfa> intersect(const Dfa &A, const Dfa &B, const ResourceGovernor &Gov);
+Outcome<bool> intersectIsEmpty(const Dfa &A, const Dfa &B,
+                               const ResourceGovernor &Gov);
+Outcome<std::optional<std::vector<SymbolCode>>>
+intersectWitness(const Dfa &A, const Dfa &B, const ResourceGovernor &Gov);
+Outcome<bool> containedIn(const Dfa &A, const Dfa &B,
+                          const ResourceGovernor &Gov);
+Outcome<std::optional<std::vector<SymbolCode>>>
+differenceWitness(const Dfa &A, const Dfa &B, const ResourceGovernor &Gov);
+Outcome<Dfa> minimize(const Dfa &D, const ResourceGovernor &Gov);
+Outcome<bool> equivalent(const Dfa &A, const Dfa &B,
+                         const ResourceGovernor &Gov);
 
 } // namespace automata
 } // namespace sus

@@ -33,30 +33,36 @@ std::string ComplianceWitness::str(const HistContext &Ctx) const {
 
 ComplianceResult sus::contract::checkCompliance(HistContext &Ctx,
                                                 const Expr *ClientContract,
-                                                const Expr *ServerContract) {
+                                                const Expr *ServerContract,
+                                                const ResourceGovernor *Gov) {
   trace::Span Span("compliance.check", "pipeline");
   static metrics::Counter &Checks = metrics::counter("compliance.checks");
   Checks.add();
-  ComplianceProduct Product(Ctx, ClientContract, ServerContract);
+  ComplianceProduct Product(Ctx, ClientContract, ServerContract,
+                            /*MaxStates=*/1 << 20, Gov);
   Span.count("states", static_cast<int64_t>(Product.numStates()));
   ComplianceResult Result;
   Result.ExploredStates = Product.numStates();
   Result.Compliant = Product.isEmptyLanguage() && Product.isComplete();
   if (std::optional<ComplianceProduct::StateIndex> Final =
           Product.firstFinal()) {
+    // A stuck state reached before any trip is a conclusive refutation.
     ComplianceWitness W;
     W.Path = Product.pathTo(*Final);
     W.ClientStuck = Product.state(*Final).Client;
     W.ServerStuck = Product.state(*Final).Server;
     Result.Witness = std::move(W);
+  } else if (Product.exhausted()) {
+    Result.Exhausted = Product.exhausted();
   }
   return Result;
 }
 
 ComplianceResult sus::contract::checkServiceCompliance(HistContext &Ctx,
                                                        const Expr *Client,
-                                                       const Expr *Server) {
-  return checkCompliance(Ctx, project(Ctx, Client), project(Ctx, Server));
+                                                       const Expr *Server,
+                                                       const ResourceGovernor *Gov) {
+  return checkCompliance(Ctx, project(Ctx, Client), project(Ctx, Server), Gov);
 }
 
 bool sus::contract::checkComplianceDirect(HistContext &Ctx,

@@ -46,20 +46,29 @@ struct ComplianceResult {
   bool Compliant = false;
   std::optional<ComplianceWitness> Witness;
   size_t ExploredStates = 0;
+  /// Set when a governor stopped the product before a verdict was reached:
+  /// Compliant is false but means "inconclusive", and there is no witness.
+  /// (A witness found before the trip is conclusive; Exhausted stays
+  /// empty then.)
+  std::optional<ResourceExhausted> Exhausted;
 
   explicit operator bool() const { return Compliant; }
 };
 
 /// Checks H1 ⊢ H2 for two *contracts* via the product automaton (Thm. 1).
+/// A non-null \p Gov bounds the product exploration; see
+/// ComplianceResult::Exhausted.
 ComplianceResult checkCompliance(hist::HistContext &Ctx,
                                  const hist::Expr *ClientContract,
-                                 const hist::Expr *ServerContract);
+                                 const hist::Expr *ServerContract,
+                                 const ResourceGovernor *Gov = nullptr);
 
 /// Projects both sides and checks Hc! ⊢ Hs! — the §4 procedure for a
 /// client/request body against a candidate service.
 ComplianceResult checkServiceCompliance(hist::HistContext &Ctx,
                                         const hist::Expr *Client,
-                                        const hist::Expr *Server);
+                                        const hist::Expr *Server,
+                                        const ResourceGovernor *Gov = nullptr);
 
 /// Literal Def. 4 decision procedure over ready sets (no product
 /// automaton); exposed for cross-validation.

@@ -60,7 +60,8 @@ bool sus::contract::isStuckPair(const Expr *Client,
 }
 
 ComplianceProduct::ComplianceProduct(HistContext &Ctx, const Expr *Client,
-                                     const Expr *Server, size_t MaxStates) {
+                                     const Expr *Server, size_t MaxStates,
+                                     const ResourceGovernor *Gov) {
   // The pair-BFS below is the Thm. 1 emptiness kernel; account it with the
   // automata kernels so bench_verifier can report kernel time separately.
   automata::KernelTimerScope Timer("contract.compliance_product");
@@ -86,6 +87,14 @@ ComplianceProduct::ComplianceProduct(HistContext &Ctx, const Expr *Client,
       Complete = false;
       return std::nullopt;
     }
+    if (Gov) {
+      if (std::optional<ResourceExhausted> E =
+              Gov->charge(ResourceKind::ProductStates, States.size() + 1)) {
+        Exhausted = E;
+        Complete = false;
+        return std::nullopt;
+      }
+    }
     StateIndex I = static_cast<StateIndex>(States.size());
     States.push_back({C, S, /*Final=*/false});
     Out.emplace_back();
@@ -98,6 +107,13 @@ ComplianceProduct::ComplianceProduct(HistContext &Ctx, const Expr *Client,
   InternState(Client, Server, std::nullopt);
 
   while (!Work.empty()) {
+    if (Gov) {
+      if (std::optional<ResourceExhausted> E = Gov->poll()) {
+        Exhausted = E;
+        Complete = false;
+        break;
+      }
+    }
     StateIndex I = Work.front();
     Work.pop_front();
     const Expr *C = States[I].Client;

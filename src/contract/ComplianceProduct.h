@@ -24,6 +24,7 @@
 #include "automata/Nfa.h"
 #include "hist/Derive.h"
 #include "hist/HistContext.h"
+#include "support/ResourceGovernor.h"
 
 #include <cstdint>
 #include <optional>
@@ -54,15 +55,23 @@ public:
   };
 
   /// Builds the product of two *contracts* (use project() first).
-  /// Exploration is capped at \p MaxStates.
+  /// Exploration is capped at \p MaxStates; a non-null \p Gov is polled
+  /// per popped pair and charged one ProductStates unit per interned pair.
   ComplianceProduct(hist::HistContext &Ctx, const hist::Expr *Client,
-                    const hist::Expr *Server, size_t MaxStates = 1 << 20);
+                    const hist::Expr *Server, size_t MaxStates = 1 << 20,
+                    const ResourceGovernor *Gov = nullptr);
 
   /// True if no final (stuck) state is reachable: L(H1 ⊗ H2) = ∅.
   bool isEmptyLanguage() const { return !FirstFinal.has_value(); }
 
   /// False if exploration hit MaxStates (then emptiness is not decided).
   bool isComplete() const { return Complete; }
+
+  /// Set when the governor stopped exploration (deadline, cancellation or
+  /// product-state budget). Implies !isComplete().
+  const std::optional<ResourceExhausted> &exhausted() const {
+    return Exhausted;
+  }
 
   size_t numStates() const { return States.size(); }
   const State &state(StateIndex I) const { return States[I]; }
@@ -90,6 +99,7 @@ private:
   std::vector<std::vector<Edge>> Out;
   std::vector<std::optional<std::pair<StateIndex, hist::CommAction>>> Pred;
   std::optional<StateIndex> FirstFinal;
+  std::optional<ResourceExhausted> Exhausted;
   bool Complete = true;
 };
 

@@ -61,18 +61,34 @@ unsigned Verifier::effectiveJobs() const {
 // Compliance
 //===----------------------------------------------------------------------===//
 
+contract::ComplianceResult
+Verifier::complianceOf(const hist::Expr *RequestBody,
+                       const hist::Expr *Service) {
+  if (Options.UseCache)
+    return Cache->compliance(Ctx, RequestBody, Service, gov());
+  return contract::checkServiceCompliance(Ctx, RequestBody, Service, gov());
+}
+
 bool Verifier::bindingCompliant(const hist::Expr *RequestBody,
                                 const hist::Expr *Service) {
-  if (Options.UseCache)
-    return Cache->compliance(Ctx, RequestBody, Service).Compliant;
+  if (Options.UseCache) {
+    contract::ComplianceResult R =
+        Cache->compliance(Ctx, RequestBody, Service, gov());
+    // An exhausted product refutes nothing: keep the binding, so the
+    // per-plan checks surface it as inconclusive instead of this pruning
+    // silently shrinking the candidate set.
+    return R.Compliant || R.Exhausted.has_value();
+  }
   auto Key = std::make_pair(RequestBody, Service);
   auto It = ComplianceMemo.find(Key);
   if (It != ComplianceMemo.end())
     return It->second;
-  bool Result =
-      contract::checkServiceCompliance(Ctx, RequestBody, Service).Compliant;
-  ComplianceMemo.emplace(Key, Result);
-  return Result;
+  contract::ComplianceResult R =
+      contract::checkServiceCompliance(Ctx, RequestBody, Service, gov());
+  if (R.Exhausted)
+    return true; // Inconclusive: keep the binding, don't memoize a trip.
+  ComplianceMemo.emplace(Key, R.Compliant);
+  return R.Compliant;
 }
 
 std::map<hist::RequestId, plan::RequestSite>
@@ -114,13 +130,10 @@ std::vector<RequestCheck> Verifier::buildRequestChecks(
       continue;
     }
     Check.Service = *L;
-    contract::ComplianceResult R =
-        Options.UseCache
-            ? Cache->compliance(Ctx, Site.body(), Repo.find(*L))
-            : contract::checkServiceCompliance(Ctx, Site.body(),
-                                               Repo.find(*L));
+    contract::ComplianceResult R = complianceOf(Site.body(), Repo.find(*L));
     Check.Compliant = R.Compliant;
     Check.Witness = std::move(R.Witness);
+    Check.Exhausted = R.Exhausted;
     Checks.push_back(std::move(Check));
   }
   return Checks;
@@ -138,6 +151,7 @@ validity::StaticValidityResult Verifier::securityOf(const hist::Expr *Client,
     *CacheHit = false;
   validity::StaticValidityOptions VOpts;
   VOpts.MaxStates = Options.MaxStatesPerPlan;
+  VOpts.Governor = gov();
   if (!Options.UseCache)
     return validity::checkPlanValidity(Ctx, Client, ClientLoc, Pi, Repo,
                                        Registry, VOpts);
@@ -149,13 +163,30 @@ validity::StaticValidityResult Verifier::securityOf(const hist::Expr *Client,
   }
   validity::StaticValidityResult R = validity::checkPlanValidity(
       Ctx, Client, ClientLoc, Pi, Repo, Registry, VOpts);
-  Cache->recordValidity(Client, ClientLoc, Pi, VOpts.MaxStates, R);
+  // A tripped exploration is not a verdict: record nothing, so the next
+  // (possibly unbounded) lookup for this signature recomputes for real.
+  if (R.Failure != validity::PlanFailureKind::ResourceExhausted)
+    Cache->recordValidity(Client, ClientLoc, Pi, VOpts.MaxStates, R);
   return R;
 }
 
 //===----------------------------------------------------------------------===//
 // Plan checking
 //===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The security verdict of a plan whose exploration never ran (or never
+/// finished) because of a governor trip.
+validity::StaticValidityResult exhaustedValidity(const ResourceExhausted &E) {
+  validity::StaticValidityResult R;
+  R.Valid = false;
+  R.Failure = validity::PlanFailureKind::ResourceExhausted;
+  R.Exhausted = E;
+  return R;
+}
+
+} // namespace
 
 PlanVerdict Verifier::checkPlan(const hist::Expr *Client,
                                 plan::Loc ClientLoc, const plan::Plan &Pi) {
@@ -165,7 +196,13 @@ PlanVerdict Verifier::checkPlan(const hist::Expr *Client,
   Verdict.RequestChecks = buildRequestChecks(collectPlanSites(Client, Pi), Pi);
   bool CacheHit = false;
   Verdict.Security = securityOf(Client, ClientLoc, Pi, &CacheHit);
-  Span.tag("cache", CacheHit ? "hit" : "miss");
+  // The span carries one tag: a governor trip outranks the cache verdict
+  // (a tripped path is never cached, so "miss" would say nothing anyway).
+  if (std::optional<ResourceExhausted> E = Verdict.exhaustedReason())
+    Span.tag("governor",
+             E->deadlineLike() ? "deadline_exceeded" : "budget_exceeded");
+  else
+    Span.tag("cache", CacheHit ? "hit" : "miss");
   return Verdict;
 }
 
@@ -176,6 +213,7 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
                                   VerificationReport &Report) {
   validity::StaticValidityOptions VOpts;
   VOpts.MaxStates = Options.MaxStatesPerPlan;
+  VOpts.Governor = gov();
 
   // Stage 1 (serial, session context): request-site collection and
   // compliance pre-warming. After this loop every (body, service) pair of
@@ -191,7 +229,7 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
       for (const auto &[Id, Site] : Sites.back()) {
         std::optional<plan::Loc> L = Pi.lookup(Id);
         if (L && Repo.find(*L))
-          Cache->compliance(Ctx, Site.body(), Repo.find(*L));
+          Cache->compliance(Ctx, Site.body(), Repo.find(*L), gov());
       }
     }
   }
@@ -222,18 +260,45 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
     for (size_t I : Misses)
       Pool->submit([&, I](unsigned Worker) {
         trace::Span PlanSpan("plan.verify", "verifier");
+        // Poll-first: a task starting after a sticky deadline/cancel trip
+        // does no exploration and just reports the trip.
+        if (const ResourceGovernor *Gov = gov())
+          if (std::optional<ResourceExhausted> E = Gov->trip()) {
+            PlanSpan.tag("governor", E->deadlineLike() ? "deadline_exceeded"
+                                                       : "budget_exceeded");
+            Security[I] = exhaustedValidity(*E);
+            return;
+          }
         PlanSpan.tag("cache", "miss");
         if (!Shards[Worker])
           Shards[Worker] = std::make_unique<Shard>(Ctx, Client, Repo);
         Shard &S = *Shards[Worker];
         Security[I] = validity::checkPlanValidity(
             S.Ctx, S.Client, ClientLoc, Plans[I], S.Repo, Registry, VOpts);
+        // Sticky trips doom every queued sibling too: drain the backlog in
+        // one motion rather than letting each task rediscover the trip.
+        if (Security[I]->Failure ==
+                validity::PlanFailureKind::ResourceExhausted &&
+            Security[I]->Exhausted && Security[I]->Exhausted->deadlineLike())
+          Pool->cancelPending();
       });
     Pool->waitIdle();
 
-    for (size_t I : Misses)
-      Cache->recordValidity(Client, ClientLoc, Plans[I], VOpts.MaxStates,
-                            *Security[I]);
+    for (size_t I : Misses) {
+      if (!Security[I]) {
+        // This task was discarded by cancelPending(): synthesize its
+        // verdict from the sticky trip that triggered the drain.
+        std::optional<ResourceExhausted> E =
+            gov() ? gov()->trip() : std::nullopt;
+        Security[I] = exhaustedValidity(
+            E ? *E : ResourceExhausted{ResourceKind::Cancelled, 0, 0});
+      }
+      // Tripped explorations stay out of the cache (see securityOf).
+      if (Security[I]->Failure !=
+          validity::PlanFailureKind::ResourceExhausted)
+        Cache->recordValidity(Client, ClientLoc, Plans[I], VOpts.MaxStates,
+                              *Security[I]);
+    }
   }
 
   // Stage 3 (serial): assemble verdicts in enumeration order.
@@ -253,6 +318,7 @@ VerificationReport Verifier::verifyClient(const hist::Expr *Client,
 
   plan::EnumeratorOptions EOpts;
   EOpts.MaxPlans = Options.MaxPlans;
+  EOpts.Governor = gov();
   if (Options.PruneWithCompliance)
     EOpts.Filter = [this](const plan::RequestSite &Site, plan::Loc,
                           const hist::Expr *Service) {
@@ -264,6 +330,7 @@ VerificationReport Verifier::verifyClient(const hist::Expr *Client,
   Report.CandidateCount = Enumeration.Plans.size();
   Report.BindingsTried = Enumeration.BindingsTried;
   Report.Truncated = Enumeration.Truncated;
+  Report.EnumerationExhausted = Enumeration.Exhausted;
   ClientSpan.count("candidates", static_cast<int64_t>(Report.CandidateCount));
   {
     static metrics::Counter &PlansChecked =
@@ -296,6 +363,9 @@ void sus::core::printReport(const VerificationReport &Report,
      << " (bindings tried: " << Report.BindingsTried << ")";
   if (Report.Truncated)
     OS << " [truncated]";
+  if (Report.EnumerationExhausted)
+    OS << " [enumeration inconclusive: "
+       << resourceKindName(Report.EnumerationExhausted->Which) << "]";
   OS << "\n";
   for (const PlanVerdict &V : Report.Verdicts) {
     OS << "  plan " << V.Pi.str(In) << ": ";
@@ -303,9 +373,15 @@ void sus::core::printReport(const VerificationReport &Report,
       OS << "VALID\n";
       continue;
     }
+    if (V.inconclusive()) {
+      std::optional<ResourceExhausted> E = V.exhaustedReason();
+      OS << "Inconclusive(resource: "
+         << (E ? resourceKindName(E->Which) : "unknown") << ")\n";
+      continue;
+    }
     OS << "invalid";
     for (const RequestCheck &C : V.RequestChecks)
-      if (!C.Compliant) {
+      if (!C.Compliant && !C.Exhausted) {
         OS << " [request " << C.Request << " not compliant";
         if (C.Witness)
           OS << ": " << C.Witness->str(Ctx);
@@ -334,6 +410,15 @@ void sus::core::printReport(const VerificationReport &Report,
       case validity::PlanFailureKind::StateSpaceExceeded:
         OS << "state space exceeded";
         break;
+      case validity::PlanFailureKind::ResourceExhausted:
+        // Only reachable when another check already refuted the plan:
+        // the verdict is conclusively invalid, this leg just ran out.
+        OS << "inconclusive (resource: "
+           << (V.Security.Exhausted
+                   ? resourceKindName(V.Security.Exhausted->Which)
+                   : "unknown")
+           << ")";
+        break;
       case validity::PlanFailureKind::None:
         break;
       }
@@ -343,4 +428,12 @@ void sus::core::printReport(const VerificationReport &Report,
   }
   std::vector<plan::Plan> Valid = Report.validPlans();
   OS << "valid plans: " << Valid.size() << "\n";
+  size_t Inconclusive = 0;
+  for (const PlanVerdict &V : Report.Verdicts)
+    if (V.inconclusive())
+      ++Inconclusive;
+  // Printed only when a governor actually tripped, so ungoverned output
+  // is byte-identical to what it always was.
+  if (Inconclusive > 0)
+    OS << "inconclusive plans: " << Inconclusive << "\n";
 }

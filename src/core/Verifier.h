@@ -49,6 +49,9 @@ struct RequestCheck {
   plan::Loc Service;
   bool Compliant = false;
   std::optional<contract::ComplianceWitness> Witness;
+  /// Set when a governor stopped the compliance product before a verdict:
+  /// Compliant is false but means "inconclusive", not "refuted".
+  std::optional<ResourceExhausted> Exhausted;
 };
 
 /// The full verdict for one candidate plan.
@@ -67,6 +70,35 @@ struct PlanVerdict {
   /// A valid plan guarantees progress *and* security: the monitor can be
   /// switched off.
   bool isValid() const { return compliancePassed() && Security.Valid; }
+
+  /// Inconclusive(resource): a governor trip prevented a verdict, and no
+  /// *conclusive* failure was found either — the plan is neither valid
+  /// nor refuted. A plan with one refuted request stays plain invalid
+  /// even if another check was cut short.
+  bool inconclusive() const {
+    bool AnyExhausted = false;
+    for (const RequestCheck &C : RequestChecks) {
+      if (C.Exhausted)
+        AnyExhausted = true;
+      else if (!C.Compliant)
+        return false; // Conclusively non-compliant.
+    }
+    if (Security.Failure == validity::PlanFailureKind::ResourceExhausted)
+      AnyExhausted = true;
+    else if (!Security.Valid)
+      return false; // Conclusively insecure.
+    return AnyExhausted;
+  }
+
+  /// The first governor trip behind an inconclusive verdict, if any.
+  std::optional<ResourceExhausted> exhaustedReason() const {
+    for (const RequestCheck &C : RequestChecks)
+      if (C.Exhausted)
+        return C.Exhausted;
+    if (Security.Failure == validity::PlanFailureKind::ResourceExhausted)
+      return Security.Exhausted;
+    return std::nullopt;
+  }
 };
 
 /// Everything the verifier learned about one client.
@@ -75,6 +107,9 @@ struct VerificationReport {
   size_t CandidateCount = 0;
   size_t BindingsTried = 0;
   bool Truncated = false;
+  /// Set when the governor stopped plan *enumeration* itself: the verdict
+  /// list may be missing candidates that were never generated.
+  std::optional<ResourceExhausted> EnumerationExhausted;
 
   /// The valid plans, in enumeration order.
   std::vector<plan::Plan> validPlans() const {
@@ -83,6 +118,17 @@ struct VerificationReport {
       if (V.isValid())
         Out.push_back(V.Pi);
     return Out;
+  }
+
+  /// True when any part of this report is Inconclusive(resource): a
+  /// missing valid plan then means "ran out of budget", not "refuted".
+  bool anyInconclusive() const {
+    if (EnumerationExhausted)
+      return true;
+    for (const PlanVerdict &V : Verdicts)
+      if (V.inconclusive())
+        return true;
+    return false;
   }
 };
 
@@ -103,6 +149,14 @@ struct VerifierOptions {
   /// re-explores its state space; only the pruning filter memoizes) — kept
   /// for the B7 baseline measurements. Off forces Jobs = 1.
   bool UseCache = true;
+
+  /// Optional resource governor threaded through every kernel this
+  /// verifier runs (enumeration, compliance products, security
+  /// explorations). Null (the default) takes the ungoverned fast paths:
+  /// output is bit-for-bit what it was before governance existed.
+  /// Shared so several verifiers (and the tool driver) can arm one
+  /// deadline or cancel token for a whole session.
+  std::shared_ptr<ResourceGovernor> Governor;
 };
 
 /// Verification of a whole network: one report per client. Components of
@@ -148,7 +202,10 @@ public:
   PlanVerdict checkPlan(const hist::Expr *Client, plan::Loc ClientLoc,
                         const plan::Plan &Pi);
 
-  /// Memoized H1 ⊢ H2 between a request body and a service.
+  /// Memoized H1 ⊢ H2 between a request body and a service. Under an
+  /// armed governor this also returns true when the check was cut short:
+  /// only a *conclusive* refutation may prune a binding. Trips are never
+  /// memoized.
   bool bindingCompliant(const hist::Expr *RequestBody,
                         const hist::Expr *Service);
 
@@ -192,6 +249,15 @@ private:
 
   /// Effective worker count (resolves Jobs == 0, honours UseCache).
   unsigned effectiveJobs() const;
+
+  /// The session governor, or null when ungoverned.
+  const ResourceGovernor *gov() const { return Options.Governor.get(); }
+
+  /// Memoized compliance with the full result (witness + exhaustion),
+  /// honouring UseCache and the governor. Exhausted results are never
+  /// memoized on either path.
+  contract::ComplianceResult complianceOf(const hist::Expr *RequestBody,
+                                          const hist::Expr *Service);
 
   hist::HistContext &Ctx;
   const plan::Repository &Repo;

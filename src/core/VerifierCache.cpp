@@ -64,7 +64,8 @@ const hist::Expr *VerifierCache::projection(hist::HistContext &Ctx,
 contract::ComplianceResult
 VerifierCache::compliance(hist::HistContext &Ctx,
                           const hist::Expr *RequestBody,
-                          const hist::Expr *Service) {
+                          const hist::Expr *Service,
+                          const ResourceGovernor *Gov) {
   std::lock_guard<std::mutex> Lock(M);
   ++Stats.ComplianceLookups;
   auto Key = std::make_pair(RequestBody, Service);
@@ -75,9 +76,14 @@ VerifierCache::compliance(hist::HistContext &Ctx,
     return It->second;
   }
   complianceCounters().count(false);
-  contract::ComplianceResult R = contract::checkCompliance(
-      Ctx, projectionLocked(Ctx, RequestBody), projectionLocked(Ctx, Service));
-  Compliances.emplace(Key, R);
+  contract::ComplianceResult R =
+      contract::checkCompliance(Ctx, projectionLocked(Ctx, RequestBody),
+                                projectionLocked(Ctx, Service), Gov);
+  // An exhausted product yields no verdict: hand the inconclusive result
+  // back but keep it out of the memo, so a later unbounded lookup
+  // recomputes instead of resurfacing the budget trip as truth.
+  if (!R.Exhausted)
+    Compliances.emplace(Key, R);
   return R;
 }
 
@@ -100,6 +106,14 @@ void VerifierCache::recordValidity(const hist::Expr *Client,
                                    plan::Loc ClientLoc, const plan::Plan &Pi,
                                    size_t MaxStates,
                                    validity::StaticValidityResult Result) {
+  // Exhausted results are partial: caching one would turn a transient
+  // budget trip into a permanently wrong verdict for this plan signature.
+  if (Result.Failure == validity::PlanFailureKind::ResourceExhausted) {
+#ifdef SUS_AUDIT
+    assert(false && "resource-exhausted validity result must not be cached");
+#endif
+    return;
+  }
   std::lock_guard<std::mutex> Lock(M);
   Validities.emplace(ValidityKey{Client, ClientLoc, Pi, MaxStates},
                      std::move(Result));

@@ -54,10 +54,14 @@ public:
   const hist::Expr *projection(hist::HistContext &Ctx, const hist::Expr *E);
 
   /// The full Hc! ⊢ Hs! verdict for (request body, service), computed at
-  /// most once per session; witnesses are preserved verbatim.
+  /// most once per session; witnesses are preserved verbatim. A non-null
+  /// \p Gov bounds the product exploration on a miss; an exhausted
+  /// (inconclusive) result is returned but *not* memoized, so a later
+  /// unbounded run recomputes the real verdict.
   contract::ComplianceResult compliance(hist::HistContext &Ctx,
                                         const hist::Expr *RequestBody,
-                                        const hist::Expr *Service);
+                                        const hist::Expr *Service,
+                                        const ResourceGovernor *Gov = nullptr);
 
   /// Looks up the static-validity verdict of (client, loc, plan) under a
   /// MaxStates bound; std::nullopt on a miss. Misses are *not* computed
@@ -68,6 +72,8 @@ public:
                const plan::Plan &Pi, size_t MaxStates);
 
   /// Records a static-validity verdict computed by the verifier.
+  /// Resource-exhausted (partial) results are refused — the cache only
+  /// ever holds conclusive verdicts — and assert under -DSUS_AUDIT=ON.
   void recordValidity(const hist::Expr *Client, plan::Loc ClientLoc,
                       const plan::Plan &Pi, size_t MaxStates,
                       validity::StaticValidityResult Result);

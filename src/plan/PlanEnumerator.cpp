@@ -43,8 +43,14 @@ private:
   }
 
   void search() {
-    if (Result.Truncated)
+    if (Result.Truncated || Result.Exhausted)
       return;
+    if (Options.Governor) {
+      if (std::optional<ResourceExhausted> E = Options.Governor->poll()) {
+        Result.Exhausted = E;
+        return;
+      }
+    }
     if (Pending.empty()) {
       if (Result.Plans.size() >= Options.MaxPlans) {
         Result.Truncated = true;
@@ -85,7 +91,7 @@ private:
           Pending.pop_back();
         }
         Current.unbind(Site.id());
-        if (Result.Truncated)
+        if (Result.Truncated || Result.Exhausted)
           break;
       }
     }

@@ -15,8 +15,10 @@
 
 #include "plan/Plan.h"
 #include "plan/RequestExtract.h"
+#include "support/ResourceGovernor.h"
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 namespace sus {
@@ -32,6 +34,9 @@ struct EnumeratorOptions {
   std::function<bool(const RequestSite &Site, Loc Location,
                      const hist::Expr *Service)>
       Filter;
+
+  /// Optional resource governor: polled once per search node. Not owned.
+  const ResourceGovernor *Governor = nullptr;
 };
 
 /// Result of enumeration.
@@ -39,6 +44,9 @@ struct EnumerationResult {
   std::vector<Plan> Plans;
   bool Truncated = false;  ///< Hit MaxPlans.
   size_t BindingsTried = 0; ///< Search effort (for the B3 benchmark).
+  /// Set when the governor stopped the search: Plans holds only the plans
+  /// found so far (a partial candidate set, distinct from Truncated).
+  std::optional<ResourceExhausted> Exhausted;
 };
 
 /// Enumerates complete plans for \p Client over \p Repo.

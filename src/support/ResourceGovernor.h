@@ -1,0 +1,169 @@
+//===- support/ResourceGovernor.h - Deadlines, budgets, cancel --*- C++ -*-===//
+///
+/// \file
+/// Cooperative resource governance for the verification pipeline: one
+/// governor object carries a monotonic deadline, per-kernel state budgets
+/// and a cancellation token, and is threaded (as a nullable pointer — a
+/// null governor costs one branch) through every unbounded loop in the
+/// automata kernels, the compliance product, plan enumeration and static
+/// validity.
+///
+/// The protocol has two verbs:
+///
+///  - poll()   — called at loop granularity; checks the cancellation flag
+///               and (amortized over a tick stride) the deadline clock.
+///               Deadline and cancellation trips are *sticky*: once
+///               observed, every later poll on the same governor fails
+///               fast, so an entire parallel run drains promptly.
+///  - charge() — called when a kernel is about to materialize its
+///               Spent-th state; checks Spent against the per-kind
+///               budget. Budget trips are *per call*: one oversized plan
+///               tripping its product budget does not poison the
+///               verdicts of its siblings.
+///
+/// Exhaustion never throws. Kernels return Outcome<T> — either the
+/// result or a typed ResourceExhausted{Which, Spent, Limit} — and the
+/// layers above map that into an Inconclusive(resource) verdict while
+/// keeping caches free of partial results.
+///
+/// Trips are counted in the metrics registry (`governor.deadline_hits`,
+/// `governor.budget_hits`, `governor.cancel_requests`), each at most once
+/// per trip event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_RESOURCEGOVERNOR_H
+#define SUS_SUPPORT_RESOURCEGOVERNOR_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sus {
+
+/// What ran out.
+enum class ResourceKind : uint8_t {
+  Deadline,      ///< The governor's wall-clock deadline passed.
+  Cancelled,     ///< Somebody called requestCancel().
+  SubsetStates,  ///< Subset-construction state budget (determinize).
+  ProductStates, ///< Product/emptiness state budget (intersect family,
+                 ///< compliance product, validity model checking).
+};
+
+/// Stable lower-case name for metrics/trace tags and diagnostics.
+const char *resourceKindName(ResourceKind K);
+
+/// The typed "budget exceeded" value kernels return instead of throwing.
+/// For state budgets, Spent is the state count that would have been
+/// materialized and Limit the configured cap; for the deadline, both are
+/// in milliseconds (elapsed vs. budget); for cancellation both are 0.
+struct ResourceExhausted {
+  ResourceKind Which;
+  uint64_t Spent = 0;
+  uint64_t Limit = 0;
+
+  /// Human-readable one-liner, e.g. "product-state budget exhausted
+  /// (5 > 4)" or "deadline exceeded (12ms > 10ms)".
+  std::string str() const;
+
+  bool deadlineLike() const {
+    return Which == ResourceKind::Deadline || Which == ResourceKind::Cancelled;
+  }
+};
+
+/// Result-or-exhaustion sum type returned by governed kernels. No
+/// exceptions cross kernel boundaries: callers branch on ok().
+template <typename T> class Outcome {
+public:
+  Outcome(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+  Outcome(ResourceExhausted E) : Storage(std::in_place_index<1>, E) {}
+
+  bool ok() const { return Storage.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T &value() const & {
+    assert(ok() && "Outcome holds ResourceExhausted");
+    return std::get<0>(Storage);
+  }
+  T &value() & {
+    assert(ok() && "Outcome holds ResourceExhausted");
+    return std::get<0>(Storage);
+  }
+  /// Moves the result out (for the ungoverned wrappers).
+  T takeValue() {
+    assert(ok() && "Outcome holds ResourceExhausted");
+    return std::move(std::get<0>(Storage));
+  }
+
+  const ResourceExhausted &exhausted() const {
+    assert(!ok() && "Outcome holds a value");
+    return std::get<1>(Storage);
+  }
+
+private:
+  std::variant<T, ResourceExhausted> Storage;
+};
+
+/// A shared budget-and-deadline token. One governor typically spans one
+/// susc invocation and is observed concurrently by every worker; all
+/// members are lock-free and poll() is safe from any thread.
+class ResourceGovernor {
+public:
+  static constexpr uint64_t Unlimited = ~uint64_t(0);
+
+  ResourceGovernor() = default;
+  ResourceGovernor(const ResourceGovernor &) = delete;
+  ResourceGovernor &operator=(const ResourceGovernor &) = delete;
+
+  /// Arms the monotonic deadline \p Millis from now. 0 is legal and trips
+  /// the very first poll (deterministic "already expired" semantics).
+  void setDeadlineAfterMillis(uint64_t Millis);
+  bool hasDeadline() const { return DeadlineNanos != 0; }
+
+  /// Sets the state budget for \p K (SubsetStates or ProductStates only).
+  void setLimit(ResourceKind K, uint64_t Limit);
+  uint64_t limit(ResourceKind K) const;
+
+  /// Requests cooperative cancellation: every subsequent poll() trips.
+  void requestCancel();
+  bool cancelRequested() const {
+    return CancelFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Loop-granularity check of the cancellation flag and the deadline.
+  /// The clock is only read every few ticks (and always on the first
+  /// tick), so polling per popped work item is cheap. Sticky: once a
+  /// deadline/cancel trip is observed, every later poll returns it.
+  std::optional<ResourceExhausted> poll() const;
+
+  /// Charges \p Spent accumulated units against the \p K budget; returns
+  /// the trip if Spent exceeds the configured limit. Not sticky — budget
+  /// exhaustion is scoped to the kernel call that overran.
+  std::optional<ResourceExhausted> charge(ResourceKind K,
+                                          uint64_t Spent) const;
+
+  /// The sticky deadline/cancel trip observed so far, if any. Used to
+  /// synthesize verdicts for work that was drained without running.
+  std::optional<ResourceExhausted> trip() const;
+
+private:
+  std::optional<ResourceExhausted> deadlineTrip() const;
+
+  uint64_t StartNanos = 0;    ///< When the deadline was armed.
+  uint64_t DeadlineNanos = 0; ///< Absolute steady-clock deadline; 0 = none.
+  uint64_t BudgetMillis = 0;
+  uint64_t SubsetLimit = Unlimited;
+  uint64_t ProductLimit = Unlimited;
+
+  std::atomic<bool> CancelFlag{false};
+  mutable std::atomic<bool> DeadlineHit{false};
+  mutable std::atomic<uint64_t> Ticks{0};
+};
+
+} // namespace sus
+
+#endif // SUS_SUPPORT_RESOURCEGOVERNOR_H

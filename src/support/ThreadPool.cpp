@@ -25,6 +25,11 @@ metrics::Counter &stealsCounter() {
   return C;
 }
 
+metrics::Counter &cancelledCounter() {
+  static metrics::Counter &C = metrics::counter("pool.cancelled");
+  return C;
+}
+
 metrics::Gauge &maxQueueDepthGauge() {
   static metrics::Gauge &G = metrics::gauge("pool.max_queue_depth");
   return G;
@@ -161,4 +166,27 @@ void ThreadPool::runTask(unsigned Id, Task &T) {
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> Lock(StateMutex);
   AllDone.wait(Lock, [this] { return Unfinished == 0; });
+}
+
+size_t ThreadPool::cancelPending() {
+  size_t Discarded = 0;
+  {
+    // StateMutex first, then each queue mutex: same order as submit(), so
+    // this cannot deadlock against concurrent submitters or workers.
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    for (auto &WQ : Queues) {
+      std::lock_guard<std::mutex> QLock(WQ->M);
+      Discarded += WQ->Q.size();
+      WQ->Q.clear();
+    }
+    assert(Unfinished >= Discarded && "task accounting underflow");
+    Unfinished -= Discarded;
+    if (Discarded > 0)
+      cancelledCounter().add(Discarded);
+    if (Unfinished == 0)
+      AllDone.notify_all();
+  }
+  // Wake every worker: the queues they were waiting on just emptied.
+  WorkAvailable.notify_all();
+  return Discarded;
 }

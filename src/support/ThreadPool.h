@@ -38,7 +38,10 @@ public:
   /// Spawns \p Workers threads (at least 1).
   explicit ThreadPool(unsigned Workers);
 
-  /// Drains remaining work, then joins every worker.
+  /// Drains remaining work, then joins every worker. The drain *runs*
+  /// queued-but-unstarted tasks to completion — destroying a pool never
+  /// silently drops work. Call cancelPending() first for a fast shutdown
+  /// that discards the backlog instead (reported via "pool.cancelled").
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -51,6 +54,13 @@ public:
 
   /// Blocks until every submitted task has finished executing.
   void waitIdle();
+
+  /// Cooperative cancellation's pool half: discards every queued-but-
+  /// unstarted task (in-flight tasks keep running — stopping them is the
+  /// ResourceGovernor token's job) and wakes waiters whose work just
+  /// vanished. Each discarded task is counted in the "pool.cancelled"
+  /// metric, never silently dropped. Returns the number discarded.
+  size_t cancelPending();
 
   /// A sensible default width: the hardware concurrency, at least 1.
   static unsigned defaultWorkers();

@@ -16,6 +16,12 @@
 /// reported (even warnings), and 2 on usage, I/O or parse errors — the
 /// CI-friendly contract.
 ///
+/// The verifier exits 0 when every client has a valid plan, 1 when some
+/// client conclusively lacks one, 2 on usage/parse errors, and 3 when any
+/// verdict is Inconclusive(resource) — a --deadline-ms / --max-*-states
+/// budget tripped, or --explore truncated — so "out of budget" is never
+/// mistaken for "refuted".
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
@@ -26,6 +32,7 @@
 #include "net/Explorer.h"
 #include "net/Interpreter.h"
 #include "support/Metrics.h"
+#include "support/ResourceGovernor.h"
 #include "support/Trace.h"
 #include "syntax/FileParser.h"
 #include "validity/CostAnalysis.h"
@@ -42,6 +49,9 @@ using namespace sus;
 namespace {
 
 struct CliOptions {
+  /// "Flag absent" sentinel for the resource limits below.
+  static constexpr uint64_t NoLimit = ~uint64_t(0);
+
   std::string InputPath;
   std::string OnlyPlan;
   std::string DotLts;
@@ -55,6 +65,10 @@ struct CliOptions {
   bool Cost = false;
   bool Explore = false;
   unsigned Jobs = 1;
+  uint64_t DeadlineMs = NoLimit;        ///< --deadline-ms
+  uint64_t MaxProductStates = NoLimit;  ///< --max-product-states
+  uint64_t MaxSubsetStates = NoLimit;   ///< --max-subset-states
+  uint64_t MaxExploreStates = NoLimit;  ///< --max-states (--explore cap)
   DiagFormat Format = DiagFormat::Text;
 };
 
@@ -78,9 +92,19 @@ void printUsage(std::ostream &OS) {
         "  --jobs N         verify candidate plans on N worker threads\n"
         "                   (1 <= N <= 256); the report is identical at\n"
         "                   any width\n"
+        "  --deadline-ms N  stop verifying after N milliseconds; verdicts\n"
+        "                   not reached in time are Inconclusive(resource)\n"
+        "  --max-product-states N  per-check state budget for product /\n"
+        "                   emptiness explorations\n"
+        "  --max-subset-states N   per-check state budget for subset\n"
+        "                   construction (determinization)\n"
+        "  --max-states N   state cap for --explore (default 262144)\n"
         "  --trace-out F    write a Chrome trace_event JSON span trace to F\n"
         "  --metrics-out F  write pipeline metrics JSON (sus-metrics-v1) to F\n"
         "  --diag-format=F  render diagnostics as 'text' or 'json'\n"
+        "exit codes: 0 all clients have valid plans, 1 some client has\n"
+        "            none, 2 usage/parse error, 3 inconclusive (resource\n"
+        "            budget tripped or exploration truncated)\n"
         "run 'susc lint --help' for the lint options\n";
 }
 
@@ -134,6 +158,34 @@ bool parseJobsValue(const std::string &Value, unsigned &Jobs) {
   return true;
 }
 
+/// Parses a non-negative integer operand of \p Flag (digits only, like
+/// parseJobsValue; rejects the sign prefixes strtoull would silently
+/// accept). \p MinValue guards flags where 0 is meaningless.
+bool parseCountValue(const std::string &Flag, const std::string &Value,
+                     uint64_t MinValue, uint64_t &Out) {
+  if (Value.empty() ||
+      Value.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "susc: " << Flag << " expects a non-negative integer, got '"
+              << Value << "'\n";
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Value.c_str(), &End, 10);
+  if (errno == ERANGE) {
+    std::cerr << "susc: " << Flag << " value '" << Value
+              << "' is out of range\n";
+    return false;
+  }
+  if (N < MinValue) {
+    std::cerr << "susc: " << Flag << " must be at least " << MinValue
+              << ", got '" << Value << "'\n";
+    return false;
+  }
+  Out = N;
+  return true;
+}
+
 /// Parses --diag-format=F; returns false (with a message) on a bad value.
 bool parseDiagFormat(const std::string &Arg, DiagFormat &Format) {
   std::string Value = Arg.substr(Arg.find('=') + 1);
@@ -167,6 +219,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       std::string Value;
       if (!takeValue(Argc, Argv, I, Arg, Value) ||
           !parseJobsValue(Value, Opts.Jobs))
+        return false;
+    } else if (Arg == "--deadline-ms") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/0, Opts.DeadlineMs))
+        return false;
+    } else if (Arg == "--max-product-states") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/0, Opts.MaxProductStates))
+        return false;
+    } else if (Arg == "--max-subset-states") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/0, Opts.MaxSubsetStates))
+        return false;
+    } else if (Arg == "--max-states") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/1, Opts.MaxExploreStates))
         return false;
     } else if (Arg == "--trace-out") {
       if (!takeValue(Argc, Argv, I, Arg, Opts.TraceOut))
@@ -211,6 +283,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
 }
 
 int runTool(const CliOptions &Opts) {
+  // Arm the governor first thing, so --deadline-ms covers the whole run
+  // (parsing included), not just the verification loops.
+  std::shared_ptr<ResourceGovernor> Governor;
+  if (Opts.DeadlineMs != CliOptions::NoLimit ||
+      Opts.MaxProductStates != CliOptions::NoLimit ||
+      Opts.MaxSubsetStates != CliOptions::NoLimit) {
+    Governor = std::make_shared<ResourceGovernor>();
+    if (Opts.MaxProductStates != CliOptions::NoLimit)
+      Governor->setLimit(ResourceKind::ProductStates, Opts.MaxProductStates);
+    if (Opts.MaxSubsetStates != CliOptions::NoLimit)
+      Governor->setLimit(ResourceKind::SubsetStates, Opts.MaxSubsetStates);
+    if (Opts.DeadlineMs != CliOptions::NoLimit)
+      Governor->setDeadlineAfterMillis(Opts.DeadlineMs);
+  }
+
   std::ifstream In(Opts.InputPath);
   if (!In) {
     std::cerr << "susc: cannot open '" << Opts.InputPath << "'\n";
@@ -280,8 +367,11 @@ int runTool(const CliOptions &Opts) {
       }
       Components.push_back({Name, Client, Found->Pi});
     }
+    net::ExplorerOptions EOpts;
+    if (Opts.MaxExploreStates != CliOptions::NoLimit)
+      EOpts.MaxStates = static_cast<size_t>(Opts.MaxExploreStates);
     net::ExplorationResult R =
-        net::exploreNetwork(Ctx, File->Repo, Components);
+        net::exploreNetwork(Ctx, File->Repo, Components, EOpts);
     std::cout << "explored " << R.States << " network states"
               << (R.Exhaustive ? "" : " (truncated)") << "\n";
     std::cout << "all components can complete: "
@@ -290,6 +380,13 @@ int runTool(const CliOptions &Opts) {
               << (R.DeadlockReachable ? "YES" : "no") << "\n";
     for (const std::string &Line : R.DeadlockTrace)
       std::cout << "  --> " << Line << "\n";
+    if (!R.Exhaustive) {
+      // A truncated search proves nothing either way: its "no deadlock"
+      // would be silently unsound, so report it loudly and distinctly.
+      std::cerr << "susc: exploration truncated at " << R.States
+                << " states; pass --max-states to raise the bound\n";
+      return 3;
+    }
     return (R.CanComplete && !R.DeadlockReachable) ? 0 : 1;
   }
 
@@ -329,8 +426,10 @@ int runTool(const CliOptions &Opts) {
 
   core::VerifierOptions VOpts;
   VOpts.Jobs = Opts.Jobs;
+  VOpts.Governor = Governor;
   core::Verifier Verifier(Ctx, File->Repo, File->Registry, VOpts);
   bool AllClientsOk = true;
+  bool AnyInconclusive = false;
 
   for (const auto &[Name, Client] : File->Clients) {
     std::string ClientName(Ctx.interner().text(Name));
@@ -348,10 +447,17 @@ int runTool(const CliOptions &Opts) {
       core::PlanVerdict Verdict =
           Verifier.checkPlan(Client, Name, Decl.Pi);
       std::cout << "plan " << PlanName << " "
-                << Decl.Pi.str(Ctx.interner()) << ": "
-                << (Verdict.isValid() ? "VALID" : "invalid") << "\n";
+                << Decl.Pi.str(Ctx.interner()) << ": ";
+      if (Verdict.inconclusive()) {
+        std::optional<ResourceExhausted> E = Verdict.exhaustedReason();
+        std::cout << "Inconclusive(resource: "
+                  << (E ? resourceKindName(E->Which) : "unknown") << ")\n";
+        AnyInconclusive = true;
+        continue;
+      }
+      std::cout << (Verdict.isValid() ? "VALID" : "invalid") << "\n";
       for (const core::RequestCheck &C : Verdict.RequestChecks)
-        if (!C.Compliant) {
+        if (!C.Compliant && !C.Exhausted) {
           std::cout << "  request " << C.Request << ": not compliant";
           if (C.Witness)
             std::cout << " (" << C.Witness->str(Ctx) << ")";
@@ -359,7 +465,9 @@ int runTool(const CliOptions &Opts) {
         }
       if (!Verdict.Security.Valid &&
           Verdict.Security.Failure !=
-              validity::PlanFailureKind::None) {
+              validity::PlanFailureKind::None &&
+          Verdict.Security.Failure !=
+              validity::PlanFailureKind::ResourceExhausted) {
         std::cout << "  security: failed";
         if (Verdict.Security.Policy)
           std::cout << " (policy "
@@ -379,6 +487,8 @@ int runTool(const CliOptions &Opts) {
     if (Opts.Enumerate && Opts.OnlyPlan.empty()) {
       core::VerificationReport Report = Verifier.verifyClient(Client, Name);
       core::printReport(Report, Ctx, std::cout);
+      if (Report.anyInconclusive())
+        AnyInconclusive = true;
       if (!FirstValid) {
         std::vector<plan::Plan> Valid = Report.validPlans();
         if (!Valid.empty())
@@ -406,6 +516,11 @@ int runTool(const CliOptions &Opts) {
     }
   }
 
+  // Inconclusive outranks "no valid plan": a missing plan under a tripped
+  // budget is not a refutation, and conflating the two would let CI treat
+  // an under-provisioned run as a real verification failure.
+  if (AnyInconclusive)
+    return 3;
   return AllClientsOk ? 0 : 1;
 }
 

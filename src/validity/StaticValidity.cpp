@@ -444,6 +444,7 @@ StaticValidityResult Checker::run(const Expr *Client, plan::Loc ClientLoc) {
   std::unordered_map<std::vector<uint64_t>, uint32_t, VecHash> Index;
   std::deque<uint32_t> Work;
 
+  std::optional<sus::ResourceExhausted> Trip;
   auto Intern = [&](ExplState S,
                     std::optional<std::pair<uint32_t, std::string>> From)
       -> std::optional<uint32_t> {
@@ -453,6 +454,13 @@ StaticValidityResult Checker::run(const Expr *Client, plan::Loc ClientLoc) {
       return It->second;
     if (States.size() >= Options.MaxStates)
       return std::nullopt;
+    if (Options.Governor) {
+      if (std::optional<sus::ResourceExhausted> E = Options.Governor->charge(
+              ResourceKind::ProductStates, States.size() + 1)) {
+        Trip = E;
+        return std::nullopt;
+      }
+    }
     uint32_t I = static_cast<uint32_t>(States.size());
     States.push_back(std::move(S));
     Pred.push_back(std::move(From));
@@ -479,6 +487,12 @@ StaticValidityResult Checker::run(const Expr *Client, plan::Loc ClientLoc) {
 
   bool Exceeded = false;
   while (!Work.empty()) {
+    if (Options.Governor && !Trip) {
+      if (std::optional<sus::ResourceExhausted> E = Options.Governor->poll())
+        Trip = E;
+    }
+    if (Trip)
+      break;
     uint32_t I = Work.front();
     Work.pop_front();
     // Note: States may reallocate inside the loop; copy what we need.
@@ -518,6 +532,12 @@ StaticValidityResult Checker::run(const Expr *Client, plan::Loc ClientLoc) {
   }
 
   Result.ExploredStates = States.size();
+  if (Trip) {
+    Result.Valid = false;
+    Result.Failure = PlanFailureKind::ResourceExhausted;
+    Result.Exhausted = Trip;
+    return Result;
+  }
   if (Exceeded) {
     Result.Valid = false;
     Result.Failure = PlanFailureKind::StateSpaceExceeded;
@@ -538,7 +558,12 @@ StaticValidityResult sus::validity::checkPlanValidity(
   trace::Span Span("validity.static", "pipeline");
   Checker C(Ctx, P, Repo, Registry, Options);
   StaticValidityResult Result = C.run(Client, ClientLoc);
-  Span.tag("verdict", Result.Valid ? "valid" : "invalid");
+  if (Result.Failure == PlanFailureKind::ResourceExhausted)
+    Span.tag("governor", Result.Exhausted->deadlineLike()
+                             ? "deadline_exceeded"
+                             : "budget_exceeded");
+  else
+    Span.tag("verdict", Result.Valid ? "valid" : "invalid");
   static metrics::Counter &Checks = metrics::counter("validity.checks");
   Checks.add();
   return Result;

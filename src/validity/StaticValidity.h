@@ -24,6 +24,7 @@
 #include "plan/Plan.h"
 #include "policy/UsageAutomaton.h"
 #include "support/Diagnostics.h"
+#include "support/ResourceGovernor.h"
 
 #include <optional>
 #include <string>
@@ -40,6 +41,7 @@ enum class PlanFailureKind {
   UnknownService,     ///< π maps a request to a location not in R.
   UnknownPolicy,      ///< A policy reference cannot be instantiated.
   StateSpaceExceeded, ///< Exploration truncated (MaxStates).
+  ResourceExhausted,  ///< A governor stopped the check (Inconclusive).
 };
 
 /// Outcome of checking one (client, plan) pair.
@@ -59,6 +61,10 @@ struct StaticValidityResult {
   /// Exploration size (for the B2/B3 benchmarks).
   size_t ExploredStates = 0;
 
+  /// For Failure == ResourceExhausted: what ran out. Results carrying
+  /// this are partial and must never be cached.
+  std::optional<sus::ResourceExhausted> Exhausted;
+
   /// Informational: some non-terminated configuration has no successor.
   /// (Compliance violations of *external* choices show up here; internal
   /// choices need the §4 product check — the semantics is angelic.)
@@ -72,6 +78,9 @@ struct StaticValidityOptions {
   size_t MaxStates = 1 << 18;
   /// Apply regularizeFramings() to every expression first.
   bool Regularize = true;
+  /// Optional resource governor: polled per explored configuration and
+  /// charged ProductStates per interned configuration. Not owned.
+  const ResourceGovernor *Governor = nullptr;
 };
 
 /// Checks that the client at \p ClientLoc, orchestrated by \p P over

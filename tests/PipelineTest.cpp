@@ -18,6 +18,7 @@
 #include "plan/RequestExtract.h"
 #include "policy/Prelude.h"
 #include "support/Metrics.h"
+#include "support/ResourceGovernor.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
@@ -80,6 +81,68 @@ TEST(ThreadPoolTest, ZeroRequestedWidthStillGetsOneWorker) {
   Pool.submit([&](unsigned) { Ran = true; });
   Pool.waitIdle();
   EXPECT_TRUE(Ran.load());
+}
+
+TEST(ThreadPoolTest, DestructionRunsTheQueuedBacklog) {
+  // Far more tasks than workers, destroyed without waitIdle: the
+  // destructor's drain must *run* every queued-but-unstarted task, never
+  // silently drop it.
+  constexpr unsigned N = 128;
+  std::vector<std::atomic<unsigned>> Runs(N);
+  {
+    ThreadPool Pool(2);
+    // Hold both workers at a gate so most of the N tasks are still queued
+    // when destruction starts.
+    std::atomic<bool> Gate{false};
+    for (unsigned W = 0; W < 2; ++W)
+      Pool.submit([&Gate](unsigned) {
+        while (!Gate.load())
+          std::this_thread::yield();
+      });
+    for (unsigned I = 0; I < N; ++I)
+      Pool.submit([&Runs, I](unsigned) { Runs[I]++; });
+    Gate = true;
+  }
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_EQ(Runs[I].load(), 1u) << "task " << I;
+}
+
+TEST(ThreadPoolTest, CancelPendingDiscardsOnlyUnstartedTasks) {
+  ThreadPool Pool(2);
+  std::atomic<bool> Gate{false};
+  std::atomic<unsigned> Started{0}, Ran{0};
+  for (unsigned W = 0; W < 2; ++W)
+    Pool.submit([&](unsigned) {
+      Started++;
+      while (!Gate.load())
+        std::this_thread::yield();
+      Ran++;
+    });
+  while (Started.load() < 2)
+    std::this_thread::yield();
+
+  // Both workers are busy: everything submitted now stays queued.
+  constexpr unsigned Queued = 32;
+  for (unsigned I = 0; I < Queued; ++I)
+    Pool.submit([&Ran](unsigned) { Ran++; });
+
+  // Instruments record only while the registry is on; turn it on just
+  // around the drain so the discard count is observable.
+  metrics::enable();
+  uint64_t Before = metrics::counter("pool.cancelled").value();
+  EXPECT_EQ(Pool.cancelPending(), Queued);
+  EXPECT_EQ(metrics::counter("pool.cancelled").value() - Before, Queued);
+  metrics::disable();
+
+  // In-flight tasks finish; discarded ones never run; the pool stays
+  // usable afterwards.
+  Gate = true;
+  Pool.waitIdle();
+  EXPECT_EQ(Ran.load(), 2u);
+  std::atomic<bool> After{false};
+  Pool.submit([&After](unsigned) { After = true; });
+  Pool.waitIdle();
+  EXPECT_TRUE(After.load());
 }
 
 //===----------------------------------------------------------------------===//
@@ -153,6 +216,8 @@ void expectReportsEqual(const VerificationReport &S,
   EXPECT_EQ(S.CandidateCount, P.CandidateCount);
   EXPECT_EQ(S.BindingsTried, P.BindingsTried);
   EXPECT_EQ(S.Truncated, P.Truncated);
+  EXPECT_EQ(S.EnumerationExhausted.has_value(),
+            P.EnumerationExhausted.has_value());
   ASSERT_EQ(S.Verdicts.size(), P.Verdicts.size());
   for (size_t I = 0; I < S.Verdicts.size(); ++I) {
     const PlanVerdict &A = S.Verdicts[I];
@@ -165,6 +230,7 @@ void expectReportsEqual(const VerificationReport &S,
       EXPECT_EQ(RA.Request, RB.Request);
       EXPECT_EQ(RA.Service, RB.Service);
       EXPECT_EQ(RA.Compliant, RB.Compliant);
+      EXPECT_EQ(RA.Exhausted.has_value(), RB.Exhausted.has_value());
       ASSERT_EQ(RA.Witness.has_value(), RB.Witness.has_value());
       if (RA.Witness) {
         EXPECT_EQ(RA.Witness->str(Ctx), RB.Witness->str(Ctx));
@@ -181,6 +247,9 @@ void expectReportsEqual(const VerificationReport &S,
         << "plan " << I;
     EXPECT_EQ(A.Security.HasStuckConfiguration,
               B.Security.HasStuckConfiguration);
+    EXPECT_EQ(A.Security.Exhausted.has_value(),
+              B.Security.Exhausted.has_value());
+    EXPECT_EQ(A.inconclusive(), B.inconclusive()) << "plan " << I;
   }
 }
 
@@ -197,6 +266,30 @@ TEST_F(PipelineTest, ParallelReportMatchesSerialOnHotelExample) {
     VerificationReport S = VS.verifyClient(Client, Loc);
     VerificationReport P = VP.verifyClient(Client, Loc);
     expectReportsEqual(S, P, Ctx);
+  }
+}
+
+TEST_F(PipelineTest, UnhitGovernorKeepsParallelReportsBitForBit) {
+  // A governor armed far above what the workload needs must be
+  // observationally absent: identical reports at --jobs 8, no
+  // inconclusive verdicts, nothing withheld from the cache.
+  VerifierOptions Plain;
+  Plain.Jobs = 8;
+  VerifierOptions Governed;
+  Governed.Jobs = 8;
+  Governed.Governor = std::make_shared<ResourceGovernor>();
+  Governed.Governor->setDeadlineAfterMillis(60000);
+  Governed.Governor->setLimit(ResourceKind::SubsetStates, 1u << 20);
+  Governed.Governor->setLimit(ResourceKind::ProductStates, 1u << 20);
+
+  for (const auto &[Client, Loc] :
+       {std::pair{Ex.C1, Ex.LC1}, std::pair{Ex.C2, Ex.LC2}}) {
+    Verifier VA(Ctx, Ex.Repo, Ex.Registry, Plain);
+    Verifier VB(Ctx, Ex.Repo, Ex.Registry, Governed);
+    VerificationReport A = VA.verifyClient(Client, Loc);
+    VerificationReport B = VB.verifyClient(Client, Loc);
+    expectReportsEqual(A, B, Ctx);
+    EXPECT_FALSE(B.anyInconclusive());
   }
 }
 

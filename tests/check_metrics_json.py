@@ -3,14 +3,17 @@
 
 Usage: check_metrics_json.py SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS
 
-Runs the shipped example through susc four ways and asserts:
+Runs the shipped example through susc five ways and asserts:
   1. `--metrics-out` emits JSON valid against tests/metrics_schema.json
      (the normative sus-metrics-v1 schema);
   2. `--trace-out` emits well-formed Chrome trace_event JSON;
   3. both also work through the `susc lint` subcommand;
   4. stdout/stderr and the exit code are bit-for-bit identical with and
      without the observability flags (the instrumentation may never
-     change a verdict).
+     change a verdict);
+  5. a deliberately tripped resource budget (`--max-product-states 1`)
+     exits 3, prints Inconclusive(resource) verdicts, counts the trip in
+     `governor.budget_hits`, and still validates against the schema.
 
 The schema validator is deliberately minimal and self-contained — it
 implements exactly the JSON Schema subset the schema file uses (type,
@@ -122,6 +125,22 @@ def main():
             fail(f"susc lint failed: exit {lint.returncode}\n{lint.stderr}")
         validate(json.loads(Path(lint_metrics).read_text()), schema)
         check_trace(lint_trace)
+
+        # Governor trip: a 1-state product budget is deterministic (unlike
+        # a short deadline) and must make the run inconclusive rather than
+        # silently wrong — exit 3, an explicit verdict, and a counted trip.
+        gov_metrics = str(Path(tmp) / "gov-metrics.json")
+        governed = run([susc, "--jobs", "4", "--max-product-states", "1",
+                        "--metrics-out", gov_metrics, example])
+        if governed.returncode != 3:
+            fail(f"tripped budget run: expected exit 3, got "
+                 f"{governed.returncode}\n{governed.stderr}")
+        if "Inconclusive" not in governed.stdout:
+            fail("tripped budget run printed no Inconclusive verdict")
+        gov = json.loads(Path(gov_metrics).read_text())
+        validate(gov, schema)
+        if gov["counters"].get("governor.budget_hits", 0) <= 0:
+            fail("governor.budget_hits not counted on a tripped run")
 
     print(f"check_metrics_json: OK ({n_events} trace events, "
           f"metrics valid against {Path(schema_path).name})")

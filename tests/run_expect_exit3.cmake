@@ -1,0 +1,22 @@
+# Asserts the Inconclusive(resource) CLI contract, which ctest's plain
+# pass/fail model cannot express: a susc run whose resource budgets trip
+# must exit with code 3 exactly (not merely nonzero) and print an explicit
+# Inconclusive verdict. The deadline is armed too, but the 1-state product
+# budget is what guarantees the trip deterministically on any machine.
+#
+# Usage: cmake -DSUSC=<susc> -DINPUT=<file.sus> -P run_expect_exit3.cmake
+execute_process(
+  COMMAND ${SUSC} --deadline-ms 1 --max-product-states 1
+          --diag-format=json ${INPUT}
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 3)
+  message(FATAL_ERROR
+          "expected exit code 3 (inconclusive), got '${CODE}'\n"
+          "stdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
+string(FIND "${OUT}" "Inconclusive" POS)
+if(POS EQUAL -1)
+  message(FATAL_ERROR "no Inconclusive verdict in output:\n${OUT}")
+endif()
