@@ -12,6 +12,7 @@ namespace analysis {
 const LintPass &unreachableStatePass();
 const LintPass &overlappingGuardsPass();
 const LintPass &unsatisfiablePolicyPass();
+const LintPass &nonmonitorablePass();
 const LintPass &vacuousFramingPass();
 const LintPass &doomedFramingPass();
 const LintPass &deadBranchPass();
@@ -49,10 +50,11 @@ SourceLoc LintContext::declLoc(const std::map<Symbol, SourceLoc> &Locs,
 const std::vector<const LintPass *> &sus::analysis::allLintPasses() {
   static const std::vector<const LintPass *> Passes = {
       &unreachableStatePass(),       &overlappingGuardsPass(),
-      &unsatisfiablePolicyPass(),    &vacuousFramingPass(),
-      &doomedFramingPass(),          &deadBranchPass(),
-      &nonterminatingRecursionPass(), &duplicateBranchGuardPass(),
-      &noCandidateServicePass(),     &deadendReadySetsPass(),
+      &unsatisfiablePolicyPass(),    &nonmonitorablePass(),
+      &vacuousFramingPass(),         &doomedFramingPass(),
+      &deadBranchPass(),             &nonterminatingRecursionPass(),
+      &duplicateBranchGuardPass(),   &noCandidateServicePass(),
+      &deadendReadySetsPass(),
   };
   return Passes;
 }

@@ -22,6 +22,7 @@
 #define SUS_CORE_VERIFIERCACHE_H
 
 #include "contract/Compliance.h"
+#include "monitor/Fused.h"
 #include "plan/Plan.h"
 #include "validity/StaticValidity.h"
 
@@ -80,6 +81,11 @@ public:
 
   VerifierStats stats() const;
 
+  /// Fused runtime-monitor DFAs keyed by policy-set fingerprint, shared
+  /// by every session this cache serves (monitor::FusedCache is itself
+  /// thread-safe, so no VerifierCache lock is involved).
+  monitor::FusedCache &fusedMonitors() { return FusedMonitors; }
+
 private:
   /// (client, location, plan bindings, MaxStates) — the plan signature.
   struct ValidityKey {
@@ -109,6 +115,7 @@ private:
            contract::ComplianceResult>
       Compliances;
   std::map<ValidityKey, validity::StaticValidityResult> Validities;
+  monitor::FusedCache FusedMonitors;
 };
 
 } // namespace core

@@ -1,0 +1,375 @@
+//===- monitor/Fused.cpp - Fused multi-policy monitor DFAs ----------------===//
+
+#include "monitor/Fused.h"
+
+#include "automata/Ops.h"
+#include "policy/Compile.h"
+#include "support/Casting.h"
+#include "support/HashUtil.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace sus;
+using namespace sus::monitor;
+using namespace sus::hist;
+
+int FusedPolicyAutomaton::policyBit(const PolicyRef &Ref) const {
+  auto It = std::lower_bound(Policies.begin(), Policies.end(), Ref);
+  if (It == Policies.end() || !(*It == Ref))
+    return -1;
+  return static_cast<int>(It - Policies.begin());
+}
+
+bool FusedPolicyAutomaton::isUnknown(const PolicyRef &Ref) const {
+  return std::binary_search(UnknownPolicies.begin(), UnknownPolicies.end(),
+                            Ref);
+}
+
+void sus::monitor::canonicalizePolicySet(std::vector<PolicyRef> &Refs,
+                                         std::vector<Event> &Universe) {
+  Refs.erase(std::remove_if(Refs.begin(), Refs.end(),
+                            [](const PolicyRef &R) { return R.isTrivial(); }),
+             Refs.end());
+  std::sort(Refs.begin(), Refs.end());
+  Refs.erase(std::unique(Refs.begin(), Refs.end()), Refs.end());
+  std::sort(Universe.begin(), Universe.end());
+  Universe.erase(std::unique(Universe.begin(), Universe.end()),
+                 Universe.end());
+}
+
+uint64_t
+sus::monitor::policySetFingerprint(const std::vector<PolicyRef> &Refs,
+                                   const std::vector<Event> &Universe) {
+  size_t Seed = hashAll(Refs.size(), Universe.size());
+  for (const PolicyRef &R : Refs)
+    hashCombine(Seed, R.hash());
+  for (const Event &Ev : Universe)
+    hashCombine(Seed, Ev.hash());
+  return static_cast<uint64_t>(Seed);
+}
+
+namespace {
+
+void collectRefs(const Expr *E, std::vector<PolicyRef> &Out) {
+  auto Add = [&Out](const PolicyRef &Ref) {
+    if (!Ref.isTrivial())
+      Out.push_back(Ref);
+  };
+  switch (E->kind()) {
+  case ExprKind::Empty:
+  case ExprKind::Var:
+  case ExprKind::Event:
+    return;
+  case ExprKind::CloseMark:
+    Add(cast<CloseMarkExpr>(E)->policy());
+    return;
+  case ExprKind::FrameOpen:
+    Add(cast<FrameOpenExpr>(E)->policy());
+    return;
+  case ExprKind::FrameClose:
+    Add(cast<FrameCloseExpr>(E)->policy());
+    return;
+  case ExprKind::Mu:
+    collectRefs(cast<MuExpr>(E)->body(), Out);
+    return;
+  case ExprKind::Seq: {
+    const auto *S = cast<SeqExpr>(E);
+    collectRefs(S->head(), Out);
+    collectRefs(S->tail(), Out);
+    return;
+  }
+  case ExprKind::ExtChoice:
+  case ExprKind::IntChoice:
+    for (const ChoiceBranch &B : cast<ChoiceExpr>(E)->branches())
+      collectRefs(B.Body, Out);
+    return;
+  case ExprKind::Request: {
+    const auto *R = cast<RequestExpr>(E);
+    Add(R->policy());
+    collectRefs(R->body(), Out);
+    return;
+  }
+  case ExprKind::Framing: {
+    const auto *F = cast<FramingExpr>(E);
+    Add(F->policy());
+    collectRefs(F->body(), Out);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::vector<PolicyRef> sus::monitor::collectPolicyRefs(const Expr *Root) {
+  std::vector<PolicyRef> Out;
+  collectRefs(Root, Out);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::vector<PolicyRef>
+sus::monitor::collectPolicyRefs(const std::vector<const Expr *> &Exprs) {
+  std::vector<PolicyRef> Out;
+  for (const Expr *E : Exprs)
+    collectRefs(E, Out);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+namespace {
+
+struct TupleHash {
+  size_t operator()(const std::vector<automata::StateId> &V) const noexcept {
+    size_t Seed = V.size();
+    for (automata::StateId S : V)
+      hashCombineValue(Seed, S);
+    return Seed;
+  }
+};
+
+} // namespace
+
+Outcome<FusedPolicyAutomaton>
+sus::monitor::fusePolicies(const policy::PolicyRegistry &Registry,
+                           const StringInterner &Interner,
+                           std::vector<PolicyRef> Refs,
+                           std::vector<Event> Universe,
+                           const FuseOptions &Opts) {
+  trace::Span Span("monitor.fuse", "monitor");
+  canonicalizePolicySet(Refs, Universe);
+
+  FusedPolicyAutomaton F;
+  F.Universe = std::move(Universe);
+  F.Fingerprint = policySetFingerprint(Refs, F.Universe);
+  for (uint32_t I = 0; I < F.Universe.size(); ++I)
+    F.EventIndex.emplace(F.Universe[I], I);
+
+  // Resolve each reference; uninstantiable ones need no automaton (their
+  // frame-open is a violation by construction, matching the legacy path).
+  std::vector<policy::PolicyInstance> Instances;
+  for (const PolicyRef &Ref : Refs) {
+    std::optional<policy::PolicyInstance> Inst =
+        Registry.instantiate(Ref, Interner, nullptr);
+    if (Inst) {
+      F.Policies.push_back(Ref);
+      Instances.push_back(std::move(*Inst));
+    } else {
+      F.UnknownPolicies.push_back(Ref);
+    }
+  }
+
+  if (F.Policies.size() > FusedPolicyAutomaton::MaxPolicies)
+    return ResourceExhausted{ResourceKind::ProductStates, F.Policies.size(),
+                             FusedPolicyAutomaton::MaxPolicies};
+
+  // Per-policy compile + Hopcroft. compilePolicy is total over the dense
+  // codes 0..|Universe|-1 and minimize preserves totality (it completes
+  // over the effective alphabet first), so the product below never sees a
+  // missing transition.
+  const uint32_t U = static_cast<uint32_t>(F.Universe.size());
+  const size_t K = Instances.size();
+  std::vector<automata::Dfa> Parts;
+  Parts.reserve(K);
+  for (const policy::PolicyInstance &Inst : Instances)
+    Parts.push_back(
+        automata::minimize(policy::compilePolicy(Inst, F.Universe).Automaton));
+
+  // Product BFS with hash interning; states numbered in discovery order.
+  std::unordered_map<std::vector<automata::StateId>, automata::StateId,
+                     TupleHash>
+      Index;
+  std::deque<std::vector<automata::StateId>> Work;
+  std::vector<uint32_t> Masks;
+  std::vector<automata::StateId> Trans; // NumStates × U, row-major.
+
+  auto MaskOf = [&](const std::vector<automata::StateId> &Tuple) {
+    uint32_t Mask = 0;
+    for (size_t I = 0; I < K; ++I)
+      if (Parts[I].isAccepting(Tuple[I]))
+        Mask |= 1u << I;
+    return Mask;
+  };
+
+  std::optional<ResourceExhausted> Trip;
+  auto Intern =
+      [&](std::vector<automata::StateId> Tuple) -> automata::StateId {
+    auto It = Index.find(Tuple);
+    if (It != Index.end())
+      return It->second;
+    uint64_t Count = Masks.size() + 1;
+    if (Count > Opts.MaxStates) {
+      Trip = ResourceExhausted{ResourceKind::ProductStates, Count,
+                               Opts.MaxStates};
+      return automata::Dfa::NoState;
+    }
+    if (Opts.Gov)
+      if (auto E = Opts.Gov->charge(ResourceKind::ProductStates, Count)) {
+        Trip = *E;
+        return automata::Dfa::NoState;
+      }
+    auto Id = static_cast<automata::StateId>(Masks.size());
+    Masks.push_back(MaskOf(Tuple));
+    Index.emplace(Tuple, Id);
+    Work.push_back(std::move(Tuple));
+    return Id;
+  };
+
+  std::vector<automata::StateId> StartTuple(K);
+  for (size_t I = 0; I < K; ++I)
+    StartTuple[I] = Parts[I].start();
+  Intern(std::move(StartTuple));
+  if (Trip)
+    return *Trip;
+
+  while (!Work.empty()) {
+    if (Opts.Gov)
+      if (auto E = Opts.Gov->poll())
+        return *E;
+    std::vector<automata::StateId> Tuple = std::move(Work.front());
+    Work.pop_front();
+    for (uint32_t C = 0; C < U; ++C) {
+      std::vector<automata::StateId> Next(K);
+      for (size_t I = 0; I < K; ++I) {
+        Next[I] = Parts[I].stepIndex(Tuple[I], C);
+        assert(Next[I] != automata::Dfa::NoState &&
+               "minimized policy DFA must be total");
+      }
+      automata::StateId To = Intern(std::move(Next));
+      if (Trip)
+        return *Trip;
+      Trans.push_back(To);
+    }
+    // U == 0: the row is empty; the single product state still exists.
+  }
+
+  const auto N = static_cast<uint32_t>(Masks.size());
+
+  // Mask-aware Moore refinement: initial classes keyed by OffendingMask
+  // (first-occurrence order), then split on successor-class signatures
+  // until stable. This is the acceptance-vector analogue of DFA
+  // minimization — states merge only when no event sequence can ever
+  // tell their masks apart.
+  std::vector<uint32_t> Cls(N);
+  uint32_t NumCls = 0;
+  {
+    std::unordered_map<uint32_t, uint32_t> ByMask;
+    for (uint32_t S = 0; S < N; ++S) {
+      auto It = ByMask.find(Masks[S]);
+      if (It == ByMask.end())
+        It = ByMask.emplace(Masks[S], NumCls++).first;
+      Cls[S] = It->second;
+    }
+  }
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    std::unordered_map<std::vector<uint32_t>, uint32_t, TupleHash> BySig;
+    std::vector<uint32_t> NewCls(N);
+    uint32_t NewNum = 0;
+    std::vector<uint32_t> Sig(U + 1);
+    for (uint32_t S = 0; S < N; ++S) {
+      Sig[0] = Cls[S];
+      for (uint32_t C = 0; C < U; ++C)
+        Sig[C + 1] = Cls[Trans[size_t(S) * U + C]];
+      auto It = BySig.find(Sig);
+      if (It == BySig.end())
+        It = BySig.emplace(Sig, NewNum++).first;
+      NewCls[S] = It->second;
+    }
+    if (NewNum != NumCls) {
+      Changed = true;
+      NumCls = NewNum;
+    }
+    Cls = std::move(NewCls);
+  }
+
+  // Quotient automaton. Class ids are first-occurrence in state order and
+  // state 0 is the start, so the start lands on class 0 — numbering is
+  // deterministic.
+  std::vector<automata::SymbolCode> Codes(U);
+  for (uint32_t C = 0; C < U; ++C)
+    Codes[C] = C;
+  F.Automaton.reserveAlphabet(Codes);
+  F.OffendingMask.assign(NumCls, 0);
+  std::vector<uint32_t> Rep(NumCls, ~0u);
+  for (uint32_t S = 0; S < N; ++S)
+    if (Rep[Cls[S]] == ~0u)
+      Rep[Cls[S]] = S;
+  for (uint32_t B = 0; B < NumCls; ++B) {
+    automata::StateId Id = F.Automaton.addState(Masks[Rep[B]] != 0);
+    (void)Id;
+    assert(Id == B && "class numbering must be dense");
+    F.OffendingMask[B] = Masks[Rep[B]];
+  }
+  F.Automaton.setStart(Cls[0]);
+  for (uint32_t B = 0; B < NumCls; ++B)
+    for (uint32_t C = 0; C < U; ++C)
+      F.Automaton.setEdge(B, C, Cls[Trans[size_t(Rep[B]) * U + C]]);
+  SUS_AUDIT_AUTOMATON(F.Automaton);
+
+  if (metrics::enabled()) {
+    metrics::counter("monitor.fusions").add();
+    metrics::counter("monitor.fused_states").add(NumCls);
+  }
+  Span.count("policies", static_cast<int64_t>(K));
+  Span.count("states", static_cast<int64_t>(NumCls));
+  return F;
+}
+
+std::shared_ptr<const FusedPolicyAutomaton>
+FusedCache::find(uint64_t Fingerprint) const {
+  std::lock_guard<std::mutex> Lock(M);
+  ++S.Lookups;
+  auto It = Entries.find(Fingerprint);
+  if (It == Entries.end())
+    return nullptr;
+  ++S.Hits;
+  return It->second;
+}
+
+std::shared_ptr<const FusedPolicyAutomaton>
+FusedCache::fuse(const policy::PolicyRegistry &Registry,
+                 const StringInterner &Interner, std::vector<PolicyRef> Refs,
+                 std::vector<Event> Universe, const FuseOptions &Opts) {
+  canonicalizePolicySet(Refs, Universe);
+  uint64_t Fp = policySetFingerprint(Refs, Universe);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++S.Lookups;
+    auto It = Entries.find(Fp);
+    if (It != Entries.end()) {
+      ++S.Hits;
+      if (metrics::enabled())
+        metrics::counter("monitor.fusion_cache_hits").add();
+      return It->second;
+    }
+  }
+  // Fuse outside the lock: a racing duplicate fusion is cheaper than
+  // serializing every session open behind one product construction.
+  Outcome<FusedPolicyAutomaton> Fused =
+      fusePolicies(Registry, Interner, std::move(Refs), std::move(Universe),
+                   Opts);
+  if (!Fused) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++S.Refusals;
+    if (metrics::enabled())
+      metrics::counter("monitor.fusion_fallbacks").add();
+    return nullptr;
+  }
+  auto Shared =
+      std::make_shared<const FusedPolicyAutomaton>(Fused.takeValue());
+  std::lock_guard<std::mutex> Lock(M);
+  ++S.Fusions;
+  auto [It, Inserted] = Entries.emplace(Fp, Shared);
+  return Inserted ? Shared : It->second;
+}
+
+FusedCache::Stats FusedCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}

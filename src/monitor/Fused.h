@@ -1,0 +1,184 @@
+//===- monitor/Fused.h - Fused multi-policy monitor DFAs --------*- C++ -*-===//
+///
+/// \file
+/// Fuses a *set* of instantiated usage policies into one flat DFA so that
+/// a session's entire monitor state is a single integer. Each policy is
+/// subset-compiled over a shared concrete event universe (policy/Compile),
+/// Hopcroft-minimized, and the product of the per-policy DFAs is built
+/// with one offending bitmask per product state (bit i set ⇔ policy i is
+/// offending there). Per-event admission then costs one branch-free
+/// `Dfa::stepIndex` plus one mask AND against the active-policy mask —
+/// the trap-state test — instead of re-running every PolicyMonitor.
+///
+/// Soundness contract: offending states of usage automata are absorbing,
+/// so per-policy acceptance is prefix-sticky and survives language-
+/// preserving minimization; the product is additionally reduced by a
+/// mask-aware Moore refinement (states are merged only when their masks
+/// and successor classes agree). The fused monitor is exact — it blocks a
+/// label iff the legacy ValidityChecker probe would (MonitorDiffTest
+/// proves this bit-for-bit) — *provided the universe is closed*: every
+/// event the session can fire must be in the fusion universe, because an
+/// unseen event could match wildcard or guard edges. Callers that cannot
+/// guarantee closure must not enable the fused path (net::Interpreter
+/// validates closure up front and falls back to the legacy probe).
+///
+/// Fusion is governed: product blow-up trips the ResourceGovernor's
+/// ProductStates budget and returns ResourceExhausted, never a wrong
+/// verdict — callers fall back to the legacy probe path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_MONITOR_FUSED_H
+#define SUS_MONITOR_FUSED_H
+
+#include "automata/Nfa.h"
+#include "hist/Action.h"
+#include "hist/Expr.h"
+#include "policy/UsageAutomaton.h"
+#include "support/ResourceGovernor.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sus {
+namespace monitor {
+
+/// Knobs for one fusion.
+struct FuseOptions {
+  /// Governs the product exploration (ProductStates budget, deadline,
+  /// cancellation). Null = ungoverned, but MaxStates still applies.
+  const ResourceGovernor *Gov = nullptr;
+
+  /// Hard product-state cap that holds even without a governor, so a
+  /// pathological policy set can never OOM the monitor.
+  uint64_t MaxStates = 1u << 20;
+};
+
+/// A set of instantiated policies fused into one flat DFA.
+///
+/// States are product states of the per-policy minimized DFAs (further
+/// merged by mask-aware Moore refinement); symbol code i is Universe[i],
+/// and because codes are dense 0..|Universe|-1 the compact alphabet index
+/// equals the code, so `eventIndexOf` feeds `Dfa::stepIndex` directly.
+struct FusedPolicyAutomaton {
+  /// OffendingMask is a uint32_t: a session may fuse at most 32 distinct
+  /// non-trivial policies (beyond that, fusion refuses and callers use
+  /// the legacy probe).
+  static constexpr unsigned MaxPolicies = 32;
+
+  /// Sentinel of eventIndexOf for events outside the universe.
+  static constexpr uint32_t NoEvent = ~0u;
+
+  /// The fused transition structure; total over indices 0..|Universe|-1.
+  automata::Dfa Automaton;
+
+  /// Per fused state: bit i set ⇔ policy Policies[i] is offending.
+  std::vector<uint32_t> OffendingMask;
+
+  /// The fused non-trivial, instantiable policies (sorted, distinct);
+  /// index == mask bit.
+  std::vector<hist::PolicyRef> Policies;
+
+  /// Referenced policies the registry could not instantiate (sorted).
+  /// Opening their frame is always a violation — exactly the legacy
+  /// checker's verdict — so they need no automaton.
+  std::vector<hist::PolicyRef> UnknownPolicies;
+
+  /// The closed event universe (sorted, distinct); index == symbol code
+  /// == compact alphabet index.
+  std::vector<hist::Event> Universe;
+
+  /// Cache key: policySetFingerprint(Policies ∪ UnknownPolicies, Universe).
+  uint64_t Fingerprint = 0;
+
+  /// Symbol index of \p Ev, or NoEvent when outside the universe.
+  uint32_t eventIndexOf(const hist::Event &Ev) const {
+    auto It = EventIndex.find(Ev);
+    return It == EventIndex.end() ? NoEvent : It->second;
+  }
+
+  /// Mask bit of \p Ref, or -1 when not fused.
+  int policyBit(const hist::PolicyRef &Ref) const;
+
+  /// True when \p Ref was referenced but uninstantiable.
+  bool isUnknown(const hist::PolicyRef &Ref) const;
+
+  /// True when \p Ref is decidable here: fused, or known-uninstantiable.
+  bool covers(const hist::PolicyRef &Ref) const {
+    return Ref.isTrivial() || policyBit(Ref) >= 0 || isUnknown(Ref);
+  }
+
+  size_t numStates() const { return Automaton.numStates(); }
+
+  /// Built by fusePolicies; exposed for hot paths that pre-translate.
+  std::unordered_map<hist::Event, uint32_t> EventIndex;
+};
+
+/// Canonicalizes a fusion request in place: trivial refs dropped, refs and
+/// universe sorted and deduplicated. fusePolicies and the cache key both
+/// use this form, so permutations of the same session share one fusion.
+void canonicalizePolicySet(std::vector<hist::PolicyRef> &Refs,
+                           std::vector<hist::Event> &Universe);
+
+/// Order-independent fingerprint of a *canonicalized* policy set plus
+/// universe (the VerifierCache key for fused DFAs).
+uint64_t policySetFingerprint(const std::vector<hist::PolicyRef> &Refs,
+                              const std::vector<hist::Event> &Universe);
+
+/// Every non-trivial policy reference occurring in \p Root (requests,
+/// framings and residual frame markers), deduplicated and sorted.
+std::vector<hist::PolicyRef> collectPolicyRefs(const hist::Expr *Root);
+
+/// Union over several expressions.
+std::vector<hist::PolicyRef>
+collectPolicyRefs(const std::vector<const hist::Expr *> &Exprs);
+
+/// Fuses \p Refs over \p Universe (both canonicalized internally).
+/// Returns ResourceExhausted{ProductStates,...} when the product trips
+/// the governor, the MaxStates cap, or the MaxPolicies width — callers
+/// fall back to the legacy probe path; a fused result is always exact.
+Outcome<FusedPolicyAutomaton>
+fusePolicies(const policy::PolicyRegistry &Registry,
+             const StringInterner &Interner,
+             std::vector<hist::PolicyRef> Refs,
+             std::vector<hist::Event> Universe,
+             const FuseOptions &Opts = FuseOptions());
+
+/// Thread-safe fingerprint-keyed cache of fused DFAs, shared across
+/// sessions with the same active policy set (core::VerifierCache owns one
+/// per verification session). Exhausted fusions are never cached, so a
+/// later run with a larger budget recomputes.
+class FusedCache {
+public:
+  /// The fused DFA for \p Fingerprint, or null.
+  std::shared_ptr<const FusedPolicyAutomaton> find(uint64_t Fingerprint) const;
+
+  /// Canonicalizes, then returns the cached fusion or fuses and records
+  /// it. Null when fusion was refused (budget/width) — not cached.
+  std::shared_ptr<const FusedPolicyAutomaton>
+  fuse(const policy::PolicyRegistry &Registry, const StringInterner &Interner,
+       std::vector<hist::PolicyRef> Refs, std::vector<hist::Event> Universe,
+       const FuseOptions &Opts = FuseOptions());
+
+  struct Stats {
+    size_t Lookups = 0;  ///< fuse() + find() calls.
+    size_t Hits = 0;     ///< ... answered from the cache.
+    size_t Fusions = 0;  ///< Products actually built.
+    size_t Refusals = 0; ///< Fusions refused (budget/width trips).
+  };
+  Stats stats() const;
+
+private:
+  mutable std::mutex M;
+  mutable Stats S;
+  std::map<uint64_t, std::shared_ptr<const FusedPolicyAutomaton>> Entries;
+};
+
+} // namespace monitor
+} // namespace sus
+
+#endif // SUS_MONITOR_FUSED_H

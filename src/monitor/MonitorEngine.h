@@ -1,0 +1,141 @@
+//===- monitor/MonitorEngine.h - Sharded many-session monitor ---*- C++ -*-===//
+///
+/// \file
+/// Runs many concurrent sessions against fused policy DFAs, sharded over
+/// the work-stealing ThreadPool. Sessions whose policy set fuses get the
+/// single-integer fast path (SessionMonitor); sessions whose fusion trips
+/// the ResourceGovernor (product blow-up, > 32 policies) transparently
+/// fall back to the legacy policy::ValidityChecker — an Inconclusive
+/// fusion never produces a wrong verdict, only a slower one.
+///
+/// Batched ingestion (`ingest`) partitions a label batch by
+/// `session % shards`: each shard task consumes its sessions' labels in
+/// batch order, so per-session label order is preserved while distinct
+/// sessions advance in parallel. Decisions are written at disjoint
+/// indices, so the result is deterministic and identical to sequential
+/// processing.
+///
+/// Closure contract: every event a session can fire must be inside the
+/// universe its session was opened with (see Fused.h). Out-of-universe
+/// events are admitted with a self-loop in release builds (blocking could
+/// be a wrong verdict) and counted under "monitor.unknown_events".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_MONITOR_MONITORENGINE_H
+#define SUS_MONITOR_MONITORENGINE_H
+
+#include "monitor/Fused.h"
+#include "monitor/SessionMonitor.h"
+#include "policy/Validity.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace sus {
+namespace monitor {
+
+/// Monitors many sessions, each against its own fused policy set.
+class MonitorEngine {
+public:
+  struct Options {
+    /// Shard width for batched ingestion; 0 = ThreadPool::defaultWorkers().
+    /// 1 keeps everything on the calling thread (no pool is spawned).
+    unsigned Workers = 1;
+
+    /// Governs fusion (not the per-event hot path, which is O(1)).
+    const ResourceGovernor *Gov = nullptr;
+
+    /// Optional shared fused-DFA cache (e.g. core::VerifierCache's);
+    /// null = fuse privately per distinct fingerprint.
+    FusedCache *Cache = nullptr;
+
+    /// Product-state cap per fusion, governor or not.
+    uint64_t MaxFusedStates = 1u << 20;
+  };
+
+  using SessionId = uint32_t;
+
+  /// One label addressed to one session inside a batch.
+  struct BatchItem {
+    SessionId Session;
+    hist::Label L;
+  };
+
+  MonitorEngine(const policy::PolicyRegistry &Registry,
+                const StringInterner &Interner, Options Opts);
+  MonitorEngine(const policy::PolicyRegistry &Registry,
+                const StringInterner &Interner)
+      : MonitorEngine(Registry, Interner, Options()) {}
+  ~MonitorEngine();
+
+  MonitorEngine(const MonitorEngine &) = delete;
+  MonitorEngine &operator=(const MonitorEngine &) = delete;
+
+  /// Opens a session whose policies are \p Refs over event universe
+  /// \p Universe (the closure contract above). Fuses — via the shared
+  /// cache when configured — or falls back to a legacy checker when
+  /// fusion is refused. Returns the new session's id.
+  SessionId openSession(std::vector<hist::PolicyRef> Refs,
+                        std::vector<hist::Event> Universe);
+
+  size_t numSessions() const { return Sessions.size(); }
+
+  /// True when \p S runs on the fused fast path (false = legacy fallback).
+  bool isFused(SessionId S) const { return Sessions[S].Fused.has_value(); }
+
+  /// True once some label violated \p S's policies (violations latch).
+  bool isViolated(SessionId S) const;
+
+  /// Would appending \p L keep session \p S valid? (No state change.)
+  bool wouldAdmit(SessionId S, const hist::Label &L) const;
+
+  /// Appends \p L to session \p S; returns false when the session is
+  /// (now) violated.
+  bool advance(SessionId S, const hist::Label &L);
+
+  /// Processes \p Batch, sharding sessions across the pool. When
+  /// \p Decisions is non-null it is resized to the batch size and
+  /// Decisions[i] is set to 1 iff item i left its session valid (the
+  /// value advance() would have returned). Blocks until the whole batch
+  /// is processed; per-session order follows batch order.
+  void ingest(const std::vector<BatchItem> &Batch,
+              std::vector<uint8_t> *Decisions = nullptr);
+
+  struct Stats {
+    uint64_t Sessions = 0;        ///< openSession calls.
+    uint64_t FusedSessions = 0;   ///< ... that run the fused fast path.
+    uint64_t Events = 0;          ///< Labels processed (advance + ingest).
+    uint64_t Blocked = 0;         ///< ... that reported a violation.
+    uint64_t UnknownEvents = 0;   ///< Out-of-universe events admitted.
+  };
+  Stats stats() const { return S; }
+
+private:
+  struct Session {
+    /// Keeps the fused DFA alive (sessions may outlive cache entries).
+    std::shared_ptr<const FusedPolicyAutomaton> FusedDfa;
+    std::optional<SessionMonitor> Fused;
+    /// Legacy fallback when fusion was refused.
+    std::optional<policy::ValidityChecker> Legacy;
+  };
+
+  /// advance() body without stats accounting (shared with ingest shards).
+  bool advanceImpl(Session &Sess, const hist::Label &L, uint64_t &Unknown);
+
+  const policy::PolicyRegistry &Registry;
+  const StringInterner &Interner;
+  Options Opts;
+  unsigned Shards; ///< Resolved shard count (>= 1).
+  std::unique_ptr<ThreadPool> Pool; ///< Null when Shards == 1.
+  FusedCache PrivateCache;          ///< Used when Opts.Cache is null.
+  std::vector<Session> Sessions;
+  Stats S;
+};
+
+} // namespace monitor
+} // namespace sus
+
+#endif // SUS_MONITOR_MONITORENGINE_H

@@ -1,0 +1,155 @@
+//===- monitor/SessionMonitor.h - One session's fused monitor ---*- C++ -*-===//
+///
+/// \file
+/// The per-session view of a FusedPolicyAutomaton: one DFA state integer,
+/// one active-policy bitmask, and (off the hot path) small per-policy
+/// frame-nesting counters. The event hot path is `admitsEventIndex` /
+/// `advanceEventIndex` — one branch-free table load plus one mask AND.
+///
+/// Semantics mirror policy::ValidityChecker exactly (§3.1 validity):
+/// every policy's DFA consumes the full history from session start
+/// (history dependence), an event is refused when it would drive the
+/// product into a state whose offending mask intersects the *active*
+/// mask, opening a frame is refused when its policy is offending at the
+/// instant the frame opens, and closing a frame never fails. Violations
+/// latch: once a refused label is *advanced* anyway, the session stays
+/// violated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_MONITOR_SESSIONMONITOR_H
+#define SUS_MONITOR_SESSIONMONITOR_H
+
+#include "monitor/Fused.h"
+
+#include <cassert>
+
+namespace sus {
+namespace monitor {
+
+/// Runs one session against a fused policy set.
+class SessionMonitor {
+public:
+  explicit SessionMonitor(const FusedPolicyAutomaton &Fused)
+      : F(&Fused), State(Fused.Automaton.start()),
+        ActiveCounts(Fused.Policies.size(), 0) {}
+
+  const FusedPolicyAutomaton &fused() const { return *F; }
+  automata::StateId state() const { return State; }
+  uint32_t activeMask() const { return ActiveMask; }
+  bool isViolated() const { return Violated; }
+
+  /// Hot path: would firing the event at symbol index \p Idx be admitted?
+  bool admitsEventIndex(uint32_t Idx) const {
+    automata::StateId Next = F->Automaton.stepIndex(State, Idx);
+    return (F->OffendingMask[Next] & ActiveMask) == 0 && !Violated;
+  }
+
+  /// Hot path: fires the event at symbol index \p Idx unconditionally.
+  void advanceEventIndex(uint32_t Idx) {
+    State = F->Automaton.stepIndex(State, Idx);
+    if (F->OffendingMask[State] & ActiveMask)
+      Violated = true;
+  }
+
+  /// Would appending \p L keep the session valid? (No state change.)
+  bool wouldAdmit(const hist::Label &L) const {
+    if (Violated)
+      return false;
+    switch (L.kind()) {
+    case hist::LabelKind::Event: {
+      uint32_t Idx = F->eventIndexOf(L.asEvent());
+      // The fused path requires a closed universe (see Fused.h); callers
+      // validate closure before enabling it. An out-of-universe event is
+      // genuinely undecidable (wildcard/guard edges might match), so the
+      // defensive release behaviour is to admit it — blocking could be a
+      // wrong verdict, which the monitor must never give.
+      assert(Idx != FusedPolicyAutomaton::NoEvent &&
+             "event outside the fused universe");
+      return Idx == FusedPolicyAutomaton::NoEvent || admitsEventIndex(Idx);
+    }
+    case hist::LabelKind::FrameOpen: {
+      if (L.policy().isTrivial())
+        return true;
+      int Bit = F->policyBit(L.policy());
+      if (Bit < 0)
+        return false; // Uninstantiable (or uncovered): opening violates.
+      // History dependence: the history so far must already respect the
+      // newly-framed policy.
+      return (F->OffendingMask[State] & (1u << Bit)) == 0;
+    }
+    case hist::LabelKind::FrameClose:
+      return true;
+    default:
+      assert(L.isHistoryRelevant() && "monitor consumes events and framings");
+      return true;
+    }
+  }
+
+  /// Appends \p L; returns false when the session is (now) violated.
+  /// Mirrors ValidityChecker::append — violations latch.
+  bool advance(const hist::Label &L) {
+    switch (L.kind()) {
+    case hist::LabelKind::Event: {
+      uint32_t Idx = F->eventIndexOf(L.asEvent());
+      assert(Idx != FusedPolicyAutomaton::NoEvent &&
+             "event outside the fused universe");
+      if (Idx != FusedPolicyAutomaton::NoEvent)
+        advanceEventIndex(Idx);
+      break;
+    }
+    case hist::LabelKind::FrameOpen: {
+      if (L.policy().isTrivial())
+        break;
+      int Bit = F->policyBit(L.policy());
+      if (Bit < 0) {
+        Violated = true; // Uninstantiable policy: the framing cannot hold.
+        break;
+      }
+      ++ActiveCounts[Bit];
+      ActiveMask |= 1u << Bit;
+      if (F->OffendingMask[State] & (1u << Bit))
+        Violated = true;
+      break;
+    }
+    case hist::LabelKind::FrameClose: {
+      if (L.policy().isTrivial())
+        break;
+      int Bit = F->policyBit(L.policy());
+      if (Bit >= 0 && ActiveCounts[Bit] > 0 && --ActiveCounts[Bit] == 0)
+        ActiveMask &= ~(1u << Bit);
+      break;
+    }
+    default:
+      assert(L.isHistoryRelevant() && "monitor consumes events and framings");
+      break;
+    }
+    return !Violated;
+  }
+
+  /// Would the whole label sequence be admitted, label by label, in order?
+  /// (The multi-label probe the Interpreter runs per candidate step.)
+  bool wouldAdmitAll(const std::vector<hist::Label> &Ls) const {
+    if (Ls.size() == 1)
+      return wouldAdmit(Ls.front());
+    SessionMonitor Probe = *this;
+    for (const hist::Label &L : Ls)
+      if (!Probe.wouldAdmit(L) || !Probe.advance(L))
+        return false;
+    return true;
+  }
+
+private:
+  const FusedPolicyAutomaton *F;
+  automata::StateId State;
+  uint32_t ActiveMask = 0;
+  bool Violated = false;
+  /// Frame-nesting depth per policy bit (⌊ϕ…⌊ϕ nests); only the derived
+  /// ActiveMask is consulted on the event hot path.
+  std::vector<uint32_t> ActiveCounts;
+};
+
+} // namespace monitor
+} // namespace sus
+
+#endif // SUS_MONITOR_SESSIONMONITOR_H

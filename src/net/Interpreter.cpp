@@ -4,6 +4,7 @@
 
 #include "hist/Derive.h"
 #include "hist/Printer.h"
+#include "policy/Compile.h"
 #include "support/Casting.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -52,6 +53,28 @@ splitMultiOutputHead(HistContext &Ctx, const Expr *E, unsigned Fuel = 8) {
   return std::nullopt;
 }
 
+/// Soundness gate for the fused fast path: the fused universe must contain
+/// every event any behaviour in the network can fire (an out-of-universe
+/// event could match wildcard/guard edges the DFA never saw), and every
+/// referenced policy must be fused or known-uninstantiable. Any gap means
+/// the legacy probe must be used — wholesale, so the two paths never mix.
+static bool fusedCoversNetwork(const monitor::FusedPolicyAutomaton &F,
+                               const plan::Repository &Repo,
+                               const std::vector<NetworkComponent> &Comps) {
+  std::vector<const Expr *> Behaviors;
+  for (const NetworkComponent &C : Comps)
+    Behaviors.push_back(C.Client);
+  for (plan::Loc L : Repo.locations())
+    Behaviors.push_back(Repo.find(L));
+  for (const hist::Event &Ev : policy::eventUniverse(Behaviors))
+    if (F.eventIndexOf(Ev) == monitor::FusedPolicyAutomaton::NoEvent)
+      return false;
+  for (const PolicyRef &Ref : monitor::collectPolicyRefs(Behaviors))
+    if (!F.covers(Ref))
+      return false;
+  return true;
+}
+
 } // namespace
 
 Interpreter::Interpreter(HistContext &Ctx, const plan::Repository &Repo,
@@ -59,10 +82,18 @@ Interpreter::Interpreter(HistContext &Ctx, const plan::Repository &Repo,
                          std::vector<NetworkComponent> Comps, Options Opts)
     : Ctx(Ctx), Repo(Repo), Registry(Registry), Opts(Opts),
       Components(std::move(Comps)) {
+  if (this->Opts.FusedMonitor && this->Opts.MonitorEnabled) {
+    UseFused =
+        fusedCoversNetwork(*this->Opts.FusedMonitor, Repo, Components);
+    if (!UseFused && metrics::enabled())
+      metrics::counter("monitor.coverage_fallbacks").add();
+  }
   for (const NetworkComponent &C : Components) {
     Trees.push_back(Session::leaf(C.Location, C.Client));
     Histories.emplace_back();
     Checkers.emplace_back(Registry, Ctx.interner(), nullptr);
+    if (UseFused)
+      FusedMonitors.emplace_back(*this->Opts.FusedMonitor);
     Violated.push_back(false);
   }
 }
@@ -230,18 +261,14 @@ std::vector<Step> Interpreter::steps() {
   // ever probed.
   if (Opts.MonitorEnabled) {
     for (Step &S : Out) {
-      if (S.PlanGap)
+      if (S.PlanGap || S.HistoryAppend.empty())
         continue;
-      policy::ValidityChecker Probe = Checkers[S.Component];
-      bool Ok = true;
-      for (const Label &L : S.HistoryAppend) {
-        if (!Probe.wouldRemainValid(L)) {
-          Ok = false;
-          break;
-        }
-        Probe.append(L);
-      }
-      S.Blocked = !Ok;
+      // Fused: one DFA walk per label. Legacy: an append/rollback probe
+      // against the component's own checker — no O(history) copy.
+      S.Blocked =
+          UseFused
+              ? !FusedMonitors[S.Component].wouldAdmitAll(S.HistoryAppend)
+              : !Checkers[S.Component].wouldRemainValidAll(S.HistoryAppend);
     }
   }
   return Out;
@@ -299,7 +326,9 @@ bool Interpreter::apply(const Step &S) {
 
   for (const Label &L : S.HistoryAppend) {
     Histories[S.Component].append(L);
-    if (!Checkers[S.Component].append(L))
+    bool StillValid = UseFused ? FusedMonitors[S.Component].advance(L)
+                               : Checkers[S.Component].append(L);
+    if (!StillValid)
       Violated[S.Component] = true;
   }
   TraceLog.push_back(S.Desc);

@@ -19,6 +19,7 @@
 #define SUS_NET_INTERPRETER_H
 
 #include "hist/HistContext.h"
+#include "monitor/SessionMonitor.h"
 #include "net/Session.h"
 #include "plan/Plan.h"
 #include "policy/Validity.h"
@@ -108,6 +109,17 @@ struct InterpreterOptions {
   /// Commit step before synchronizing — the mode under which the Del
   /// message of §2 actually wedges the session.
   bool CommittedInternalChoice = false;
+
+  /// Optional fused-DFA monitor (see monitor/Fused.h): when set and
+  /// MonitorEnabled, each component's per-step validity probe becomes one
+  /// DFA walk instead of re-running every PolicyMonitor. The interpreter
+  /// validates coverage up front — every event any client or published
+  /// service can fire must be inside the fused universe, and every policy
+  /// they reference must be fused — and silently falls back to the legacy
+  /// probe on any gap ("monitor.coverage_fallbacks"), so enabling this can
+  /// change performance but never verdicts. The caller keeps the fused
+  /// automaton alive for the interpreter's lifetime.
+  const monitor::FusedPolicyAutomaton *FusedMonitor = nullptr;
 };
 
 /// The executable network.
@@ -150,6 +162,10 @@ public:
 
   const Options &options() const { return Opts; }
 
+  /// True when monitor probes run on the fused DFA (Options::FusedMonitor
+  /// set, monitoring on, and coverage validation passed).
+  bool fusedMonitorActive() const { return UseFused; }
+
   /// Sessions currently served by the service at ℓ (capacity accounting).
   unsigned sessionsInUse(plan::Loc Location) const {
     auto It = InUse.find(Location);
@@ -171,6 +187,9 @@ private:
   std::vector<std::unique_ptr<Session>> Trees;
   std::vector<policy::History> Histories;
   std::vector<policy::ValidityChecker> Checkers;
+  /// One fused cursor per component; populated only when UseFused.
+  std::vector<monitor::SessionMonitor> FusedMonitors;
+  bool UseFused = false;
   std::vector<bool> Violated;
   std::vector<std::string> TraceLog;
   std::map<plan::Loc, unsigned> InUse;

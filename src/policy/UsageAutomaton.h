@@ -139,6 +139,13 @@ public:
   /// Restores the monitor to the automaton's start state.
   void reset();
 
+  /// Restores a state snapshot taken via states()/isOffending() — the
+  /// rollback half of ValidityChecker's append/rollback probe.
+  void restore(std::vector<UStateId> States, bool WasViolated) {
+    Current = std::move(States);
+    Violated = WasViolated;
+  }
+
 private:
   PolicyInstance Instance;
   std::vector<UStateId> Current;

@@ -129,6 +129,48 @@ bool ValidityChecker::wouldRemainValid(const Label &L) const {
   }
 }
 
+bool ValidityChecker::wouldRemainValidAll(const std::vector<Label> &Ls) {
+  if (Ls.size() == 1)
+    return wouldRemainValid(Ls.front());
+  if (Violation)
+    return false;
+
+  // Snapshot the mutable state, append for real, then roll back. Policies
+  // tracked during the probe are simply dropped; pre-existing monitors are
+  // restored from their saved state sets.
+  struct MonitorSnapshot {
+    std::vector<UStateId> States;
+    bool Violated;
+    unsigned ActiveCount;
+  };
+  const size_t NumTracked = Tracked.size();
+  const size_t NumEvents = EventsSoFar.size();
+  const size_t SavedPosition = Position;
+  std::vector<MonitorSnapshot> Saved;
+  Saved.reserve(NumTracked);
+  for (const TrackedPolicy &T : Tracked)
+    Saved.push_back({T.Monitor.states(), T.Monitor.isOffending(),
+                     T.ActiveCount});
+
+  bool Ok = true;
+  for (const Label &L : Ls)
+    if (!append(L)) {
+      Ok = false;
+      break;
+    }
+
+  Tracked.erase(Tracked.begin() + NumTracked, Tracked.end());
+  EventsSoFar.resize(NumEvents);
+  for (size_t I = 0; I != NumTracked; ++I) {
+    Tracked[I].Monitor.restore(std::move(Saved[I].States),
+                               Saved[I].Violated);
+    Tracked[I].ActiveCount = Saved[I].ActiveCount;
+  }
+  Position = SavedPosition;
+  Violation.reset();
+  return Ok;
+}
+
 ValidityResult sus::policy::checkValidity(const History &Eta,
                                           const PolicyRegistry &Registry,
                                           const StringInterner &Interner,

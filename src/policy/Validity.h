@@ -66,6 +66,12 @@ public:
   /// Would appending \p L keep the history valid? (No state change.)
   bool wouldRemainValid(const hist::Label &L) const;
 
+  /// Would appending the whole sequence \p Ls, in order, keep the history
+  /// valid? Probes by appending against this checker's own state and then
+  /// rolling back — O(probe) instead of the O(history) cost of copying
+  /// the checker — so the net observable state never changes.
+  bool wouldRemainValidAll(const std::vector<hist::Label> &Ls);
+
 private:
   struct TrackedPolicy {
     hist::PolicyRef Ref;

@@ -26,6 +26,8 @@
 
 #include "analysis/Lint.h"
 #include "core/Verifier.h"
+#include "monitor/Fused.h"
+#include "policy/Compile.h"
 #include "hist/Bisim.h"
 #include "hist/Printer.h"
 #include "hist/TransitionSystem.h"
@@ -59,6 +61,7 @@ struct CliOptions {
   std::string TraceOut;   ///< Chrome trace_event JSON output path.
   std::string MetricsOut; ///< sus-metrics-v1 JSON output path.
   bool Run = false;
+  bool FusedMonitor = false; ///< --monitor fused
   bool Trace = false;
   bool DotPolicies = false;
   bool Enumerate = true;
@@ -81,6 +84,10 @@ void printUsage(std::ostream &OS) {
         "       susc lint [lint options] file.sus\n"
         "  --plan NAME      check only the declared plan NAME\n"
         "  --run            execute the first valid plan of each client\n"
+        "  --monitor MODE   with --run, probe validity with 'probe' (the\n"
+        "                   per-policy monitors, default) or 'fused' (one\n"
+        "                   fused DFA per session; falls back to probe when\n"
+        "                   fusion is refused — verdicts never change)\n"
         "  --trace          with --run, print every applied step\n"
         "  --dot-policies   print client policies as Graphviz\n"
         "  --dot-lts NAME   print the LTS of a declared behaviour\n"
@@ -252,6 +259,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Explore = true;
     } else if (Arg == "--run") {
       Opts.Run = true;
+    } else if (Arg == "--monitor") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value))
+        return false;
+      if (Value == "fused") {
+        Opts.FusedMonitor = true;
+      } else if (Value == "probe") {
+        Opts.FusedMonitor = false;
+      } else {
+        std::cerr << "susc: --monitor expects 'fused' or 'probe', got '"
+                  << Value << "'\n";
+        return false;
+      }
     } else if (Arg == "--trace") {
       Opts.Trace = true;
     } else if (Arg == "--dot-policies") {
@@ -502,9 +522,26 @@ int runTool(const CliOptions &Opts) {
     }
 
     if (Opts.Run) {
+      net::InterpreterOptions IOpts;
+      // --monitor fused: fuse the policies of everything this run can
+      // execute (shared via the verifier cache across clients). A refused
+      // fusion leaves IOpts.FusedMonitor null and the interpreter on the
+      // legacy probe — same verdicts either way.
+      std::shared_ptr<const monitor::FusedPolicyAutomaton> Fused;
+      if (Opts.FusedMonitor) {
+        std::vector<const hist::Expr *> Behaviors{Client};
+        for (plan::Loc L : File->Repo.locations())
+          Behaviors.push_back(File->Repo.find(L));
+        monitor::FuseOptions FO;
+        FO.Gov = Governor.get();
+        Fused = Verifier.cache()->fusedMonitors().fuse(
+            File->Registry, Ctx.interner(),
+            monitor::collectPolicyRefs(Behaviors),
+            policy::eventUniverse(Behaviors), FO);
+        IOpts.FusedMonitor = Fused.get();
+      }
       net::Interpreter Interp(Ctx, File->Repo, File->Registry,
-                              {{Name, Client, *FirstValid}},
-                              net::InterpreterOptions{});
+                              {{Name, Client, *FirstValid}}, IOpts);
       net::RunStats Stats = Interp.run(/*Seed=*/1);
       std::cout << "run: " << Stats.StepsTaken << " steps, "
                 << (Stats.AllCompleted ? "completed" : "stuck")

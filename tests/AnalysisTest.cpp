@@ -99,7 +99,8 @@ TEST_P(LintFixtureTest, FindingsMatchAnnotations) {
 INSTANTIATE_TEST_SUITE_P(
     AllFixtures, LintFixtureTest,
     ::testing::Values("unreachable-state.sus", "overlapping-guards.sus",
-                      "unsatisfiable-policy.sus", "vacuous-framing.sus",
+                      "unsatisfiable-policy.sus", "nonmonitorable.sus",
+                      "vacuous-framing.sus",
                       "doomed-framing.sus", "dead-branch.sus",
                       "nonterminating-recursion.sus",
                       "duplicate-branch-guard.sus", "no-candidate-service.sus",
@@ -114,9 +115,9 @@ INSTANTIATE_TEST_SUITE_P(
       return Name;
     });
 
-TEST(LintRegistryTest, TenPassesWithUniqueWellFormedIds) {
+TEST(LintRegistryTest, ElevenPassesWithUniqueWellFormedIds) {
   const auto &Passes = analysis::allLintPasses();
-  EXPECT_EQ(Passes.size(), 10u);
+  EXPECT_EQ(Passes.size(), 11u);
   std::set<std::string_view> Ids;
   for (const analysis::LintPass *P : Passes) {
     EXPECT_TRUE(P->id().rfind("sus-lint-", 0) == 0) << P->id();

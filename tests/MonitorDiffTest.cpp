@@ -1,0 +1,367 @@
+//===- tests/MonitorDiffTest.cpp - fused vs legacy monitor sweeps ---------===//
+///
+/// \file
+/// Differential tests for the fused-DFA runtime monitor: on ~100 seeded
+/// random policy sets and traces, the fused SessionMonitor must make
+/// bit-for-bit the same blocked/allowed decisions as the legacy
+/// policy::ValidityChecker probe — per label, per multi-label probe, and
+/// through the MonitorEngine's sharded batch path — including when a
+/// governor trip refuses fusion and the engine falls back to the legacy
+/// checker, and through net::Interpreter end to end on the paper's hotel
+/// example. Seeds are fixed; nothing depends on wall-clock or the
+/// iteration order of unordered containers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/HotelExample.h"
+#include "monitor/Fused.h"
+#include "monitor/MonitorEngine.h"
+#include "monitor/SessionMonitor.h"
+#include "net/Interpreter.h"
+#include "policy/Compile.h"
+#include "policy/Validity.h"
+#include "support/ResourceGovernor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace sus;
+using hist::Event;
+using hist::Label;
+using hist::PolicyRef;
+
+namespace {
+
+/// One randomly generated monitoring scenario: a registry of parametric
+/// shapes, a set of instantiated references (plus an uninstantiable ghost
+/// and the trivial ∅), a closed event universe, and a trace drawn from it.
+struct Scenario {
+  hist::HistContext Ctx;
+  policy::PolicyRegistry Registry;
+  std::vector<PolicyRef> Refs;     ///< Instantiable, non-trivial.
+  std::vector<PolicyRef> OpenPool; ///< Refs + ghost + trivial (for frames).
+  std::vector<Event> Universe;
+  std::vector<Label> Trace;
+};
+
+policy::Guard randomGuard(std::mt19937_64 &Rng) {
+  auto Op = static_cast<policy::CmpOp>(Rng() % 6);
+  switch (Rng() % 4) {
+  case 0:
+    return policy::Guard::always();
+  case 1:
+    return policy::Guard::cmpParam(Op, 0);
+  default:
+    return policy::Guard::cmpConst(
+        Op, Value::integer(static_cast<int64_t>(1 + Rng() % 3)));
+  }
+}
+
+/// A random (possibly nondeterministic) shape with one scalar parameter.
+policy::UsageAutomaton randomShape(std::mt19937_64 &Rng, Symbol Name,
+                                   Symbol ParamName,
+                                   const std::vector<Symbol> &EventNames) {
+  policy::UsageAutomaton A(Name, {{ParamName, /*IsSet=*/false}});
+  unsigned NumStates = 2 + Rng() % 3;
+  for (unsigned I = 0; I < NumStates; ++I)
+    A.addState("q" + std::to_string(I),
+               /*Offending=*/I + 1 == NumStates); // Last state offends.
+  unsigned NumEdges = 2 + Rng() % 5;
+  for (unsigned I = 0; I < NumEdges; ++I) {
+    auto From = static_cast<policy::UStateId>(Rng() % NumStates);
+    auto To = static_cast<policy::UStateId>(Rng() % NumStates);
+    if (Rng() % 5 == 0)
+      A.addWildcardEdge(From, To);
+    else
+      A.addEdge(From, EventNames[Rng() % EventNames.size()],
+                randomGuard(Rng), To);
+  }
+  return A;
+}
+
+/// Heap-allocated because HistContext pins its address (arena + interner).
+std::unique_ptr<Scenario> makeScenario(uint64_t Seed, size_t TraceLen = 60) {
+  auto SP = std::make_unique<Scenario>();
+  Scenario &S = *SP;
+  std::mt19937_64 Rng(Seed);
+  StringInterner &In = S.Ctx.interner();
+
+  std::vector<Symbol> EventNames;
+  for (const char *N : {"a", "b", "c", "d"})
+    EventNames.push_back(In.intern(N));
+  Symbol ParamName = In.intern("t");
+
+  unsigned NumShapes = 1 + Rng() % 4;
+  for (unsigned I = 0; I < NumShapes; ++I) {
+    Symbol Name = In.intern("phi" + std::to_string(I));
+    S.Registry.add(randomShape(Rng, Name, ParamName, EventNames));
+    unsigned NumInsts = 1 + Rng() % 2;
+    for (unsigned K = 0; K < NumInsts; ++K)
+      S.Refs.push_back(
+          {Name, {{Value::integer(static_cast<int64_t>(1 + Rng() % 3))}}});
+  }
+
+  for (Symbol N : EventNames)
+    for (int64_t V = 1; V <= 3; ++V)
+      S.Universe.push_back({N, Value::integer(V)});
+
+  S.OpenPool = S.Refs;
+  // An uninstantiable reference (no such shape): opening it violates.
+  S.OpenPool.push_back({In.intern("ghost"), {{Value::integer(1)}}});
+  // The trivial policy ∅: framing it constrains nothing.
+  S.OpenPool.push_back(PolicyRef{});
+
+  for (size_t I = 0; I < TraceLen; ++I) {
+    unsigned R = Rng() % 100;
+    if (R < 60)
+      S.Trace.push_back(
+          Label::event(S.Universe[Rng() % S.Universe.size()]));
+    else if (R < 80)
+      S.Trace.push_back(
+          Label::frameOpen(S.OpenPool[Rng() % S.OpenPool.size()]));
+    else
+      S.Trace.push_back(
+          Label::frameClose(S.OpenPool[Rng() % S.OpenPool.size()]));
+  }
+  return SP;
+}
+
+class MonitorDiffTest : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SessionMonitor vs ValidityChecker, label by label and probe by probe
+//===----------------------------------------------------------------------===//
+
+TEST_P(MonitorDiffTest, FusedMatchesLegacyProbe) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  std::unique_ptr<Scenario> SP = makeScenario(Seed);
+  Scenario &S = *SP;
+
+  Outcome<monitor::FusedPolicyAutomaton> Out = monitor::fusePolicies(
+      S.Registry, S.Ctx.interner(), S.Refs, S.Universe);
+  ASSERT_TRUE(Out.ok()) << Out.exhausted().str();
+  monitor::FusedPolicyAutomaton F = Out.takeValue();
+
+  monitor::SessionMonitor Fused(F);
+  policy::ValidityChecker Legacy(S.Registry, S.Ctx.interner());
+
+  std::mt19937_64 ChunkRng(Seed ^ 0x9e3779b97f4a7c15ull);
+  size_t I = 0;
+  while (I < S.Trace.size()) {
+    size_t ChunkLen =
+        std::min<size_t>(1 + ChunkRng() % 3, S.Trace.size() - I);
+    std::vector<Label> Chunk(S.Trace.begin() + I,
+                             S.Trace.begin() + I + ChunkLen);
+
+    // The multi-label probe the Interpreter runs per candidate step.
+    EXPECT_EQ(Legacy.wouldRemainValidAll(Chunk), Fused.wouldAdmitAll(Chunk))
+        << "seed " << Seed << " probe at " << I;
+
+    for (const Label &L : Chunk) {
+      EXPECT_EQ(Legacy.wouldRemainValid(L), Fused.wouldAdmit(L))
+          << "seed " << Seed << " wouldAdmit at " << I;
+      EXPECT_EQ(Legacy.append(L), Fused.advance(L))
+          << "seed " << Seed << " advance at " << I;
+      EXPECT_EQ(Legacy.isValid(), !Fused.isViolated())
+          << "seed " << Seed << " violation latch at " << I;
+      ++I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HundredSeeds, MonitorDiffTest,
+                         ::testing::Range(0, 100));
+
+//===----------------------------------------------------------------------===//
+// Governor trip: fusion refuses, the fallback decides identically
+//===----------------------------------------------------------------------===//
+
+TEST(MonitorGovernorTest, TrippedFusionFallsBackIdentically) {
+  std::unique_ptr<Scenario> SP = makeScenario(/*Seed=*/7);
+  Scenario &S = *SP;
+
+  ResourceGovernor Gov;
+  Gov.setLimit(ResourceKind::ProductStates, 1);
+  monitor::FuseOptions FO;
+  FO.Gov = &Gov;
+
+  // The raw fusion must report exhaustion, never a wrong automaton...
+  Outcome<monitor::FusedPolicyAutomaton> Out = monitor::fusePolicies(
+      S.Registry, S.Ctx.interner(), S.Refs, S.Universe, FO);
+  ASSERT_FALSE(Out.ok());
+  EXPECT_EQ(Out.exhausted().Which, ResourceKind::ProductStates);
+
+  // ...the cache must refuse without recording...
+  monitor::FusedCache Cache;
+  EXPECT_EQ(Cache.fuse(S.Registry, S.Ctx.interner(), S.Refs, S.Universe, FO),
+            nullptr);
+  EXPECT_EQ(Cache.stats().Refusals, 1u);
+  EXPECT_EQ(Cache.stats().Fusions, 0u);
+
+  // ...and the engine must fall back to a legacy checker that decides
+  // exactly as a stand-alone one.
+  monitor::MonitorEngine::Options EO;
+  EO.Gov = &Gov;
+  monitor::MonitorEngine Engine(S.Registry, S.Ctx.interner(), EO);
+  monitor::MonitorEngine::SessionId Id =
+      Engine.openSession(S.Refs, S.Universe);
+  EXPECT_FALSE(Engine.isFused(Id));
+
+  policy::ValidityChecker Legacy(S.Registry, S.Ctx.interner());
+  for (const Label &L : S.Trace) {
+    EXPECT_EQ(Engine.wouldAdmit(Id, L), Legacy.wouldRemainValid(L));
+    EXPECT_EQ(Engine.advance(Id, L), Legacy.append(L));
+  }
+  EXPECT_EQ(Engine.isViolated(Id), !Legacy.isValid());
+}
+
+TEST(MonitorGovernorTest, WidthOverflowRefusesFusion) {
+  hist::HistContext Ctx;
+  StringInterner &In = Ctx.interner();
+  policy::PolicyRegistry Registry;
+  Symbol E = In.intern("e");
+  policy::UsageAutomaton Shape(In.intern("p"), {{In.intern("t"), false}});
+  Shape.addState("ok");
+  Shape.addState("bad", /*Offending=*/true);
+  Shape.addEdge(0, E, policy::Guard::cmpParam(policy::CmpOp::EQ, 0), 1);
+  Registry.add(Shape);
+
+  // 33 distinct instantiations exceed the 32-bit offending mask.
+  std::vector<PolicyRef> Refs;
+  for (int64_t I = 0; I < 33; ++I)
+    Refs.push_back({In.intern("p"), {{Value::integer(I)}}});
+  std::vector<Event> Universe{{E, Value::integer(1)}};
+
+  Outcome<monitor::FusedPolicyAutomaton> Out =
+      monitor::fusePolicies(Registry, In, Refs, Universe);
+  ASSERT_FALSE(Out.ok());
+  EXPECT_EQ(Out.exhausted().Which, ResourceKind::ProductStates);
+  EXPECT_EQ(Out.exhausted().Limit, monitor::FusedPolicyAutomaton::MaxPolicies);
+}
+
+//===----------------------------------------------------------------------===//
+// MonitorEngine: sharded batches decide exactly like sequential ones
+//===----------------------------------------------------------------------===//
+
+TEST(MonitorEngineTest, ShardedIngestMatchesSequentialAndLegacy) {
+  std::unique_ptr<Scenario> SP = makeScenario(/*Seed=*/11, /*TraceLen=*/0);
+  Scenario &S = *SP;
+  std::mt19937_64 Rng(11);
+
+  monitor::MonitorEngine::Options Wide;
+  Wide.Workers = 4;
+  monitor::MonitorEngine Sharded(S.Registry, S.Ctx.interner(), Wide);
+  monitor::MonitorEngine Sequential(S.Registry, S.Ctx.interner());
+  std::vector<policy::ValidityChecker> Legacy;
+
+  constexpr unsigned NumSessions = 8;
+  for (unsigned I = 0; I < NumSessions; ++I) {
+    EXPECT_EQ(Sharded.openSession(S.Refs, S.Universe), I);
+    EXPECT_EQ(Sequential.openSession(S.Refs, S.Universe), I);
+    EXPECT_TRUE(Sharded.isFused(I));
+    Legacy.emplace_back(S.Registry, S.Ctx.interner());
+  }
+
+  // One batch of interleaved per-session labels; decisions must agree
+  // item-for-item across shard widths and with per-session legacy runs.
+  std::vector<monitor::MonitorEngine::BatchItem> Batch;
+  for (unsigned I = 0; I < 600; ++I) {
+    auto Session =
+        static_cast<monitor::MonitorEngine::SessionId>(Rng() % NumSessions);
+    unsigned R = Rng() % 100;
+    Label L = R < 60
+                  ? Label::event(S.Universe[Rng() % S.Universe.size()])
+                  : (R < 80 ? Label::frameOpen(
+                                  S.OpenPool[Rng() % S.OpenPool.size()])
+                            : Label::frameClose(
+                                  S.OpenPool[Rng() % S.OpenPool.size()]));
+    Batch.push_back({Session, L});
+  }
+
+  std::vector<uint8_t> ShardedDecisions, SequentialDecisions;
+  Sharded.ingest(Batch, &ShardedDecisions);
+  Sequential.ingest(Batch, &SequentialDecisions);
+  EXPECT_EQ(ShardedDecisions, SequentialDecisions);
+
+  std::vector<uint8_t> LegacyDecisions(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I)
+    LegacyDecisions[I] = Legacy[Batch[I].Session].append(Batch[I].L) ? 1 : 0;
+  EXPECT_EQ(ShardedDecisions, LegacyDecisions);
+
+  for (unsigned I = 0; I < NumSessions; ++I) {
+    EXPECT_EQ(Sharded.isViolated(I), Sequential.isViolated(I));
+    EXPECT_EQ(Sharded.isViolated(I), !Legacy[I].isValid());
+  }
+  EXPECT_EQ(Sharded.stats().Events, Batch.size());
+}
+
+TEST(MonitorEngineTest, CacheSharesFusionsAcrossSessions) {
+  std::unique_ptr<Scenario> SP = makeScenario(/*Seed=*/13, /*TraceLen=*/0);
+  Scenario &S = *SP;
+  monitor::FusedCache Cache;
+  monitor::MonitorEngine::Options EO;
+  EO.Cache = &Cache;
+  monitor::MonitorEngine Engine(S.Registry, S.Ctx.interner(), EO);
+  for (unsigned I = 0; I < 5; ++I)
+    Engine.openSession(S.Refs, S.Universe);
+  EXPECT_EQ(Cache.stats().Fusions, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 4u);
+
+  // Permuting the request reaches the same canonical entry.
+  std::vector<PolicyRef> Reversed(S.Refs.rbegin(), S.Refs.rend());
+  Engine.openSession(Reversed, S.Universe);
+  EXPECT_EQ(Cache.stats().Fusions, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: the Interpreter's fused runs replay the probe runs exactly
+//===----------------------------------------------------------------------===//
+
+TEST(MonitorInterpreterTest, FusedRunsMatchProbeRuns) {
+  hist::HistContext Ctx;
+  core::HotelExample H = core::makeHotelExample(Ctx);
+
+  std::vector<const hist::Expr *> Behaviors{H.C1, H.C2};
+  for (plan::Loc L : H.Repo.locations())
+    Behaviors.push_back(H.Repo.find(L));
+  Outcome<monitor::FusedPolicyAutomaton> Out = monitor::fusePolicies(
+      H.Registry, Ctx.interner(), monitor::collectPolicyRefs(Behaviors),
+      policy::eventUniverse(Behaviors));
+  ASSERT_TRUE(Out.ok());
+  monitor::FusedPolicyAutomaton F = Out.takeValue();
+
+  // pi1/pi2Valid complete cleanly; pi3 exercises angelic blocking (S3 is
+  // black-listed by C2's policy).
+  std::vector<std::vector<net::NetworkComponent>> Networks = {
+      {{H.LC1, H.C1, H.pi1()}, {H.LC2, H.C2, H.pi2Valid()}},
+      {{H.LC2, H.C2, H.pi3()}},
+  };
+  for (const auto &Comps : Networks) {
+    for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+      net::Interpreter Probe(Ctx, H.Repo, H.Registry, Comps,
+                             net::InterpreterOptions{});
+      net::InterpreterOptions FO;
+      FO.FusedMonitor = &F;
+      net::Interpreter Fused(Ctx, H.Repo, H.Registry, Comps, FO);
+      ASSERT_TRUE(Fused.fusedMonitorActive());
+
+      net::RunStats PS = Probe.run(Seed);
+      net::RunStats FS = Fused.run(Seed);
+      EXPECT_EQ(Probe.trace(), Fused.trace()) << "seed " << Seed;
+      EXPECT_EQ(PS.StepsTaken, FS.StepsTaken);
+      EXPECT_EQ(PS.BlockedAttempts, FS.BlockedAttempts);
+      EXPECT_EQ(PS.Violations, FS.Violations);
+      EXPECT_EQ(PS.AllCompleted, FS.AllCompleted);
+      EXPECT_EQ(PS.StuckComponents, FS.StuckComponents);
+      for (size_t C = 0; C < Comps.size(); ++C)
+        EXPECT_EQ(Probe.history(C).str(Ctx.interner()),
+                  Fused.history(C).str(Ctx.interner()));
+    }
+  }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI check for the susc observability outputs.
 
-Usage: check_metrics_json.py SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS
+Usage: check_metrics_json.py SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS [BENCH_MONITOR]
 
 Runs the shipped example through susc five ways and asserts:
   1. `--metrics-out` emits JSON valid against tests/metrics_schema.json
@@ -14,6 +14,11 @@ Runs the shipped example through susc five ways and asserts:
   5. a deliberately tripped resource budget (`--max-product-states 1`)
      exits 3, prints Inconclusive(resource) verdicts, counts the trip in
      `governor.budget_hits`, and still validates against the schema.
+
+With the optional BENCH_MONITOR argument (the bench_monitor binary), also
+smoke-runs the fused-monitor benchmark with `--quick --metrics-out=` and
+asserts the emitted JSON validates and actually exercised the monitor:
+`monitor.events` > 0 and `monitor.fusions` >= 1.
 
 The schema validator is deliberately minimal and self-contained — it
 implements exactly the JSON Schema subset the schema file uses (type,
@@ -91,10 +96,29 @@ def check_trace(path):
     return len(events)
 
 
+def check_bench_monitor(bench, schema, tmp):
+    """The monitor leg: bench_monitor --quick must emit valid metrics
+    that show the fused path actually ran."""
+    metrics = str(Path(tmp) / "monitor-metrics.json")
+    res = run([bench, "--quick", f"--metrics-out={metrics}"])
+    if res.returncode != 0:
+        fail(f"bench_monitor --quick failed: exit {res.returncode}\n"
+             f"{res.stderr}")
+    mon = json.loads(Path(metrics).read_text())
+    validate(mon, schema)
+    counters = mon["counters"]
+    if counters.get("monitor.events", 0) <= 0:
+        fail("bench_monitor counted no monitor.events")
+    if counters.get("monitor.fusions", 0) < 1:
+        fail("bench_monitor performed no monitor.fusions")
+
+
 def main():
-    if len(sys.argv) != 4:
-        fail(f"usage: {sys.argv[0]} SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS")
+    if len(sys.argv) not in (4, 5):
+        fail(f"usage: {sys.argv[0]} SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS "
+             f"[BENCH_MONITOR]")
     susc, schema_path, example = sys.argv[1:4]
+    bench_monitor = sys.argv[4] if len(sys.argv) == 5 else None
     schema = json.loads(Path(schema_path).read_text())
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -142,7 +166,11 @@ def main():
         if gov["counters"].get("governor.budget_hits", 0) <= 0:
             fail("governor.budget_hits not counted on a tripped run")
 
-    print(f"check_metrics_json: OK ({n_events} trace events, "
+        if bench_monitor is not None:
+            check_bench_monitor(bench_monitor, schema, tmp)
+
+    legs = "susc + bench_monitor" if bench_monitor else "susc"
+    print(f"check_metrics_json: OK ({legs}: {n_events} trace events, "
           f"metrics valid against {Path(schema_path).name})")
     return 0
 
