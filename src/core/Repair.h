@@ -1,0 +1,86 @@
+//===- core/Repair.h - Incremental plan repair ------------------*- C++ -*-===//
+///
+/// \file
+/// Keeps one client's VerificationReport current across repository churn
+/// without re-verifying the world. A RepairSession holds the last report;
+/// applyDelta() then
+///
+///   1. evicts the stale VerifierCache entries and patches the candidate
+///      index (Verifier::applyDelta),
+///   2. *keeps* every verdict whose plan binds no touched location — its
+///      compliance pairs and security exploration are unaffected, so the
+///      cached conclusion stands,
+///   3. re-runs bind/undo search with an emission filter that only
+///      surfaces plans binding a touched location (the kept plans are by
+///      construction exactly the complete plans that don't), and
+///   4. re-verifies only those, merging kept + repaired verdicts into a
+///      canonical (plan-sorted) report.
+///
+/// Repair is governor-charged through the same machinery as a full
+/// verification: a deadline or budget trip mid-repair yields an
+/// Outcome<RepairStats> carrying the trip, the report is flagged
+/// inconclusive (EnumerationExhausted) and individual cut-short checks
+/// surface as Inconclusive verdicts — never as wrong ones, and never
+/// cached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_CORE_REPAIR_H
+#define SUS_CORE_REPAIR_H
+
+#include "core/Verifier.h"
+#include "plan/RepositoryDelta.h"
+
+namespace sus {
+namespace core {
+
+/// What one applyDelta() did, for the `plan.repair.*` accounting.
+struct RepairStats {
+  size_t PlansKept = 0;       ///< Verdicts carried over untouched.
+  size_t PlansDropped = 0;    ///< Verdicts discarded (mention a touched ℓ).
+  size_t PlansReverified = 0; ///< Plans (re-)checked this round.
+  VerifierCache::EvictionStats Evicted;
+
+  /// Fraction of the resulting plan set that had to be re-verified.
+  double reverifiedFraction() const {
+    size_t Total = PlansKept + PlansReverified;
+    return Total == 0 ? 0.0
+                      : static_cast<double>(PlansReverified) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// An incrementally maintained verification of one client.
+class RepairSession {
+public:
+  /// Binds the session to a verifier (whose repository the caller churns)
+  /// and a client. No verification happens yet.
+  RepairSession(Verifier &V, const hist::Expr *Client, plan::Loc ClientLoc)
+      : V(V), Client(Client), ClientLoc(ClientLoc) {}
+
+  /// Full verification from scratch; the baseline every repair patches.
+  /// Verdicts are canonicalized to plan order (enumeration order is an
+  /// artifact of the search; repairs merge, so order must be intrinsic).
+  const VerificationReport &verify();
+
+  /// Absorbs one batch of (already applied) repository churn. On a
+  /// governor trip the session stays coherent — kept verdicts are still
+  /// valid, the report is flagged inconclusive — and the trip is
+  /// returned instead of stats.
+  Outcome<RepairStats> applyDelta(const plan::RepositoryDelta &Delta);
+
+  /// The current (post-repair) report, verdicts sorted by plan.
+  const VerificationReport &report() const { return Current; }
+
+private:
+  Verifier &V;
+  const hist::Expr *Client;
+  plan::Loc ClientLoc;
+  VerificationReport Current;
+  bool Verified = false;
+};
+
+} // namespace core
+} // namespace sus
+
+#endif // SUS_CORE_REPAIR_H

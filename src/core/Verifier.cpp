@@ -311,6 +311,38 @@ void Verifier::checkPlansParallel(const hist::Expr *Client,
   }
 }
 
+const plan::ServiceIndex *Verifier::index() {
+  if (!indexEffective())
+    return nullptr;
+  if (!Index)
+    Index = std::make_unique<plan::ServiceIndex>(Ctx, Repo);
+  return Index.get();
+}
+
+VerifierCache::EvictionStats
+Verifier::applyDelta(const plan::RepositoryDelta &Delta) {
+  VerifierCache::EvictionStats Evicted = Cache->invalidate(Delta, Repo);
+  if (Index)
+    Index->apply(Delta);
+  return Evicted;
+}
+
+std::vector<PlanVerdict>
+Verifier::checkPlans(const hist::Expr *Client, plan::Loc ClientLoc,
+                     const std::vector<plan::Plan> &Plans) {
+  unsigned Jobs = effectiveJobs();
+  if (Jobs > 1 && Plans.size() > 1) {
+    VerificationReport Scratch;
+    checkPlansParallel(Client, ClientLoc, Plans, Jobs, Scratch);
+    return std::move(Scratch.Verdicts);
+  }
+  std::vector<PlanVerdict> Verdicts;
+  Verdicts.reserve(Plans.size());
+  for (const plan::Plan &Pi : Plans)
+    Verdicts.push_back(checkPlan(Client, ClientLoc, Pi));
+  return Verdicts;
+}
+
 VerificationReport Verifier::verifyClient(const hist::Expr *Client,
                                           plan::Loc ClientLoc) {
   trace::Span ClientSpan("client.verify", "verifier");
@@ -319,6 +351,7 @@ VerificationReport Verifier::verifyClient(const hist::Expr *Client,
   plan::EnumeratorOptions EOpts;
   EOpts.MaxPlans = Options.MaxPlans;
   EOpts.Governor = gov();
+  EOpts.Index = index();
   if (Options.PruneWithCompliance)
     EOpts.Filter = [this](const plan::RequestSite &Site, plan::Loc,
                           const hist::Expr *Service) {

@@ -150,6 +150,16 @@ struct VerifierOptions {
   /// for the B7 baseline measurements. Off forces Jobs = 1.
   bool UseCache = true;
 
+  /// Enumerate candidates through a plan::ServiceIndex (built lazily per
+  /// verifier, kept current by applyDelta) instead of scanning the whole
+  /// repository per request. Effective only with PruneWithCompliance on:
+  /// the index's pre-screens reject exactly (a subset of) what the
+  /// compliance filter rejects, so indexed runs emit the identical plan
+  /// set; without the filter the scan would emit non-compliant plans the
+  /// index skips, which would change reports. Off (the default) keeps
+  /// every existing output byte-identical.
+  bool UseIndex = false;
+
   /// Optional resource governor threaded through every kernel this
   /// verifier runs (enumeration, compliance products, security
   /// explorations). Null (the default) takes the ungoverned fast paths:
@@ -202,6 +212,25 @@ public:
   PlanVerdict checkPlan(const hist::Expr *Client, plan::Loc ClientLoc,
                         const plan::Plan &Pi);
 
+  /// Checks a batch of plans, routing through the parallel pipeline when
+  /// Jobs > 1. Verdicts come back in input order, element-wise identical
+  /// to per-plan checkPlan calls — this is the re-verification engine of
+  /// core::RepairSession.
+  std::vector<PlanVerdict> checkPlans(const hist::Expr *Client,
+                                      plan::Loc ClientLoc,
+                                      const std::vector<plan::Plan> &Plans);
+
+  /// Absorbs one batch of (already applied) repository churn: evicts the
+  /// stale VerifierCache entries and patches the candidate index. Returns
+  /// what was evicted. The Repository reference this verifier holds must
+  /// be the one the delta was applied to.
+  VerifierCache::EvictionStats applyDelta(const plan::RepositoryDelta &Delta);
+
+  /// The candidate index, built on first use (verifyClient with UseIndex,
+  /// or an explicit call — e.g. to warm it before timing). Null only when
+  /// indexing is disabled by options.
+  const plan::ServiceIndex *index();
+
   /// Memoized H1 ⊢ H2 between a request body and a service. Under an
   /// armed governor this also returns true when the check was cut short:
   /// only a *conclusive* refutation may prune a binding. Trips are never
@@ -213,6 +242,9 @@ public:
   VerifierStats stats() const { return Cache->stats(); }
 
   const std::shared_ptr<VerifierCache> &cache() const { return Cache; }
+
+  const VerifierOptions &options() const { return Options; }
+  const plan::Repository &repository() const { return Repo; }
 
 private:
   /// One per-worker verification shard: a private HistContext (seeded so
@@ -259,11 +291,20 @@ private:
   contract::ComplianceResult complianceOf(const hist::Expr *RequestBody,
                                           const hist::Expr *Service);
 
+  /// True when candidate selection goes through the index: requires both
+  /// UseIndex and the compliance filter (see VerifierOptions::UseIndex).
+  bool indexEffective() const {
+    return Options.UseIndex && Options.PruneWithCompliance;
+  }
+
   hist::HistContext &Ctx;
   const plan::Repository &Repo;
   const policy::PolicyRegistry &Registry;
   VerifierOptions Options;
   std::shared_ptr<VerifierCache> Cache;
+
+  /// Lazily built candidate index (only when indexEffective()).
+  std::unique_ptr<plan::ServiceIndex> Index;
 
   /// Lazily created; rebuilt when the requested width changes.
   std::unique_ptr<ThreadPool> Pool;

@@ -119,6 +119,55 @@ void VerifierCache::recordValidity(const hist::Expr *Client,
                      std::move(Result));
 }
 
+VerifierCache::EvictionStats
+VerifierCache::invalidate(const plan::RepositoryDelta &Delta,
+                          const plan::Repository &Current) {
+  EvictionStats Evicted;
+  if (Delta.empty())
+    return Evicted;
+
+  const std::set<plan::Loc> Touched = Delta.touched();
+
+  // The retired service exprs: unpublished by this delta *and* not still
+  // published at any surviving location (hash-consed exprs alias).
+  std::set<const hist::Expr *> Retired;
+  for (const plan::ServiceChange &C : Delta.Changes)
+    if (C.Old)
+      Retired.insert(C.Old);
+  for (const auto &[Location, Service] : Current.services())
+    Retired.erase(Service);
+
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto It = Validities.begin(); It != Validities.end();)
+    if (plan::planMentions(It->first.Pi, Touched)) {
+      It = Validities.erase(It);
+      ++Evicted.ValidityEvicted;
+    } else {
+      ++It;
+    }
+  for (auto It = Compliances.begin(); It != Compliances.end();)
+    if (Retired.count(It->first.second)) {
+      It = Compliances.erase(It);
+      ++Evicted.ComplianceEvicted;
+    } else {
+      ++It;
+    }
+  for (const hist::Expr *Old : Retired) {
+    Evicted.ProjectionEvicted += Projections.erase(Old);
+  }
+
+  static metrics::Counter &ValidityEvictions =
+      metrics::counter("plan.cache.validity_evictions");
+  static metrics::Counter &ComplianceEvictions =
+      metrics::counter("plan.cache.compliance_evictions");
+  static metrics::Counter &ProjectionEvictions =
+      metrics::counter("plan.cache.projection_evictions");
+  ValidityEvictions.add(Evicted.ValidityEvicted);
+  ComplianceEvictions.add(Evicted.ComplianceEvicted);
+  ProjectionEvictions.add(Evicted.ProjectionEvicted);
+  return Evicted;
+}
+
 VerifierStats VerifierCache::stats() const {
   std::lock_guard<std::mutex> Lock(M);
   return Stats;

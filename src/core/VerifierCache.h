@@ -24,6 +24,7 @@
 #include "contract/Compliance.h"
 #include "monitor/Fused.h"
 #include "plan/Plan.h"
+#include "plan/RepositoryDelta.h"
 #include "validity/StaticValidity.h"
 
 #include <map>
@@ -80,6 +81,31 @@ public:
                       validity::StaticValidityResult Result);
 
   VerifierStats stats() const;
+
+  /// What invalidate() removed, for eviction-precision accounting.
+  struct EvictionStats {
+    size_t ValidityEvicted = 0;   ///< Plan verdicts mentioning a touched ℓ.
+    size_t ComplianceEvicted = 0; ///< Verdicts against retired services.
+    size_t ProjectionEvicted = 0; ///< Projections of retired services.
+  };
+
+  /// Evicts exactly the entries a repository delta can make stale or
+  /// unreachable, and nothing else:
+  ///
+  ///  - validity verdicts whose plan binds any touched location (their
+  ///    key resolves locations through the repository, so the verdict no
+  ///    longer describes what would be checked today);
+  ///  - compliance verdicts and projections whose *service side* is a
+  ///    retired expression — one that a change unpublished and that no
+  ///    surviving location still publishes (hash-consing can alias one
+  ///    expression across locations, so a retired pointer is garbage only
+  ///    once nobody publishes it; \p Current is the post-delta truth).
+  ///
+  /// Entries keyed purely on hash-consed client-side exprs are never
+  /// stale — churn can orphan them, not falsify them — so request-body
+  /// projections survive.
+  EvictionStats invalidate(const plan::RepositoryDelta &Delta,
+                           const plan::Repository &Current);
 
   /// Fused runtime-monitor DFAs keyed by policy-set fingerprint, shared
   /// by every session this cache serves (monitor::FusedCache is itself

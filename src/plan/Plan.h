@@ -14,6 +14,7 @@
 #include "hist/Expr.h"
 #include "hist/HistContext.h"
 
+#include <cassert>
 #include <map>
 #include <optional>
 #include <string>
@@ -30,9 +31,25 @@ class Plan {
 public:
   Plan() = default;
 
-  /// Binds r[ℓ]; rebinding an existing request replaces it.
+  /// Binds r[ℓ]. The request must be *fresh*: the bind/undo searches rely
+  /// on bind and unbind being symmetric, which a silent replacement breaks
+  /// (the undo would erase the older binding instead of restoring it).
+  /// Use rebind() when replacement is the point.
   void bind(hist::RequestId Request, Loc Location) {
+    assert(!Binding.count(Request) &&
+           "bind would silently replace an existing binding; use rebind");
     Binding[Request] = Location;
+  }
+
+  /// Replaces (or creates) the binding of r, returning the previous
+  /// location so the caller can undo by rebinding it back.
+  std::optional<Loc> rebind(hist::RequestId Request, Loc Location) {
+    std::optional<Loc> Previous;
+    auto It = Binding.find(Request);
+    if (It != Binding.end())
+      Previous = It->second;
+    Binding[Request] = Location;
+    return Previous;
   }
 
   /// Removes the binding of r (no-op when the plan does not cover r).
@@ -99,6 +116,18 @@ public:
   unsigned capacity(Loc Location) const {
     auto It = Capacities.find(Location);
     return It == Capacities.end() ? 0 : It->second;
+  }
+
+  /// Withdraws the publication at \p Location (no-op when absent).
+  /// Returns the service that was published there, or null.
+  const hist::Expr *remove(Loc Location) {
+    auto It = Services.find(Location);
+    if (It == Services.end())
+      return nullptr;
+    const hist::Expr *Old = It->second;
+    Services.erase(It);
+    Capacities.erase(Location);
+    return Old;
   }
 
   /// The service at ℓ, or null.

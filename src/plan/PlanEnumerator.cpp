@@ -48,12 +48,20 @@ private:
     if (Options.Governor) {
       if (std::optional<ResourceExhausted> E = Options.Governor->poll()) {
         Result.Exhausted = E;
+        Result.Stop = StopReason::Resources;
         return;
       }
     }
     if (Pending.empty()) {
+      // Repair mode: a complete plan not binding any touched location is
+      // one the caller already has a verdict for — don't re-emit it (and
+      // don't let it count against MaxPlans).
+      if (Options.MustMention &&
+          !planMentions(Current, *Options.MustMention))
+        return;
       if (Result.Plans.size() >= Options.MaxPlans) {
         Result.Truncated = true;
+        Result.Stop = StopReason::PlanLimit;
         return;
       }
       Result.Plans.push_back(Current);
@@ -67,36 +75,54 @@ private:
       // Already bound on this branch (shared id, e.g. a recursive
       // service); keep the existing binding.
       search();
-    } else {
-      for (const auto &[Location, Service] : Repo.services()) {
-        ++Result.BindingsTried;
-        if (Options.Filter && !Options.Filter(Site, Location, Service))
-          continue;
-
-        Current.bind(Site.id(), Location);
-
-        // Chase the chosen service's own requests.
-        size_t Added = 0;
-        for (const RequestSite &S : requestsOf(Service))
-          if (Seen.insert(S.id()).second) {
-            Pending.push_back(S);
-            ++Added;
-          }
-
-        search();
-
-        // Undo: drop the chased requests and the binding.
-        for (; Added > 0; --Added) {
-          Seen.erase(Pending.back().id());
-          Pending.pop_back();
-        }
-        Current.unbind(Site.id());
-        if (Result.Truncated || Result.Exhausted)
+    } else if (Options.Index) {
+      // Indexed candidate selection: only the locations whose published
+      // contract could possibly comply, in the same (sorted-by-location)
+      // order the full scan below visits them.
+      for (Loc Location : Options.Index->candidates(Site.body())) {
+        const Expr *Service = Repo.find(Location);
+        if (!Service)
+          continue; // Index ahead of the repository; skip defensively.
+        if (!tryBinding(Site, Location, Service))
           break;
       }
+    } else {
+      for (const auto &[Location, Service] : Repo.services())
+        if (!tryBinding(Site, Location, Service))
+          break;
     }
 
     Pending.push_back(Site);
+  }
+
+  /// Applies one candidate binding, recurses, undoes it. Returns false
+  /// when the search is over (limit or budget) and the caller should stop
+  /// trying further candidates for this site.
+  bool tryBinding(const RequestSite &Site, Loc Location,
+                  const Expr *Service) {
+    ++Result.BindingsTried;
+    if (Options.Filter && !Options.Filter(Site, Location, Service))
+      return true;
+
+    Current.bind(Site.id(), Location);
+
+    // Chase the chosen service's own requests.
+    size_t Added = 0;
+    for (const RequestSite &S : requestsOf(Service))
+      if (Seen.insert(S.id()).second) {
+        Pending.push_back(S);
+        ++Added;
+      }
+
+    search();
+
+    // Undo: drop the chased requests and the binding.
+    for (; Added > 0; --Added) {
+      Seen.erase(Pending.back().id());
+      Pending.pop_back();
+    }
+    Current.unbind(Site.id());
+    return !Result.Truncated && !Result.Exhausted;
   }
 
   const Repository &Repo;

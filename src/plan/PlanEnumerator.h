@@ -15,10 +15,12 @@
 
 #include "plan/Plan.h"
 #include "plan/RequestExtract.h"
+#include "plan/ServiceIndex.h"
 #include "support/ResourceGovernor.h"
 
 #include <functional>
 #include <optional>
+#include <set>
 #include <vector>
 
 namespace sus {
@@ -37,13 +39,38 @@ struct EnumeratorOptions {
 
   /// Optional resource governor: polled once per search node. Not owned.
   const ResourceGovernor *Governor = nullptr;
+
+  /// Optional candidate index: per request, try only the locations the
+  /// index proposes (sorted by location, so the search visits them in the
+  /// same order a full Repository scan would) instead of every published
+  /// service. The index only drops statically non-compliant bindings, so
+  /// with a compliance Filter installed the emitted plan set is identical
+  /// to a scan's. Not owned; must describe the same repository.
+  const ServiceIndex *Index = nullptr;
+
+  /// Optional emission filter for incremental repair: when set, only
+  /// complete plans binding at least one of these locations are emitted
+  /// (the untouched plans are the ones a repair session kept). Does not
+  /// affect which bindings are *searched*, only which plans surface.
+  const std::set<Loc> *MustMention = nullptr;
+};
+
+/// Why enumeration stopped.
+enum class StopReason : uint8_t {
+  Completed, ///< Search space exhausted: the plan set is complete.
+  PlanLimit, ///< Hit MaxPlans: complete plans beyond the cap were cut.
+  Resources, ///< Governor trip: the search itself was cut short.
 };
 
 /// Result of enumeration.
 struct EnumerationResult {
   std::vector<Plan> Plans;
-  bool Truncated = false;  ///< Hit MaxPlans.
+  bool Truncated = false;  ///< Hit MaxPlans (== Stop == PlanLimit).
   size_t BindingsTried = 0; ///< Search effort (for the B3 benchmark).
+  /// Distinguishes "the limit cut emission" (PlanLimit) from "the budget
+  /// cut the search" (Resources): the two need different reactions —
+  /// raise MaxPlans vs. raise the budget — and were previously ambiguous.
+  StopReason Stop = StopReason::Completed;
   /// Set when the governor stopped the search: Plans holds only the plans
   /// found so far (a partial candidate set, distinct from Truncated).
   std::optional<ResourceExhausted> Exhausted;

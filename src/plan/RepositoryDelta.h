@@ -1,0 +1,84 @@
+//===- plan/RepositoryDelta.h - Repository churn descriptions ---*- C++ -*-===//
+///
+/// \file
+/// Describes one batch of repository churn — services added, removed or
+/// re-versioned — *after* it has been applied to the Repository. A delta
+/// is the unit of incremental maintenance: ServiceIndex::apply patches the
+/// candidate buckets, VerifierCache::invalidate evicts exactly the entries
+/// a change can make stale, and core::RepairSession re-runs bind/undo
+/// search only from the affected bindings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_PLAN_REPOSITORYDELTA_H
+#define SUS_PLAN_REPOSITORYDELTA_H
+
+#include "plan/Plan.h"
+
+#include <set>
+#include <vector>
+
+namespace sus {
+namespace plan {
+
+/// One changed publication. Old/New are the service expressions *before*
+/// and *after* the change: (null, S) = added, (S, null) = removed,
+/// (S, S′) = re-versioned.
+struct ServiceChange {
+  Loc Location;
+  const hist::Expr *Old = nullptr;
+  const hist::Expr *New = nullptr;
+
+  bool isAdd() const { return !Old && New; }
+  bool isRemove() const { return Old && !New; }
+  bool isReplace() const { return Old && New; }
+};
+
+/// A batch of changes, already applied to the Repository they describe.
+struct RepositoryDelta {
+  std::vector<ServiceChange> Changes;
+
+  /// The touched locations, deduplicated.
+  std::set<Loc> touched() const {
+    std::set<Loc> Out;
+    for (const ServiceChange &C : Changes)
+      Out.insert(C.Location);
+    return Out;
+  }
+
+  bool empty() const { return Changes.empty(); }
+};
+
+/// Publishes \p Service at \p Location in \p Repo (add or re-version) and
+/// returns the describing change. A no-op re-publication of the identical
+/// hash-consed expression still counts as a re-version: the caller asked
+/// for churn, and "touched" must stay conservative.
+inline ServiceChange applyPublish(Repository &Repo, Loc Location,
+                                  const hist::Expr *Service,
+                                  unsigned Capacity = 0) {
+  ServiceChange C{Location, Repo.find(Location), Service};
+  Repo.add(Location, Service, Capacity);
+  return C;
+}
+
+/// Removes \p Location from \p Repo and returns the describing change
+/// (Old = null when nothing was published there, making the change a
+/// harmless no-op for index/cache maintenance).
+inline ServiceChange applyRemove(Repository &Repo, Loc Location) {
+  ServiceChange C{Location, Repo.find(Location), nullptr};
+  Repo.remove(Location);
+  return C;
+}
+
+/// True when \p Pi binds any request to a touched location.
+inline bool planMentions(const Plan &Pi, const std::set<Loc> &Touched) {
+  for (const auto &[R, L] : Pi.bindings())
+    if (Touched.count(L))
+      return true;
+  return false;
+}
+
+} // namespace plan
+} // namespace sus
+
+#endif // SUS_PLAN_REPOSITORYDELTA_H

@@ -1,0 +1,176 @@
+//===- plan/ServiceIndex.cpp - Indexed candidate selection ----------------===//
+
+#include "plan/ServiceIndex.h"
+
+#include "support/Metrics.h"
+
+using namespace sus;
+using namespace sus::hist;
+using namespace sus::plan;
+
+namespace {
+
+metrics::Counter &lookupsCounter() {
+  static metrics::Counter &C = metrics::counter("plan.index.lookups");
+  return C;
+}
+metrics::Counter &hitsCounter() {
+  static metrics::Counter &C = metrics::counter("plan.index.hits");
+  return C;
+}
+metrics::Counter &missesCounter() {
+  static metrics::Counter &C = metrics::counter("plan.index.misses");
+  return C;
+}
+metrics::Counter &candidatesCounter() {
+  static metrics::Counter &C = metrics::counter("plan.index.candidates");
+  return C;
+}
+metrics::Counter &alphabetRejectsCounter() {
+  static metrics::Counter &C =
+      metrics::counter("plan.prescreen.alphabet_rejects");
+  return C;
+}
+metrics::Counter &firstStepRejectsCounter() {
+  static metrics::Counter &C =
+      metrics::counter("plan.prescreen.first_step_rejects");
+  return C;
+}
+metrics::Counter &updatesCounter() {
+  static metrics::Counter &C = metrics::counter("plan.index.updates");
+  return C;
+}
+
+} // namespace
+
+ServiceIndex::ServiceIndex(HistContext &Ctx, const Repository &Repo)
+    : Ctx(Ctx) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &[Location, Service] : Repo.services())
+    insertLocked(Location, Service);
+  ++Stats.Rebuilds;
+}
+
+void ServiceIndex::insertLocked(Loc Location, const Expr *Service) {
+  Entry E;
+  E.Service = Service;
+  E.Summary = contract::summarizeContract(Ctx, Service);
+  if (!E.Summary.Screenable) {
+    Unscreened.insert(Location);
+  } else {
+    for (const contract::ReadySet &S : E.Summary.InitialSets)
+      for (const CommAction &A : S)
+        Buckets[A.complement()].insert(Location);
+  }
+  Entries[Location] = std::move(E);
+}
+
+void ServiceIndex::removeLocked(Loc Location) {
+  auto It = Entries.find(Location);
+  if (It == Entries.end())
+    return;
+  const Entry &E = It->second;
+  if (!E.Summary.Screenable) {
+    Unscreened.erase(Location);
+  } else {
+    for (const contract::ReadySet &S : E.Summary.InitialSets)
+      for (const CommAction &A : S) {
+        auto BIt = Buckets.find(A.complement());
+        if (BIt == Buckets.end())
+          continue;
+        BIt->second.erase(Location);
+        if (BIt->second.empty())
+          Buckets.erase(BIt);
+      }
+  }
+  Entries.erase(It);
+}
+
+std::vector<Loc> ServiceIndex::candidates(const Expr *RequestBody) const {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Stats.Lookups;
+  lookupsCounter().add(1);
+
+  auto MemoIt = Memo.find(RequestBody);
+  if (MemoIt != Memo.end()) {
+    ++Stats.Hits;
+    hitsCounter().add(1);
+    Stats.Candidates += MemoIt->second.size();
+    candidatesCounter().add(MemoIt->second.size());
+    return MemoIt->second;
+  }
+  missesCounter().add(1);
+
+  auto BodyIt = Bodies.find(RequestBody);
+  if (BodyIt == Bodies.end())
+    BodyIt = Bodies
+                 .emplace(RequestBody,
+                          contract::summarizeContract(Ctx, RequestBody))
+                 .first;
+  const contract::ContractSummary &Body = BodyIt->second;
+
+  // std::set<Loc> orders by Symbol, exactly like Repository::services(),
+  // so the emitted candidate list is a subsequence of the full scan.
+  std::set<Loc> Selected;
+  if (!Body.Screenable || !Body.NeedsSync) {
+    // No non-empty initial ready set to key on: every location is a
+    // candidate (and the pre-screens below cannot reject anything).
+    for (const auto &[Location, E] : Entries)
+      Selected.insert(Location);
+  } else {
+    for (const CommAction &C : Body.IndexKey) {
+      auto BIt = Buckets.find(C);
+      if (BIt != Buckets.end())
+        Selected.insert(BIt->second.begin(), BIt->second.end());
+    }
+    Selected.insert(Unscreened.begin(), Unscreened.end());
+  }
+
+  std::vector<Loc> Out;
+  Out.reserve(Selected.size());
+  for (Loc Location : Selected) {
+    const Entry &E = Entries.at(Location);
+    switch (contract::prescreenCompliance(Body, E.Summary)) {
+    case contract::PrescreenVerdict::Pass:
+      Out.push_back(Location);
+      break;
+    case contract::PrescreenVerdict::AlphabetReject:
+      ++Stats.AlphabetRejects;
+      alphabetRejectsCounter().add(1);
+      break;
+    case contract::PrescreenVerdict::FirstStepReject:
+      ++Stats.FirstStepRejects;
+      firstStepRejectsCounter().add(1);
+      break;
+    }
+  }
+
+  Stats.Candidates += Out.size();
+  candidatesCounter().add(Out.size());
+  Memo.emplace(RequestBody, Out);
+  return Out;
+}
+
+void ServiceIndex::apply(const RepositoryDelta &Delta) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const ServiceChange &C : Delta.Changes) {
+    removeLocked(C.Location);
+    if (C.New)
+      insertLocked(C.Location, C.New);
+    ++Stats.Rebuilds;
+    updatesCounter().add(1);
+  }
+  // Candidate lists mention locations, so churn invalidates them all; the
+  // body summaries stay (they are keyed on immutable hash-consed exprs).
+  Memo.clear();
+}
+
+size_t ServiceIndex::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Entries.size();
+}
+
+IndexStats ServiceIndex::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Stats;
+}

@@ -1,0 +1,114 @@
+//===- plan/ServiceIndex.h - Indexed candidate selection --------*- C++ -*-===//
+///
+/// \file
+/// An inverted index over the repository that answers "which published
+/// services could possibly comply with this request body?" in time
+/// proportional to the answer, not to the repository.
+///
+/// Layout: every service's projection is summarized once (initial ready
+/// sets, syntactic alphabet; contract::ContractSummary) and each action a
+/// occurring in one of its initial ready sets registers its location under
+/// bucket[ā]. A request body with smallest non-empty initial ready set C₀
+/// then looks up ∪_{c ∈ C₀} bucket[c]: Def. 4 clause (1) forces every
+/// compliant service to offer a dual of some c ∈ C₀ in each of its initial
+/// ready sets, so the union is a superset of the compliant services
+/// (soundness argument in DESIGN.md §10). Survivors are cut further with
+/// contract::prescreenCompliance before the caller pays for the full
+/// product. Services (or bodies) whose projection leaves the contract
+/// fragment are never screened — they are always candidates.
+///
+/// Candidate lists are sorted by location, which is exactly the order
+/// Repository::services() iterates in — an indexed enumeration therefore
+/// visits surviving candidates in the same order a full scan would, and
+/// emits bit-for-bit identical plan sets whenever its screens only drop
+/// services a compliance filter would also drop.
+///
+/// The index is incrementally maintainable: apply(RepositoryDelta) patches
+/// only the buckets the touched services contribute to.
+///
+/// Thread safety: candidates() may summarize new request bodies through
+/// the HistContext, which is single-threaded — call it from the context's
+/// owning thread only (the enumerator does; the parallel verifier fans out
+/// *after* enumeration). Counters and memo tables are still mutex-guarded
+/// so concurrent read-only users of a warm index stay safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_PLAN_SERVICEINDEX_H
+#define SUS_PLAN_SERVICEINDEX_H
+
+#include "contract/Prescreen.h"
+#include "plan/Plan.h"
+#include "plan/RepositoryDelta.h"
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace sus {
+namespace plan {
+
+/// Observable index effectiveness counters (monotone per index).
+struct IndexStats {
+  size_t Lookups = 0;          ///< candidates() calls.
+  size_t Hits = 0;             ///< ... served from the per-body memo.
+  size_t Candidates = 0;       ///< Locations returned, summed.
+  size_t AlphabetRejects = 0;  ///< Bucket survivors cut by the alphabet screen.
+  size_t FirstStepRejects = 0; ///< ... cut by the first-step screen.
+  size_t Rebuilds = 0;         ///< Full builds (1) + per-service updates.
+
+  size_t misses() const { return Lookups - Hits; }
+};
+
+/// The inverted candidate index. Build once per repository, then keep it
+/// current with apply() as the repository churns.
+class ServiceIndex {
+public:
+  ServiceIndex(hist::HistContext &Ctx, const Repository &Repo);
+
+  /// The candidate locations for \p RequestBody: a superset of the
+  /// locations whose service complies with it, sorted by location. The
+  /// result is memoized per (hash-consed) body; churn invalidates the
+  /// memo, never the summaries (those are keyed on immutable exprs).
+  std::vector<Loc> candidates(const hist::Expr *RequestBody) const;
+
+  /// Patches the index for one batch of (already applied) repository
+  /// churn and drops the candidate-list memo.
+  void apply(const RepositoryDelta &Delta);
+
+  /// Published locations currently indexed.
+  size_t size() const;
+
+  IndexStats stats() const;
+
+private:
+  struct Entry {
+    const hist::Expr *Service = nullptr;
+    contract::ContractSummary Summary;
+  };
+
+  /// Registers/unregisters ℓ's bucket contributions (lock held).
+  void insertLocked(Loc Location, const hist::Expr *Service);
+  void removeLocked(Loc Location);
+
+  hist::HistContext &Ctx;
+  mutable std::mutex M;
+  mutable IndexStats Stats;
+
+  /// bucket[ā] = locations offering action a in some initial ready set.
+  std::map<hist::CommAction, std::set<Loc>> Buckets;
+  /// Locations whose projection is not screenable: always candidates.
+  std::set<Loc> Unscreened;
+  /// Per-location reverse map, for incremental removal.
+  std::map<Loc, Entry> Entries;
+  /// Request-body summaries (immutable: keyed on hash-consed exprs).
+  mutable std::map<const hist::Expr *, contract::ContractSummary> Bodies;
+  /// Memoized candidate lists; invalidated wholesale by apply().
+  mutable std::map<const hist::Expr *, std::vector<Loc>> Memo;
+};
+
+} // namespace plan
+} // namespace sus
+
+#endif // SUS_PLAN_SERVICEINDEX_H

@@ -444,6 +444,14 @@ private:
         error("expected service location in plan binding");
         return false;
       }
+      if (Decl.Pi.covers(R)) {
+        // Plan::bind refuses silent replacement; a twice-bound request in
+        // a declaration is almost certainly a typo, so reject it loudly
+        // instead of keeping whichever line came last.
+        error("request " + std::to_string(R) +
+              " is already bound in this plan");
+        return false;
+      }
       Decl.Pi.bind(R, Ctx.symbol(next().Text));
       if (!expect(TokenKind::Semi, "after plan binding"))
         return false;

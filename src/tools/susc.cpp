@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
+#include "core/Repair.h"
 #include "core/Verifier.h"
 #include "monitor/Fused.h"
 #include "policy/Compile.h"
@@ -39,7 +40,9 @@
 #include "syntax/FileParser.h"
 #include "validity/CostAnalysis.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -82,6 +85,7 @@ constexpr unsigned long MaxJobs = 256;
 void printUsage(std::ostream &OS) {
   OS << "usage: susc [options] file.sus\n"
         "       susc lint [lint options] file.sus\n"
+        "       susc plan [plan options] file.sus\n"
         "  --plan NAME      check only the declared plan NAME\n"
         "  --run            execute the first valid plan of each client\n"
         "  --monitor MODE   with --run, probe validity with 'probe' (the\n"
@@ -125,6 +129,27 @@ void printLintUsage(std::ostream &OS) {
         "  --trace-out F    write a Chrome trace_event JSON span trace to F\n"
         "  --metrics-out F  write pipeline metrics JSON (sus-metrics-v1) to F\n"
         "exit codes: 0 clean, 1 findings reported, 2 usage/parse error\n";
+}
+
+void printPlanUsage(std::ostream &OS) {
+  OS << "usage: susc plan [options] file.sus\n"
+        "  --index          enumerate through the ServiceIndex (candidate\n"
+        "                   buckets + compliance pre-screens; default)\n"
+        "  --no-index       scan the whole repository per request (the\n"
+        "                   paper's baseline; identical plan sets)\n"
+        "  --churn N        churn replay: N rounds, each removing and then\n"
+        "                   re-publishing one seeded-randomly picked\n"
+        "                   service, repairing the reports incrementally\n"
+        "                   and reporting p50/p99 repair latency\n"
+        "  --seed N         seed for the churn picks (default 1)\n"
+        "  --jobs N         re-verify repaired plans on N worker threads\n"
+        "  --deadline-ms N / --max-product-states N / --max-subset-states N\n"
+        "                   resource budgets; cut-short repairs are\n"
+        "                   Inconclusive(resource), never wrong\n"
+        "  --trace-out F    write a Chrome trace_event JSON span trace to F\n"
+        "  --metrics-out F  write pipeline metrics JSON (sus-metrics-v1) to F\n"
+        "exit codes: 0 all clients have valid plans, 1 some client has\n"
+        "            none, 2 usage/parse error, 3 inconclusive\n";
 }
 
 /// Consumes the value operand of \p Flag. Emits the "missing value"
@@ -652,6 +677,236 @@ int runLint(const LintCliOptions &Opts) {
 }
 
 //===----------------------------------------------------------------------===//
+// susc plan
+//===----------------------------------------------------------------------===//
+
+struct PlanCliOptions {
+  std::string InputPath;
+  std::string TraceOut;
+  std::string MetricsOut;
+  bool UseIndex = true;
+  unsigned Jobs = 1;
+  uint64_t ChurnRounds = 0;
+  uint64_t Seed = 1;
+  uint64_t DeadlineMs = CliOptions::NoLimit;
+  uint64_t MaxProductStates = CliOptions::NoLimit;
+  uint64_t MaxSubsetStates = CliOptions::NoLimit;
+};
+
+bool parsePlanArgs(int Argc, char **Argv, PlanCliOptions &Opts) {
+  // Argv[1] is the "plan" subcommand itself.
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--index") {
+      Opts.UseIndex = true;
+    } else if (Arg == "--no-index") {
+      Opts.UseIndex = false;
+    } else if (Arg == "--churn") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/1, Opts.ChurnRounds))
+        return false;
+    } else if (Arg == "--seed") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/0, Opts.Seed))
+        return false;
+    } else if (Arg == "--jobs") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseJobsValue(Value, Opts.Jobs))
+        return false;
+    } else if (Arg == "--deadline-ms") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/0, Opts.DeadlineMs))
+        return false;
+    } else if (Arg == "--max-product-states") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/0, Opts.MaxProductStates))
+        return false;
+    } else if (Arg == "--max-subset-states") {
+      std::string Value;
+      if (!takeValue(Argc, Argv, I, Arg, Value) ||
+          !parseCountValue(Arg, Value, /*MinValue=*/0, Opts.MaxSubsetStates))
+        return false;
+    } else if (Arg == "--trace-out") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.TraceOut))
+        return false;
+    } else if (Arg == "--metrics-out") {
+      if (!takeValue(Argc, Argv, I, Arg, Opts.MetricsOut))
+        return false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printPlanUsage(std::cout);
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "susc: unknown option '" << Arg << "'\n";
+      printPlanUsage(std::cerr);
+      return false;
+    } else if (Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      std::cerr << "susc: multiple input files\n";
+      return false;
+    }
+  }
+  if (Opts.InputPath.empty()) {
+    printPlanUsage(std::cerr);
+    return false;
+  }
+  return true;
+}
+
+/// A percentile over recorded repair latencies (rounded-down index, the
+/// same convention as the benchmarks).
+int64_t percentileUs(std::vector<int64_t> Sorted, size_t Pct) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  return Sorted[std::min(Sorted.size() - 1, Sorted.size() * Pct / 100)];
+}
+
+int runPlan(const PlanCliOptions &Opts) {
+  std::shared_ptr<ResourceGovernor> Governor;
+  if (Opts.DeadlineMs != CliOptions::NoLimit ||
+      Opts.MaxProductStates != CliOptions::NoLimit ||
+      Opts.MaxSubsetStates != CliOptions::NoLimit) {
+    Governor = std::make_shared<ResourceGovernor>();
+    if (Opts.MaxProductStates != CliOptions::NoLimit)
+      Governor->setLimit(ResourceKind::ProductStates, Opts.MaxProductStates);
+    if (Opts.MaxSubsetStates != CliOptions::NoLimit)
+      Governor->setLimit(ResourceKind::SubsetStates, Opts.MaxSubsetStates);
+    if (Opts.DeadlineMs != CliOptions::NoLimit)
+      Governor->setDeadlineAfterMillis(Opts.DeadlineMs);
+  }
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::cerr << "susc: cannot open '" << Opts.InputPath << "'\n";
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  hist::HistContext Ctx;
+  DiagnosticEngine Diags;
+  std::optional<syntax::SusFile> File =
+      syntax::parseSusFile(Ctx, Source, Diags, Opts.InputPath);
+  Diags.print(std::cerr, DiagFormat::Text);
+  if (!File)
+    return 2;
+
+  core::VerifierOptions VOpts;
+  VOpts.Jobs = Opts.Jobs;
+  VOpts.Governor = Governor;
+  VOpts.UseIndex = Opts.UseIndex;
+  core::Verifier Verifier(Ctx, File->Repo, File->Registry, VOpts);
+
+  bool AllClientsOk = true;
+  bool AnyInconclusive = false;
+
+  // Deterministic churn picks: a tiny LCG (constants from Numerical
+  // Recipes) so replays are reproducible across runs and platforms.
+  uint64_t Rng = Opts.Seed;
+  auto NextRand = [&Rng]() {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  };
+
+  for (const auto &[Name, Client] : File->Clients) {
+    std::string ClientName(Ctx.interner().text(Name));
+    std::cout << "== client " << ClientName << " ==\n";
+
+    core::RepairSession Session(Verifier, Client, Name);
+    const core::VerificationReport &Baseline = Session.verify();
+    std::cout << "candidate plans: " << Baseline.CandidateCount
+              << " (bindings tried: " << Baseline.BindingsTried << ")";
+    if (Baseline.Truncated)
+      std::cout << " [truncated]";
+    if (Baseline.EnumerationExhausted)
+      std::cout << " [enumeration inconclusive: "
+                << resourceKindName(Baseline.EnumerationExhausted->Which)
+                << "]";
+    std::cout << "\n";
+    std::cout << "valid plans: " << Baseline.validPlans().size() << "\n";
+    if (const plan::ServiceIndex *Index = Verifier.index()) {
+      plan::IndexStats IStats = Index->stats();
+      std::cout << "index: " << Index->size() << " services, "
+                << IStats.Lookups << " lookups (" << IStats.Hits
+                << " memo hits), " << IStats.Candidates
+                << " candidates, prescreen rejects: "
+                << IStats.AlphabetRejects << " alphabet + "
+                << IStats.FirstStepRejects << " first-step\n";
+    }
+
+    if (Opts.ChurnRounds > 0) {
+      std::vector<plan::Loc> Locs = File->Repo.locations();
+      if (Locs.empty()) {
+        std::cerr << "susc: --churn needs a non-empty repository\n";
+        return 2;
+      }
+      size_t Kept = 0, Dropped = 0, Reverified = 0, Repairs = 0;
+      std::vector<int64_t> LatenciesUs;
+      bool Tripped = false;
+      for (uint64_t Round = 0; Round < Opts.ChurnRounds && !Tripped;
+           ++Round) {
+        plan::Loc L = Locs[NextRand() % Locs.size()];
+        const hist::Expr *Service = File->Repo.find(L);
+        unsigned Capacity = File->Repo.capacity(L);
+        // One round = remove + re-publish: the repository ends the round
+        // unchanged, and both delta directions get exercised.
+        for (int Phase = 0; Phase < 2; ++Phase) {
+          plan::RepositoryDelta Delta;
+          Delta.Changes.push_back(
+              Phase == 0
+                  ? plan::applyRemove(File->Repo, L)
+                  : plan::applyPublish(File->Repo, L, Service, Capacity));
+          auto Start = std::chrono::steady_clock::now();
+          Outcome<core::RepairStats> Repair = Session.applyDelta(Delta);
+          auto End = std::chrono::steady_clock::now();
+          LatenciesUs.push_back(
+              std::chrono::duration_cast<std::chrono::microseconds>(End -
+                                                                    Start)
+                  .count());
+          ++Repairs;
+          if (!Repair.ok()) {
+            std::cout << "churn: round " << Round
+                      << " Inconclusive(resource: "
+                      << resourceKindName(Repair.exhausted().Which) << ")\n";
+            AnyInconclusive = true;
+            Tripped = true;
+            break;
+          }
+          Kept += Repair.value().PlansKept;
+          Dropped += Repair.value().PlansDropped;
+          Reverified += Repair.value().PlansReverified;
+        }
+      }
+      std::cout << "churn: " << Repairs << " repairs over "
+                << Opts.ChurnRounds << " round(s), plans kept " << Kept
+                << ", dropped " << Dropped << ", reverified " << Reverified
+                << "\n";
+      std::cout << "repair latency: p50 " << percentileUs(LatenciesUs, 50)
+                << " us, p99 " << percentileUs(LatenciesUs, 99) << " us\n";
+      std::cout << "valid plans after churn: "
+                << Session.report().validPlans().size() << "\n";
+    }
+
+    const core::VerificationReport &Final = Session.report();
+    if (Final.anyInconclusive())
+      AnyInconclusive = true;
+    if (Final.validPlans().empty())
+      AllClientsOk = false;
+  }
+
+  if (AnyInconclusive)
+    return 3;
+  return AllClientsOk ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
 // Observability plumbing
 //===----------------------------------------------------------------------===//
 
@@ -695,6 +950,16 @@ bool writeObservability(const std::string &TraceOut,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::string(Argv[1]) == "plan") {
+    PlanCliOptions Opts;
+    if (!parsePlanArgs(Argc, Argv, Opts))
+      return 2;
+    enableObservability(Opts.TraceOut, Opts.MetricsOut);
+    int Code = runPlan(Opts);
+    if (!writeObservability(Opts.TraceOut, Opts.MetricsOut) && Code == 0)
+      Code = 2;
+    return Code;
+  }
   if (Argc > 1 && std::string(Argv[1]) == "lint") {
     LintCliOptions Opts;
     if (!parseLintArgs(Argc, Argv, Opts))

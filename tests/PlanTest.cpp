@@ -2,6 +2,7 @@
 
 #include "core/HotelExample.h"
 #include "plan/PlanEnumerator.h"
+#include "plan/RepositoryDelta.h"
 #include "plan/RequestExtract.h"
 
 #include <gtest/gtest.h>
@@ -161,6 +162,123 @@ TEST_F(PlanTest, RecursiveServiceReusesBinding) {
   auto R = enumeratePlans(Client, Repo);
   ASSERT_EQ(R.Plans.size(), 1u);
   EXPECT_EQ(*R.Plans[0].lookup(42), LSelf);
+}
+
+TEST_F(PlanTest, RebindReturnsPreviousBinding) {
+  Plan Pi;
+  // rebind on a fresh id creates the binding and reports "nothing there".
+  EXPECT_FALSE(Pi.rebind(1, Ex.LS1).has_value());
+  EXPECT_EQ(*Pi.lookup(1), Ex.LS1);
+
+  std::optional<Loc> Prev = Pi.rebind(1, Ex.LS2);
+  ASSERT_TRUE(Prev.has_value());
+  EXPECT_EQ(*Prev, Ex.LS1);
+  EXPECT_EQ(*Pi.lookup(1), Ex.LS2);
+}
+
+TEST_F(PlanTest, UndoAfterRebindRestoresThePlan) {
+  Plan Pi;
+  Pi.bind(1, Ex.LS1);
+  Pi.bind(2, Ex.LS3);
+  const Plan Before = Pi;
+
+  // The rebind/undo protocol: replace, then rebind the returned previous
+  // location back. The plan must be exactly what it was — this is the
+  // symmetry the bind/undo searches depend on.
+  std::optional<Loc> Prev = Pi.rebind(1, Ex.LBr);
+  EXPECT_FALSE(Pi == Before);
+  ASSERT_TRUE(Prev.has_value());
+  Pi.rebind(1, *Prev);
+  EXPECT_EQ(Pi, Before);
+}
+
+TEST_F(PlanTest, BindRefusesToSilentlyReplace) {
+  Plan Pi;
+  Pi.bind(1, Ex.LS1);
+  // Re-binding a bound id must trip the assertion (debug builds); it may
+  // never silently overwrite, because the enumerator's undo would then
+  // erase the older binding instead of restoring it.
+  EXPECT_DEBUG_DEATH(Pi.bind(1, Ex.LS2), "use rebind");
+}
+
+TEST_F(PlanTest, RepositoryRemoveReturnsTheOldService) {
+  Repository Repo;
+  Loc L = Ctx.symbol("svc");
+  const Expr *S = Ctx.receive("Ping", Ctx.send("Pong", Ctx.empty()));
+  Repo.add(L, S, /*Capacity=*/2);
+  EXPECT_EQ(Repo.remove(L), S);
+  EXPECT_EQ(Repo.find(L), nullptr);
+  EXPECT_EQ(Repo.size(), 0u);
+  // Removing an absent location is a harmless no-op.
+  EXPECT_EQ(Repo.remove(L), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Stop reasons and emission filters
+//===----------------------------------------------------------------------===//
+
+TEST_F(PlanTest, ExhaustedSearchStopsWithCompleted) {
+  auto R = enumeratePlans(Ex.C1, Ex.Repo);
+  EXPECT_EQ(R.Stop, StopReason::Completed);
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_FALSE(R.Exhausted.has_value());
+}
+
+TEST_F(PlanTest, PlanLimitStopIsNotAResourceStop) {
+  EnumeratorOptions Opts;
+  Opts.MaxPlans = 3;
+  auto R = enumeratePlans(Ex.C1, Ex.Repo, Opts);
+  // Hitting MaxPlans means "raise the limit", not "raise the budget":
+  // the result is truncated but conclusively so — nothing was cut by a
+  // governor.
+  EXPECT_EQ(R.Stop, StopReason::PlanLimit);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_FALSE(R.Exhausted.has_value());
+  EXPECT_EQ(R.Plans.size(), 3u);
+}
+
+TEST_F(PlanTest, ResourceStopIsNotAPlanLimitStop) {
+  ResourceGovernor Gov;
+  Gov.requestCancel(); // Deterministic pre-tripped budget.
+  EnumeratorOptions Opts;
+  Opts.Governor = &Gov;
+  auto R = enumeratePlans(Ex.C1, Ex.Repo, Opts);
+  EXPECT_EQ(R.Stop, StopReason::Resources);
+  ASSERT_TRUE(R.Exhausted.has_value());
+  EXPECT_EQ(R.Exhausted->Which, ResourceKind::Cancelled);
+  EXPECT_FALSE(R.Truncated);
+}
+
+TEST_F(PlanTest, MustMentionEmitsExactlyTheTouchedPlans) {
+  std::set<Loc> Touched{Ex.LBr};
+  EnumeratorOptions Opts;
+  Opts.MustMention = &Touched;
+  auto Affected = enumeratePlans(Ex.C1, Ex.Repo, Opts);
+  auto Full = enumeratePlans(Ex.C1, Ex.Repo);
+
+  // The emitted plans are exactly the full enumeration's plans that bind
+  // a touched location, in the same order — the complement of what a
+  // repair session keeps.
+  std::vector<Plan> Expected;
+  for (const Plan &Pi : Full.Plans)
+    if (planMentions(Pi, Touched))
+      Expected.push_back(Pi);
+  EXPECT_EQ(Affected.Plans, Expected);
+  EXPECT_EQ(Full.Plans.size(), 9u);
+  EXPECT_EQ(Affected.Plans.size(), 5u); // 1 -> br, then 5 picks for req 3.
+  EXPECT_EQ(Affected.Stop, StopReason::Completed);
+}
+
+TEST_F(PlanTest, MustMentionSkipsDoNotCountAgainstMaxPlans) {
+  std::set<Loc> Touched{Ex.LBr};
+  EnumeratorOptions Opts;
+  Opts.MustMention = &Touched;
+  Opts.MaxPlans = 5; // Exactly the number of emitted plans: no truncation,
+                     // even though the search completes 9 plans in total.
+  auto R = enumeratePlans(Ex.C1, Ex.Repo, Opts);
+  EXPECT_EQ(R.Plans.size(), 5u);
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_EQ(R.Stop, StopReason::Completed);
 }
 
 TEST_F(PlanTest, PaperPlansAppearAmongCandidates) {

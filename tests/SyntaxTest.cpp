@@ -694,6 +694,23 @@ TEST(FileParserTest, ProgramNonTailRecursionRejected) {
   EXPECT_FALSE(File.has_value());
 }
 
+TEST(FileParserTest, RejectsDuplicatePlanBinding) {
+  // A plan re-binding the same request id would hit Plan::bind's fresh-id
+  // precondition; the parser must reject it as a proper diagnostic first.
+  HistContext Ctx;
+  DiagnosticEngine Diags;
+  auto File = parseSusFile(Ctx,
+                           "service s { a? }\n"
+                           "client c { open 1 { a! } }\n"
+                           "plan p for c { 1 -> s; 1 -> s; }",
+                           Diags);
+  EXPECT_FALSE(File.has_value());
+  ASSERT_TRUE(Diags.hasErrors());
+  std::ostringstream OS;
+  Diags.print(OS);
+  EXPECT_NE(OS.str().find("already bound"), std::string::npos) << OS.str();
+}
+
 TEST(FileParserTest, ReportsUsefulLocations) {
   HistContext Ctx;
   DiagnosticEngine Diags;

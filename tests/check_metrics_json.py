@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """CI check for the susc observability outputs.
 
-Usage: check_metrics_json.py SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS [BENCH_MONITOR]
+Usage: check_metrics_json.py SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS \
+           [BENCH_MONITOR] [BENCH_PLANS]
 
 Runs the shipped example through susc five ways and asserts:
   1. `--metrics-out` emits JSON valid against tests/metrics_schema.json
@@ -19,6 +20,14 @@ With the optional BENCH_MONITOR argument (the bench_monitor binary), also
 smoke-runs the fused-monitor benchmark with `--quick --metrics-out=` and
 asserts the emitted JSON validates and actually exercised the monitor:
 `monitor.events` > 0 and `monitor.fusions` >= 1.
+
+With the optional BENCH_PLANS argument (the bench_plans binary), also
+smoke-runs the plan-search benchmark the same way and asserts the emitted
+JSON validates and actually exercised indexed candidate selection:
+`plan.index.lookups` > 0 and `plan.enumerator.plans` > 0. The `susc plan`
+subcommand is additionally driven with `--metrics-out` (indexed, with one
+churn round) and its metrics must validate and count `plan.index.lookups`
+and `plan.repair.runs`.
 
 The schema validator is deliberately minimal and self-contained — it
 implements exactly the JSON Schema subset the schema file uses (type,
@@ -113,12 +122,47 @@ def check_bench_monitor(bench, schema, tmp):
         fail("bench_monitor performed no monitor.fusions")
 
 
+def check_bench_plans(bench, schema, tmp):
+    """The plan-search leg: bench_plans --quick must emit valid metrics
+    that show indexed enumeration actually ran."""
+    metrics = str(Path(tmp) / "plans-metrics.json")
+    res = run([bench, "--quick", f"--metrics-out={metrics}"])
+    if res.returncode != 0:
+        fail(f"bench_plans --quick failed: exit {res.returncode}\n"
+             f"{res.stderr}")
+    plans = json.loads(Path(metrics).read_text())
+    validate(plans, schema)
+    counters = plans["counters"]
+    if counters.get("plan.index.lookups", 0) <= 0:
+        fail("bench_plans performed no plan.index.lookups")
+    if counters.get("plan.enumerator.plans", 0) <= 0:
+        fail("bench_plans enumerated no plans")
+
+
+def check_susc_plan(susc, schema, example, tmp):
+    """The `susc plan` leg: an indexed run with one churn round must emit
+    valid metrics that count the index and the repair engine."""
+    metrics = str(Path(tmp) / "plan-metrics.json")
+    res = run([susc, "plan", "--index", "--churn", "1", "--seed", "7",
+               "--metrics-out", metrics, example])
+    if res.returncode not in (0, 1):
+        fail(f"susc plan failed: exit {res.returncode}\n{res.stderr}")
+    plan = json.loads(Path(metrics).read_text())
+    validate(plan, schema)
+    counters = plan["counters"]
+    if counters.get("plan.index.lookups", 0) <= 0:
+        fail("susc plan --index performed no plan.index.lookups")
+    if counters.get("plan.repair.runs", 0) <= 0:
+        fail("susc plan --churn performed no plan.repair.runs")
+
+
 def main():
-    if len(sys.argv) not in (4, 5):
+    if len(sys.argv) not in (4, 5, 6):
         fail(f"usage: {sys.argv[0]} SUSC_BINARY SCHEMA_JSON EXAMPLE_SUS "
-             f"[BENCH_MONITOR]")
+             f"[BENCH_MONITOR] [BENCH_PLANS]")
     susc, schema_path, example = sys.argv[1:4]
-    bench_monitor = sys.argv[4] if len(sys.argv) == 5 else None
+    bench_monitor = sys.argv[4] if len(sys.argv) >= 5 else None
+    bench_plans = sys.argv[5] if len(sys.argv) == 6 else None
     schema = json.loads(Path(schema_path).read_text())
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -168,8 +212,15 @@ def main():
 
         if bench_monitor is not None:
             check_bench_monitor(bench_monitor, schema, tmp)
+        if bench_plans is not None:
+            check_bench_plans(bench_plans, schema, tmp)
+            check_susc_plan(susc, schema, example, tmp)
 
-    legs = "susc + bench_monitor" if bench_monitor else "susc"
+    legs = "susc"
+    if bench_monitor:
+        legs += " + bench_monitor"
+    if bench_plans:
+        legs += " + bench_plans + susc plan"
     print(f"check_metrics_json: OK ({legs}: {n_events} trace events, "
           f"metrics valid against {Path(schema_path).name})")
     return 0
