@@ -12,6 +12,10 @@
 /// Alphabet parameters are sorted, duplicate-free symbol vectors (the form
 /// `Nfa::alphabet()`/`Dfa::alphabet()` return).
 ///
+/// Every entry point is [[nodiscard]]: the kernels are pure queries and
+/// constructions, so a dropped result is always a bug — and dropping a
+/// governed Outcome would silently discard an Inconclusive verdict.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUS_AUTOMATA_OPS_H
@@ -31,67 +35,67 @@ namespace automata {
 /// bitsets and hashed (support/HashUtil.h); successor sets are expanded
 /// per dense symbol index, in ascending symbol order, so the result's
 /// state numbering is the deterministic BFS discovery order.
-Dfa determinize(const Nfa &N);
+[[nodiscard]] Dfa determinize(const Nfa &N);
 
 /// Adds a non-accepting sink so that every state has a transition on every
 /// symbol in \p Alphabet (sorted, unique). Edges on symbols outside
 /// \p Alphabet are copied but not completed, mirroring the inputs.
-Dfa complete(const Dfa &D, const std::vector<SymbolCode> &Alphabet);
+[[nodiscard]] Dfa complete(const Dfa &D, const std::vector<SymbolCode> &Alphabet);
 
 /// Complement w.r.t. \p Alphabet ∪ D's own alphabet (completes first, then
 /// flips acceptance). \p Alphabet must be sorted and unique.
-Dfa complement(const Dfa &D, const std::vector<SymbolCode> &Alphabet);
+[[nodiscard]] Dfa complement(const Dfa &D, const std::vector<SymbolCode> &Alphabet);
 
 /// Product automaton accepting the intersection of the two languages.
 /// Only the reachable part is built. Prefer intersectIsEmpty /
 /// intersectWitness when only emptiness of the product is needed.
-Dfa intersect(const Dfa &A, const Dfa &B);
+[[nodiscard]] Dfa intersect(const Dfa &A, const Dfa &B);
 
 /// Product automaton accepting the union of the two languages; both inputs
 /// are completed over the joint alphabet first.
-Dfa unite(const Dfa &A, const Dfa &B);
+[[nodiscard]] Dfa unite(const Dfa &A, const Dfa &B);
 
 /// Returns a shortest accepted word if the language is non-empty, else
 /// std::nullopt. (BFS over reachable states.)
-std::optional<std::vector<SymbolCode>> shortestWitness(const Dfa &D);
+[[nodiscard]] std::optional<std::vector<SymbolCode>> shortestWitness(const Dfa &D);
 
 /// Returns true if the language of \p D is empty. (Early-exit BFS; no
 /// witness bookkeeping.)
-bool isEmpty(const Dfa &D);
+[[nodiscard]] bool isEmpty(const Dfa &D);
 
 /// Returns true if L(A) ∩ L(B) = ∅, exploring the product on the fly with
 /// early exit — the product is never materialized. Equivalent to
 /// isEmpty(intersect(A, B)).
-bool intersectIsEmpty(const Dfa &A, const Dfa &B);
+[[nodiscard]] bool intersectIsEmpty(const Dfa &A, const Dfa &B);
 
 /// Shortest word in L(A) ∩ L(B) if any, else std::nullopt, via BFS over
 /// the *implicit* product. Returns exactly the witness that
 /// shortestWitness(intersect(A, B)) would.
-std::optional<std::vector<SymbolCode>> intersectWitness(const Dfa &A,
-                                                        const Dfa &B);
+[[nodiscard]] std::optional<std::vector<SymbolCode>>
+intersectWitness(const Dfa &A, const Dfa &B);
 
 /// Returns true if L(A) ⊆ L(B), exploring the implicit product of A with
 /// the (virtual) completed complement of B — neither the complement nor
 /// the product is built.
-bool containedIn(const Dfa &A, const Dfa &B);
+[[nodiscard]] bool containedIn(const Dfa &A, const Dfa &B);
 
 /// Shortest word in L(A) \ L(B) if any (the ⊆-counterexample), else
 /// std::nullopt. Same implicit-product BFS as containedIn, with
 /// predecessor tracking; matches the witness the materialized
 /// shortestWitness(intersect(A, complement(B, joint))) pipeline returns.
-std::optional<std::vector<SymbolCode>> differenceWitness(const Dfa &A,
-                                                         const Dfa &B);
+[[nodiscard]] std::optional<std::vector<SymbolCode>>
+differenceWitness(const Dfa &A, const Dfa &B);
 
 /// Hopcroft minimization — genuine partition refinement with a splitter
 /// worklist over per-symbol inverse transitions, O(|Σ|·n·log n). The input
 /// is completed over its own alphabet first; the result is the canonical
 /// minimal complete DFA (minus any unreachable states), numbered by
 /// first-occurrence scan order for determinism.
-Dfa minimize(const Dfa &D);
+[[nodiscard]] Dfa minimize(const Dfa &D);
 
 /// Language equivalence via two on-the-fly containment checks; no
 /// complement or product automata are materialized.
-bool equivalent(const Dfa &A, const Dfa &B);
+[[nodiscard]] bool equivalent(const Dfa &A, const Dfa &B);
 
 //===----------------------------------------------------------------------===//
 // Governed variants
@@ -105,19 +109,20 @@ bool equivalent(const Dfa &A, const Dfa &B);
 // half-built automaton. With an unhit governor the result is bit-for-bit
 // identical to the ungoverned overload (same algorithm, same numbering).
 
-Outcome<Dfa> determinize(const Nfa &N, const ResourceGovernor &Gov);
-Outcome<Dfa> intersect(const Dfa &A, const Dfa &B, const ResourceGovernor &Gov);
-Outcome<bool> intersectIsEmpty(const Dfa &A, const Dfa &B,
-                               const ResourceGovernor &Gov);
-Outcome<std::optional<std::vector<SymbolCode>>>
+[[nodiscard]] Outcome<Dfa> determinize(const Nfa &N, const ResourceGovernor &Gov);
+[[nodiscard]] Outcome<Dfa> intersect(const Dfa &A, const Dfa &B,
+                                     const ResourceGovernor &Gov);
+[[nodiscard]] Outcome<bool> intersectIsEmpty(const Dfa &A, const Dfa &B,
+                                             const ResourceGovernor &Gov);
+[[nodiscard]] Outcome<std::optional<std::vector<SymbolCode>>>
 intersectWitness(const Dfa &A, const Dfa &B, const ResourceGovernor &Gov);
-Outcome<bool> containedIn(const Dfa &A, const Dfa &B,
-                          const ResourceGovernor &Gov);
-Outcome<std::optional<std::vector<SymbolCode>>>
+[[nodiscard]] Outcome<bool> containedIn(const Dfa &A, const Dfa &B,
+                                        const ResourceGovernor &Gov);
+[[nodiscard]] Outcome<std::optional<std::vector<SymbolCode>>>
 differenceWitness(const Dfa &A, const Dfa &B, const ResourceGovernor &Gov);
-Outcome<Dfa> minimize(const Dfa &D, const ResourceGovernor &Gov);
-Outcome<bool> equivalent(const Dfa &A, const Dfa &B,
-                         const ResourceGovernor &Gov);
+[[nodiscard]] Outcome<Dfa> minimize(const Dfa &D, const ResourceGovernor &Gov);
+[[nodiscard]] Outcome<bool> equivalent(const Dfa &A, const Dfa &B,
+                                       const ResourceGovernor &Gov);
 
 } // namespace automata
 } // namespace sus

@@ -275,6 +275,12 @@ private:
   /// Checks every enumerated plan through the parallel pipeline:
   /// compliance pre-warmed serially through the cache, security fanned
   /// out over per-worker shards. Results land in enumeration order.
+  ///
+  /// Concurrency discipline (DESIGN.md §11): workers never lock. Each
+  /// task writes only its own Report slot (disjoint indices) through a
+  /// private per-worker Shard; the shared VerifierCache is read-only to
+  /// workers after the serial pre-warm, and ThreadPool::waitIdle() is
+  /// the join edge that publishes every slot back to the caller.
   void checkPlansParallel(const hist::Expr *Client, plan::Loc ClientLoc,
                           const std::vector<plan::Plan> &Plans,
                           unsigned Jobs, VerificationReport &Report);

@@ -57,7 +57,7 @@ const hist::Expr *VerifierCache::projectionLocked(hist::HistContext &Ctx,
 
 const hist::Expr *VerifierCache::projection(hist::HistContext &Ctx,
                                             const hist::Expr *E) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return projectionLocked(Ctx, E);
 }
 
@@ -66,7 +66,7 @@ VerifierCache::compliance(hist::HistContext &Ctx,
                           const hist::Expr *RequestBody,
                           const hist::Expr *Service,
                           const ResourceGovernor *Gov) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++Stats.ComplianceLookups;
   auto Key = std::make_pair(RequestBody, Service);
   auto It = Compliances.find(Key);
@@ -90,7 +90,7 @@ VerifierCache::compliance(hist::HistContext &Ctx,
 std::optional<validity::StaticValidityResult>
 VerifierCache::findValidity(const hist::Expr *Client, plan::Loc ClientLoc,
                             const plan::Plan &Pi, size_t MaxStates) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++Stats.ValidityLookups;
   auto It = Validities.find(ValidityKey{Client, ClientLoc, Pi, MaxStates});
   if (It == Validities.end()) {
@@ -114,7 +114,7 @@ void VerifierCache::recordValidity(const hist::Expr *Client,
 #endif
     return;
   }
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Validities.emplace(ValidityKey{Client, ClientLoc, Pi, MaxStates},
                      std::move(Result));
 }
@@ -137,7 +137,7 @@ VerifierCache::invalidate(const plan::RepositoryDelta &Delta,
   for (const auto &[Location, Service] : Current.services())
     Retired.erase(Service);
 
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (auto It = Validities.begin(); It != Validities.end();)
     if (plan::planMentions(It->first.Pi, Touched)) {
       It = Validities.erase(It);
@@ -169,6 +169,6 @@ VerifierCache::invalidate(const plan::RepositoryDelta &Delta,
 }
 
 VerifierStats VerifierCache::stats() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Stats;
 }

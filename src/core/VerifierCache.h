@@ -25,10 +25,10 @@
 #include "monitor/Fused.h"
 #include "plan/Plan.h"
 #include "plan/RepositoryDelta.h"
+#include "support/Sync.h"
 #include "validity/StaticValidity.h"
 
 #include <map>
-#include <mutex>
 
 namespace sus {
 namespace core {
@@ -83,7 +83,9 @@ public:
   VerifierStats stats() const;
 
   /// What invalidate() removed, for eviction-precision accounting.
-  struct EvictionStats {
+  /// [[nodiscard]]: dropping it silently hides how much of the cache a
+  /// repository delta just blew away (repair reports sum these).
+  struct [[nodiscard]] EvictionStats {
     size_t ValidityEvicted = 0;   ///< Plan verdicts mentioning a touched ℓ.
     size_t ComplianceEvicted = 0; ///< Verdicts against retired services.
     size_t ProjectionEvicted = 0; ///< Projections of retired services.
@@ -132,15 +134,22 @@ private:
   };
 
   const hist::Expr *projectionLocked(hist::HistContext &Ctx,
-                                     const hist::Expr *E);
+                                     const hist::Expr *E) SUS_REQUIRES(M);
 
-  mutable std::mutex M;
-  VerifierStats Stats;
-  std::map<const hist::Expr *, const hist::Expr *> Projections;
+  /// Leaf lock over the memo tables and stats. Held across a compliance
+  /// product on a miss (the pre-warm serialization the parallel pipeline
+  /// relies on), but never while calling back into user code, and no
+  /// other lock is ever taken under it (FusedMonitors synchronizes
+  /// itself and is deliberately outside M's scope).
+  mutable Mutex M;
+  VerifierStats Stats SUS_GUARDED_BY(M);
+  std::map<const hist::Expr *, const hist::Expr *>
+      Projections SUS_GUARDED_BY(M);
   std::map<std::pair<const hist::Expr *, const hist::Expr *>,
            contract::ComplianceResult>
-      Compliances;
-  std::map<ValidityKey, validity::StaticValidityResult> Validities;
+      Compliances SUS_GUARDED_BY(M);
+  std::map<ValidityKey, validity::StaticValidityResult>
+      Validities SUS_GUARDED_BY(M);
   monitor::FusedCache FusedMonitors;
 };
 

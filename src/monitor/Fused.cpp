@@ -323,7 +323,7 @@ sus::monitor::fusePolicies(const policy::PolicyRegistry &Registry,
 
 std::shared_ptr<const FusedPolicyAutomaton>
 FusedCache::find(uint64_t Fingerprint) const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++S.Lookups;
   auto It = Entries.find(Fingerprint);
   if (It == Entries.end())
@@ -339,7 +339,7 @@ FusedCache::fuse(const policy::PolicyRegistry &Registry,
   canonicalizePolicySet(Refs, Universe);
   uint64_t Fp = policySetFingerprint(Refs, Universe);
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     ++S.Lookups;
     auto It = Entries.find(Fp);
     if (It != Entries.end()) {
@@ -355,7 +355,7 @@ FusedCache::fuse(const policy::PolicyRegistry &Registry,
       fusePolicies(Registry, Interner, std::move(Refs), std::move(Universe),
                    Opts);
   if (!Fused) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     ++S.Refusals;
     if (metrics::enabled())
       metrics::counter("monitor.fusion_fallbacks").add();
@@ -363,13 +363,13 @@ FusedCache::fuse(const policy::PolicyRegistry &Registry,
   }
   auto Shared =
       std::make_shared<const FusedPolicyAutomaton>(Fused.takeValue());
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++S.Fusions;
   auto [It, Inserted] = Entries.emplace(Fp, Shared);
   return Inserted ? Shared : It->second;
 }
 
 FusedCache::Stats FusedCache::stats() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return S;
 }

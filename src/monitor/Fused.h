@@ -36,11 +36,11 @@
 #include "hist/Expr.h"
 #include "policy/UsageAutomaton.h"
 #include "support/ResourceGovernor.h"
+#include "support/Sync.h"
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -173,9 +173,14 @@ public:
   Stats stats() const;
 
 private:
-  mutable std::mutex M;
-  mutable Stats S;
-  std::map<uint64_t, std::shared_ptr<const FusedPolicyAutomaton>> Entries;
+  /// Leaf lock over the table and stats. fuse() deliberately *releases*
+  /// M while building the product (fusion can take milliseconds and may
+  /// recurse into governed kernels), then re-locks to insert — losing a
+  /// duplicate-fusion race is cheaper than serializing every fusion.
+  mutable Mutex M;
+  mutable Stats S SUS_GUARDED_BY(M);
+  std::map<uint64_t, std::shared_ptr<const FusedPolicyAutomaton>>
+      Entries SUS_GUARDED_BY(M);
 };
 
 } // namespace monitor

@@ -125,14 +125,23 @@ private:
   /// advance() body without stats accounting (shared with ingest shards).
   bool advanceImpl(Session &Sess, const hist::Label &L, uint64_t &Unknown);
 
+  // Concurrency discipline (DESIGN.md §11): the engine is externally
+  // synchronized — one thread calls its methods — and ingest() is the
+  // only internal fan-out. Its shard tasks partition work by
+  // `session % Shards`, so each Session element is touched by exactly
+  // one worker, results land at disjoint Decisions indices, and each
+  // shard accumulates private counters that the calling thread merges
+  // into S only after Pool->waitIdle() — confinement, not locks, is the
+  // safety argument, and the pool's join edge is the publication point.
+  // No engine state needs a guard; the shared FusedCache locks itself.
   const policy::PolicyRegistry &Registry;
   const StringInterner &Interner;
   Options Opts;
   unsigned Shards; ///< Resolved shard count (>= 1).
   std::unique_ptr<ThreadPool> Pool; ///< Null when Shards == 1.
   FusedCache PrivateCache;          ///< Used when Opts.Cache is null.
-  std::vector<Session> Sessions;
-  Stats S;
+  std::vector<Session> Sessions;    ///< Sharded by index during ingest().
+  Stats S;                          ///< Calling thread only.
 };
 
 } // namespace monitor

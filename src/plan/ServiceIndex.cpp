@@ -45,7 +45,7 @@ metrics::Counter &updatesCounter() {
 
 ServiceIndex::ServiceIndex(HistContext &Ctx, const Repository &Repo)
     : Ctx(Ctx) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (const auto &[Location, Service] : Repo.services())
     insertLocked(Location, Service);
   ++Stats.Rebuilds;
@@ -87,7 +87,7 @@ void ServiceIndex::removeLocked(Loc Location) {
 }
 
 std::vector<Loc> ServiceIndex::candidates(const Expr *RequestBody) const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ++Stats.Lookups;
   lookupsCounter().add(1);
 
@@ -152,7 +152,7 @@ std::vector<Loc> ServiceIndex::candidates(const Expr *RequestBody) const {
 }
 
 void ServiceIndex::apply(const RepositoryDelta &Delta) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (const ServiceChange &C : Delta.Changes) {
     removeLocked(C.Location);
     if (C.New)
@@ -166,11 +166,11 @@ void ServiceIndex::apply(const RepositoryDelta &Delta) {
 }
 
 size_t ServiceIndex::size() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Entries.size();
 }
 
 IndexStats ServiceIndex::stats() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Stats;
 }

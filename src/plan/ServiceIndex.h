@@ -40,9 +40,9 @@
 #include "contract/Prescreen.h"
 #include "plan/Plan.h"
 #include "plan/RepositoryDelta.h"
+#include "support/Sync.h"
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
@@ -88,24 +88,29 @@ private:
     contract::ContractSummary Summary;
   };
 
-  /// Registers/unregisters ℓ's bucket contributions (lock held).
-  void insertLocked(Loc Location, const hist::Expr *Service);
-  void removeLocked(Loc Location);
+  /// Registers/unregisters ℓ's bucket contributions.
+  void insertLocked(Loc Location, const hist::Expr *Service) SUS_REQUIRES(M);
+  void removeLocked(Loc Location) SUS_REQUIRES(M);
 
+  /// Single-threaded by contract (see the thread-safety note above); the
+  /// lock does not cover calls into it.
   hist::HistContext &Ctx;
-  mutable std::mutex M;
-  mutable IndexStats Stats;
+  /// Leaf lock over everything below; nothing else is acquired under it.
+  mutable Mutex M;
+  mutable IndexStats Stats SUS_GUARDED_BY(M);
 
   /// bucket[ā] = locations offering action a in some initial ready set.
-  std::map<hist::CommAction, std::set<Loc>> Buckets;
+  std::map<hist::CommAction, std::set<Loc>> Buckets SUS_GUARDED_BY(M);
   /// Locations whose projection is not screenable: always candidates.
-  std::set<Loc> Unscreened;
+  std::set<Loc> Unscreened SUS_GUARDED_BY(M);
   /// Per-location reverse map, for incremental removal.
-  std::map<Loc, Entry> Entries;
+  std::map<Loc, Entry> Entries SUS_GUARDED_BY(M);
   /// Request-body summaries (immutable: keyed on hash-consed exprs).
-  mutable std::map<const hist::Expr *, contract::ContractSummary> Bodies;
+  mutable std::map<const hist::Expr *, contract::ContractSummary>
+      Bodies SUS_GUARDED_BY(M);
   /// Memoized candidate lists; invalidated wholesale by apply().
-  mutable std::map<const hist::Expr *, std::vector<Loc>> Memo;
+  mutable std::map<const hist::Expr *, std::vector<Loc>>
+      Memo SUS_GUARDED_BY(M);
 };
 
 } // namespace plan

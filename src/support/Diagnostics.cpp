@@ -22,10 +22,15 @@ const char *sus::severityName(DiagSeverity S) {
 
 Diagnostic &DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
                                      std::string Message) {
+  MutexLock Lock(M);
   if (Severity == DiagSeverity::Error)
     ++NumErrors;
   Diags.push_back({Severity, Loc, std::move(Message), {}, {}, {}});
-  return Diags.back();
+  // Deque references are stable across push_back, so handing this out
+  // past the unlock is safe; decorating it races only with rendering,
+  // which the class contract forbids overlapping.
+  Diagnostic &Reported = Diags.back();
+  return Reported;
 }
 
 std::vector<size_t> DiagnosticEngine::renderOrder() const {
@@ -59,6 +64,7 @@ static void printLocPrefix(std::ostream &OS, const SourceLoc &Loc) {
 }
 
 void DiagnosticEngine::print(std::ostream &OS) const {
+  MutexLock Lock(M);
   for (size_t I : renderOrder()) {
     const Diagnostic &D = Diags[I];
     printLocPrefix(OS, D.Loc);
@@ -123,6 +129,7 @@ static void printJsonDiag(std::ostream &OS, const DiagSeverity Severity,
 }
 
 void DiagnosticEngine::printJson(std::ostream &OS) const {
+  MutexLock Lock(M);
   OS << "[";
   bool First = true;
   for (size_t I : renderOrder()) {

@@ -14,6 +14,9 @@
 #ifndef SUS_SUPPORT_DIAGNOSTICS_H
 #define SUS_SUPPORT_DIAGNOSTICS_H
 
+#include "support/Sync.h"
+
+#include <deque>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -82,11 +85,19 @@ struct Diagnostic {
 enum class DiagFormat { Text, Json };
 
 /// Accumulates diagnostics; owned by the tool or test driver.
+///
+/// Thread safety: report() and the query/render methods may be called
+/// concurrently (lint passes fan out over the ThreadPool). The engine
+/// serializes its own bookkeeping; the one caller obligation is to
+/// finish decorating a returned Diagnostic& (ID, category, notes) before
+/// the engine is rendered or cleared — decoration mutates the diagnostic
+/// in place and is intentionally outside the lock.
 class DiagnosticEngine {
 public:
   /// Reports a diagnostic at \p Loc. Messages follow the LLVM style: start
-  /// lowercase, no trailing period. The returned reference is valid until
-  /// the next report; use it to set the ID/category or attach notes.
+  /// lowercase, no trailing period. The returned reference stays valid
+  /// until clear() (storage is a deque: growth never moves elements); use
+  /// it to set the ID/category or attach notes.
   Diagnostic &report(DiagSeverity Severity, SourceLoc Loc,
                      std::string Message);
 
@@ -110,9 +121,18 @@ public:
     return report(DiagSeverity::Note, Loc, std::move(Message));
   }
 
-  bool hasErrors() const { return NumErrors != 0; }
-  unsigned errorCount() const { return NumErrors; }
-  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool hasErrors() const { return errorCount() != 0; }
+  unsigned errorCount() const {
+    MutexLock Lock(M);
+    return NumErrors;
+  }
+
+  /// A snapshot of every collected diagnostic, in report order. Returned
+  /// by value so no reference escapes the lock.
+  std::vector<Diagnostic> diagnostics() const {
+    MutexLock Lock(M);
+    return std::vector<Diagnostic>(Diags.begin(), Diags.end());
+  }
 
   /// Renders all diagnostics as "file:line:col: severity: message [id]"
   /// lines, stably sorted by (file, line, col, severity) — passes may
@@ -130,18 +150,23 @@ public:
     Format == DiagFormat::Json ? printJson(OS) : print(OS);
   }
 
-  /// Drops all collected diagnostics.
+  /// Drops all collected diagnostics (invalidates report() references).
   void clear() {
+    MutexLock Lock(M);
     Diags.clear();
     NumErrors = 0;
   }
 
 private:
   /// Indices into Diags, sorted for rendering, exact duplicates removed.
-  std::vector<size_t> renderOrder() const;
+  std::vector<size_t> renderOrder() const SUS_REQUIRES(M);
 
-  std::vector<Diagnostic> Diags;
-  unsigned NumErrors = 0;
+  /// Leaf lock; never held while calling out of the engine.
+  mutable Mutex M;
+  /// A deque, not a vector: report() hands out references that must
+  /// survive later reports.
+  std::deque<Diagnostic> Diags SUS_GUARDED_BY(M);
+  unsigned NumErrors SUS_GUARDED_BY(M) = 0;
 };
 
 } // namespace sus

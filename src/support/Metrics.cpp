@@ -2,10 +2,11 @@
 
 #include "support/Metrics.h"
 
+#include "support/Sync.h"
+
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 using namespace sus;
@@ -14,16 +15,19 @@ namespace {
 
 /// Name → instrument tables. Instruments are never destroyed or moved
 /// once created (handles are cached at call sites), and the registry
-/// itself leaks so handles survive static destruction.
+/// itself leaks so handles survive static destruction. M is a leaf lock
+/// guarding only the tables; mutating an instrument *through* a handle
+/// is lock-free and deliberately outside its scope.
 struct Registry {
-  std::mutex M;
+  Mutex M;
   std::map<std::string, std::unique_ptr<metrics::Counter>, std::less<>>
-      Counters;
-  std::map<std::string, std::unique_ptr<metrics::Gauge>, std::less<>> Gauges;
+      Counters SUS_GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<metrics::Gauge>, std::less<>>
+      Gauges SUS_GUARDED_BY(M);
   std::map<std::string, std::unique_ptr<metrics::Histogram>, std::less<>>
-      Histograms;
+      Histograms SUS_GUARDED_BY(M);
   std::map<std::string, std::unique_ptr<metrics::TimeAccount>, std::less<>>
-      TimeAccounts;
+      TimeAccounts SUS_GUARDED_BY(M);
 };
 
 Registry &registry() {
@@ -64,6 +68,10 @@ std::atomic<bool> metrics::detail::Enabled{false};
 
 unsigned metrics::detail::shardIndex() {
   static std::atomic<unsigned> NextShard{0};
+  // Relaxed fetch_add: the RMW is atomic, so concurrent threads still get
+  // distinct tickets — an even spread over shards is the only goal (and
+  // even a collision would only cost contention, not correctness). No
+  // data is published through this counter.
   thread_local unsigned Shard =
       NextShard.fetch_add(1, std::memory_order_relaxed) % NumShards;
   return Shard;
@@ -72,10 +80,20 @@ unsigned metrics::detail::shardIndex() {
 void metrics::Histogram::observe(uint64_t V) {
   if (!enabled())
     return;
+  // All relaxed: each shard slot and bucket is an independent monotone
+  // accumulator, and readers (writeJson) only need an eventually-
+  // consistent merged snapshot — no cross-variable ordering invariant
+  // exists between count, sum and buckets, so no fences are owed. A
+  // report racing an observe may see the count without the sum; that is
+  // the documented snapshot semantics, not a data race (every access is
+  // atomic).
   unsigned Shard = detail::shardIndex();
   CountShards[Shard].Value.fetch_add(1, std::memory_order_relaxed);
   SumShards[Shard].Value.fetch_add(V, std::memory_order_relaxed);
   Buckets[std::bit_width(V)].fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS max/min: the loop re-reads on failure, so the invariant
+  // "Min/Max bound every observed sample once writers quiesce" holds
+  // under any interleaving; a stale read only costs an extra iteration.
   uint64_t Cur = Min.load(std::memory_order_relaxed);
   while (V < Cur &&
          !Min.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
@@ -102,6 +120,9 @@ void metrics::Histogram::resetValue() {
 }
 
 void metrics::enable() {
+  // Relaxed: unlike trace::enable() there is no state to publish — the
+  // instruments self-initialize (zeroed atomics) and every mutation is
+  // itself atomic, so the gate flips without ordering obligations.
   detail::Enabled.store(true, std::memory_order_relaxed);
 }
 
@@ -111,7 +132,7 @@ void metrics::disable() {
 
 void metrics::reset() {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   for (auto &[Name, C] : R.Counters)
     C->resetValue();
   for (auto &[Name, G] : R.Gauges)
@@ -122,31 +143,31 @@ void metrics::reset() {
 
 metrics::Counter &metrics::counter(std::string_view Name) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   return findOrCreate(R.Counters, Name);
 }
 
 metrics::Gauge &metrics::gauge(std::string_view Name) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   return findOrCreate(R.Gauges, Name);
 }
 
 metrics::Histogram &metrics::histogram(std::string_view Name) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   return findOrCreate(R.Histograms, Name);
 }
 
 metrics::TimeAccount &metrics::timeAccount(std::string_view Name) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   return findOrCreate(R.TimeAccounts, Name);
 }
 
 void metrics::writeJson(std::ostream &OS) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   OS << "{\n  \"schema\": \"sus-metrics-v1\",\n  \"counters\": {";
   bool First = true;
   for (const auto &[Name, C] : R.Counters) {

@@ -48,6 +48,11 @@ struct alignas(64) Shard {
 } // namespace detail
 
 /// True while metric mutation is on: the one-atomic-load gate.
+///
+/// Relaxed is sufficient: the gate publishes no data (instruments are
+/// zero-initialized atomics, every mutation is itself atomic), so a
+/// thread acting on a stale reading at worst skips or lands one extra
+/// sample — never a race. See metrics::enable() in Metrics.cpp.
 inline bool enabled() {
   return detail::Enabled.load(std::memory_order_relaxed);
 }
@@ -65,11 +70,18 @@ public:
   void add(uint64_t N = 1) {
     if (!enabled())
       return;
+    // Relaxed fetch_add: each shard is an independent monotone
+    // accumulator; no reader infers anything from one shard about
+    // another, so no inter-shard ordering is needed — atomicity of the
+    // RMW alone guarantees no increment is lost.
     Shards[detail::shardIndex()].Value.fetch_add(N,
                                                  std::memory_order_relaxed);
   }
 
-  /// Merged value across shards.
+  /// Merged value across shards. Relaxed loads: the merge is an
+  /// eventually-consistent snapshot by contract — reports run after
+  /// writers quiesce (waitIdle/process exit), where every relaxed add is
+  /// already visible via the joins' synchronization.
   uint64_t value() const {
     uint64_t Sum = 0;
     for (const detail::Shard &S : Shards)
@@ -95,6 +107,11 @@ public:
   }
 
   /// Raises the gauge to \p V if larger (high-water marks).
+  ///
+  /// Relaxed CAS loop: the invariant — the gauge ends at the maximum of
+  /// all setMax arguments once writers quiesce — only needs the CAS to
+  /// be atomic; a stale initial load just retries. No other location is
+  /// published through the gauge, so no ordering is owed.
   void setMax(int64_t V) {
     if (!enabled())
       return;
@@ -156,6 +173,8 @@ private:
 class TimeAccount {
 public:
   void add(uint64_t Nanos) {
+    // Relaxed: a single monotone accumulator; atomic RMW loses nothing,
+    // and readers (bench reports) run after the measured work joins.
     Value.fetch_add(Nanos, std::memory_order_relaxed);
   }
   uint64_t nanos() const { return Value.load(std::memory_order_relaxed); }

@@ -97,6 +97,10 @@ uint64_t ResourceGovernor::limit(ResourceKind K) const {
 }
 
 void ResourceGovernor::requestCancel() {
+  // Relaxed exchange: the flag only ever goes false→true, the RMW makes
+  // the first-setter-counts-once bookkeeping exact, and cancellation is
+  // advisory — a worker may legitimately run a few more poll strides
+  // before noticing. Nothing is published through the flag.
   if (!CancelFlag.exchange(true, std::memory_order_relaxed))
     cancelRequestsCounter().add();
 }
@@ -110,6 +114,12 @@ ResourceGovernor::deadlineTrip() const {
 }
 
 std::optional<ResourceExhausted> ResourceGovernor::poll() const {
+  // All loads/RMWs relaxed: CancelFlag and DeadlineHit are sticky
+  // one-way flags whose only invariant is "eventually observed, then
+  // observed forever" (stickiness comes from the flag itself, not from
+  // ordering); Ticks merely amortizes clock reads, and a lost stride in
+  // a racy modulo costs one extra/skipped clock read, nothing more. The
+  // clock, not inter-thread ordering, decides the deadline.
   if (CancelFlag.load(std::memory_order_relaxed))
     return ResourceExhausted{ResourceKind::Cancelled, 0, 0};
   if (DeadlineNanos == 0)

@@ -77,7 +77,11 @@ struct ResourceExhausted {
 
 /// Result-or-exhaustion sum type returned by governed kernels. No
 /// exceptions cross kernel boundaries: callers branch on ok().
-template <typename T> class Outcome {
+///
+/// [[nodiscard]]: dropping an Outcome silently discards a possible
+/// Inconclusive verdict — the caller would proceed as if the governed
+/// computation had succeeded.
+template <typename T> class [[nodiscard]] Outcome {
 public:
   Outcome(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
   Outcome(ResourceExhausted E) : Storage(std::in_place_index<1>, E) {}
@@ -153,12 +157,21 @@ public:
 private:
   std::optional<ResourceExhausted> deadlineTrip() const;
 
+  /// Configuration fields: written before workers start observing the
+  /// governor (setup happens-before the fan-out via ThreadPool::submit's
+  /// mutex), read-only afterwards — hence plain, not atomic.
   uint64_t StartNanos = 0;    ///< When the deadline was armed.
   uint64_t DeadlineNanos = 0; ///< Absolute steady-clock deadline; 0 = none.
   uint64_t BudgetMillis = 0;
   uint64_t SubsetLimit = Unlimited;
   uint64_t ProductLimit = Unlimited;
 
+  // All three atomics are relaxed everywhere (ResourceGovernor.cpp):
+  // they are advisory, sticky, one-way flags and a poll-amortization
+  // counter. Cancellation/deadline semantics are "every poll *after* the
+  // trip eventually observes it" — cooperative, not synchronizing — and
+  // no data is published through any of them, so no acquire/release
+  // pairing is owed; atomicity alone rules out torn reads.
   std::atomic<bool> CancelFlag{false};
   mutable std::atomic<bool> DeadlineHit{false};
   mutable std::atomic<uint64_t> Ticks{0};

@@ -1,0 +1,169 @@
+//===- support/Sync.h - Capability-annotated sync primitives ----*- C++ -*-===//
+///
+/// \file
+/// Thread-safety building blocks for every concurrent subsystem in the
+/// tree, annotated for Clang's static thread-safety analysis
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+///
+/// The annotations turn the informal comments "guarded by M" that used to
+/// decorate shared fields into compiler-checked facts: a dedicated CI leg
+/// builds all of src/ with `-Wthread-safety -Wthread-safety-beta -Werror`,
+/// so an unguarded access, a missing lock precondition, or a lock-order
+/// inversion is a build break on every path — including cold paths no
+/// differential seed exercises. On non-Clang compilers (the tier-1 GCC
+/// build, MSVC) every macro degrades to nothing and the wrappers compile
+/// down to the plain std types they hold.
+///
+/// Ground rules (DESIGN.md §11 has the full story):
+///  - All lock-based shared state uses sus::Mutex + sus::MutexLock; raw
+///    std::mutex members are banned outside this header.
+///  - Every guarded field carries SUS_GUARDED_BY(M); every private
+///    "...Locked" helper carries SUS_REQUIRES(M).
+///  - Lock acquisition order is encoded with SUS_ACQUIRED_BEFORE/AFTER
+///    where two locks genuinely nest (today: ThreadPool::StateMutex
+///    before any WorkerQueue::M).
+///  - No lock is ever held across user callbacks or task execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_SUPPORT_SYNC_H
+#define SUS_SUPPORT_SYNC_H
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes the analysis attributes via __attribute__; GCC and MSVC
+// parse but ignore (or reject) them, so everything vanishes elsewhere.
+#if defined(__clang__)
+#define SUS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SUS_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability ("mutex"-kind) the analysis tracks.
+#define SUS_CAPABILITY(x) SUS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define SUS_SCOPED_CAPABILITY SUS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads and writes require holding \p x.
+#define SUS_GUARDED_BY(x) SUS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field attribute: dereferences require holding \p x (the
+/// pointer itself is unguarded).
+#define SUS_PT_GUARDED_BY(x) SUS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: callers must hold the listed capabilities.
+#define SUS_REQUIRES(...) \
+  SUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: the function acquires the listed capabilities
+/// (which must not already be held).
+#define SUS_ACQUIRE(...) \
+  SUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the function releases the listed capabilities.
+#define SUS_RELEASE(...) \
+  SUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value
+/// equals the first argument.
+#define SUS_TRY_ACQUIRE(...) \
+  SUS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: callers must NOT hold the listed capabilities
+/// (guards against self-deadlock on non-reentrant locks).
+#define SUS_EXCLUDES(...) SUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Field attribute on a capability: this lock is acquired before \p x
+/// in the global lock order. Checked under -Wthread-safety-beta.
+#define SUS_ACQUIRED_BEFORE(...) \
+  SUS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Field attribute on a capability: this lock is acquired after \p x.
+#define SUS_ACQUIRED_AFTER(...) \
+  SUS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function attribute: asserts (without acquiring) that the capability is
+/// held — for runtime-checked entry points.
+#define SUS_ASSERT_CAPABILITY(x) SUS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function attribute: the returned reference is guarded by \p x.
+#define SUS_RETURN_CAPABILITY(x) SUS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment proving why the access is safe anyway.
+#define SUS_NO_THREAD_SAFETY_ANALYSIS \
+  SUS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sus {
+
+class CondVar;
+class MutexLock;
+
+/// A std::mutex the analysis knows about. Prefer the scoped MutexLock;
+/// the manual lock()/unlock() pair exists for the rare split-scope case.
+class SUS_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() SUS_ACQUIRE() { M.lock(); }
+  void unlock() SUS_RELEASE() { M.unlock(); }
+  bool tryLock() SUS_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  friend class MutexLock;
+  std::mutex M;
+};
+
+/// RAII lock over a Mutex. Wraps std::unique_lock so CondVar::wait can
+/// release/reacquire it without giving up the std::condition_variable
+/// fast path.
+class SUS_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &Mu) SUS_ACQUIRE(Mu) : Inner(Mu.M) {}
+  ~MutexLock() SUS_RELEASE() {}
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> Inner;
+};
+
+/// Condition variable paired with Mutex/MutexLock.
+///
+/// Deliberately has no predicate-lambda overload: Clang analyzes lambdas
+/// as separate functions, so a predicate reading fields guarded by the
+/// very lock wait() reacquires would be flagged as an unguarded access.
+/// Callers write the classic explicit loop instead, which the analysis
+/// checks precisely:
+/// \code
+///   MutexLock Lock(M);
+///   while (!condition)  // fields guarded by M: OK, lock is held
+///     CV.wait(Lock);
+/// \endcode
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  /// Atomically releases \p Lock, blocks, reacquires before returning.
+  /// The caller must hold the lock; spurious wakeups happen — always
+  /// wait in a while loop.
+  void wait(MutexLock &Lock) { CV.wait(Lock.Inner); }
+
+  void notifyOne() { CV.notify_one(); }
+  void notifyAll() { CV.notify_all(); }
+
+private:
+  std::condition_variable CV;
+};
+
+} // namespace sus
+
+#endif // SUS_SUPPORT_SYNC_H

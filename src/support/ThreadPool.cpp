@@ -59,7 +59,7 @@ ThreadPool::ThreadPool(unsigned Workers) {
     Workers = 1;
   Queues.reserve(Workers);
   for (unsigned I = 0; I < Workers; ++I)
-    Queues.push_back(std::make_unique<WorkerQueue>());
+    Queues.push_back(std::make_unique<WorkerQueue>(*this));
   Threads.reserve(Workers);
   for (unsigned I = 0; I < Workers; ++I)
     Threads.emplace_back([this, I] { workerLoop(I); });
@@ -68,10 +68,10 @@ ThreadPool::ThreadPool(unsigned Workers) {
 ThreadPool::~ThreadPool() {
   waitIdle();
   {
-    std::lock_guard<std::mutex> Lock(StateMutex);
+    MutexLock Lock(StateMutex);
     Stopping = true;
   }
-  WorkAvailable.notify_all();
+  WorkAvailable.notifyAll();
   for (std::thread &T : Threads)
     T.join();
 }
@@ -79,23 +79,23 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Task T) {
   assert(T && "empty task");
   {
-    std::lock_guard<std::mutex> Lock(StateMutex);
+    MutexLock Lock(StateMutex);
     ++Unfinished;
     tasksCounter().add();
     maxQueueDepthGauge().setMax(static_cast<int64_t>(Unfinished));
     WorkerQueue &WQ = *Queues[NextQueue];
     NextQueue = (NextQueue + 1) % Queues.size();
-    std::lock_guard<std::mutex> QLock(WQ.M);
+    MutexLock QLock(WQ.M);
     WQ.Q.push_back(std::move(T));
   }
-  WorkAvailable.notify_one();
+  WorkAvailable.notifyOne();
 }
 
 bool ThreadPool::grabTask(unsigned Id, Task &Out) {
   // Own deque first, newest-first: the task most likely still warm.
   {
     WorkerQueue &Own = *Queues[Id];
-    std::lock_guard<std::mutex> Lock(Own.M);
+    MutexLock Lock(Own.M);
     if (!Own.Q.empty()) {
       Out = std::move(Own.Q.back());
       Own.Q.pop_back();
@@ -105,7 +105,7 @@ bool ThreadPool::grabTask(unsigned Id, Task &Out) {
   // Steal oldest-first from the other workers.
   for (size_t Off = 1; Off < Queues.size(); ++Off) {
     WorkerQueue &Victim = *Queues[(Id + Off) % Queues.size()];
-    std::lock_guard<std::mutex> Lock(Victim.M);
+    MutexLock Lock(Victim.M);
     if (!Victim.Q.empty()) {
       Out = std::move(Victim.Q.front());
       Victim.Q.pop_front();
@@ -121,20 +121,21 @@ void ThreadPool::workerLoop(unsigned Id) {
     Task T;
     if (grabTask(Id, T)) {
       runTask(Id, T);
-      std::lock_guard<std::mutex> Lock(StateMutex);
+      MutexLock Lock(StateMutex);
       assert(Unfinished > 0 && "task accounting underflow");
       if (--Unfinished == 0)
-        AllDone.notify_all();
+        AllDone.notifyAll();
       continue;
     }
-    std::unique_lock<std::mutex> Lock(StateMutex);
+    MutexLock Lock(StateMutex);
     if (Stopping)
       return;
     // Re-check under the lock: a task may have arrived between the failed
     // grab and acquiring the lock; sleeping then would miss its wakeup.
+    // StateMutex → queue M, the one sanctioned nesting direction.
     bool Empty = true;
     for (auto &WQ : Queues) {
-      std::lock_guard<std::mutex> QLock(WQ->M);
+      MutexLock QLock(WQ->M);
       if (!WQ->Q.empty()) {
         Empty = false;
         break;
@@ -164,8 +165,13 @@ void ThreadPool::runTask(unsigned Id, Task &T) {
 }
 
 void ThreadPool::waitIdle() {
-  std::unique_lock<std::mutex> Lock(StateMutex);
-  AllDone.wait(Lock, [this] { return Unfinished == 0; });
+  MutexLock Lock(StateMutex);
+  // Explicit wait loop rather than the predicate-lambda overload: the
+  // analysis checks this form precisely (Unfinished is read with
+  // StateMutex held on every iteration; a lambda would be analyzed as a
+  // separate, lockless function).
+  while (Unfinished != 0)
+    AllDone.wait(Lock);
 }
 
 size_t ThreadPool::cancelPending() {
@@ -173,9 +179,9 @@ size_t ThreadPool::cancelPending() {
   {
     // StateMutex first, then each queue mutex: same order as submit(), so
     // this cannot deadlock against concurrent submitters or workers.
-    std::lock_guard<std::mutex> Lock(StateMutex);
+    MutexLock Lock(StateMutex);
     for (auto &WQ : Queues) {
-      std::lock_guard<std::mutex> QLock(WQ->M);
+      MutexLock QLock(WQ->M);
       Discarded += WQ->Q.size();
       WQ->Q.clear();
     }
@@ -184,9 +190,9 @@ size_t ThreadPool::cancelPending() {
     if (Discarded > 0)
       cancelledCounter().add(Discarded);
     if (Unfinished == 0)
-      AllDone.notify_all();
+      AllDone.notifyAll();
   }
   // Wake every worker: the queues they were waiting on just emptied.
-  WorkAvailable.notify_all();
+  WorkAvailable.notifyAll();
   return Discarded;
 }

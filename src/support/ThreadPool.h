@@ -14,16 +14,22 @@
 /// deterministic output must make tasks independent and slot results by
 /// index (see core::Verifier).
 ///
+/// Lock order (checked statically, see DESIGN.md §11): StateMutex is
+/// acquired before any WorkerQueue::M (submit, cancelPending, the
+/// worker-loop recheck). grabTask takes queue mutexes alone. No lock is
+/// ever held while a task executes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUS_SUPPORT_THREADPOOL_H
 #define SUS_SUPPORT_THREADPOOL_H
 
-#include <condition_variable>
+#include "support/Sync.h"
+
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -69,27 +75,41 @@ private:
   void workerLoop(unsigned Id);
 
   /// Executes \p T, accounting busy time to the metrics registry and a
-  /// "pool.task" span when observability is on.
+  /// "pool.task" span when observability is on. Called with no pool lock
+  /// held — tasks must never run under StateMutex or a queue mutex.
   void runTask(unsigned Id, Task &T);
 
   /// Pops work for worker \p Id: its own deque back first, then steals
   /// from the front of the others. Returns false when nothing is queued.
+  /// Takes queue mutexes one at a time, never StateMutex.
   bool grabTask(unsigned Id, Task &Out);
 
   struct WorkerQueue {
-    std::mutex M;
-    std::deque<Task> Q;
+    explicit WorkerQueue(ThreadPool &Parent) : Parent(Parent) {}
+
+    /// Back-pointer so the lock-order annotation below can name the
+    /// pool's StateMutex from inside the nested struct.
+    ThreadPool &Parent;
+
+    /// Leaf lock: nested inside StateMutex on the submit/cancel/recheck
+    /// paths, taken alone by grabTask. Never wraps another lock.
+    Mutex M SUS_ACQUIRED_AFTER(Parent.StateMutex);
+    std::deque<Task> Q SUS_GUARDED_BY(M);
   };
 
+  /// Written once in the constructor before any worker starts, immutable
+  /// afterwards — the vector itself needs no guard, only each queue's Q.
   std::vector<std::unique_ptr<WorkerQueue>> Queues;
   std::vector<std::thread> Threads;
 
-  std::mutex StateMutex;
-  std::condition_variable WorkAvailable; ///< Signalled on submit/stop.
-  std::condition_variable AllDone;       ///< Signalled when Unfinished==0.
-  size_t Unfinished = 0; ///< Queued + currently executing tasks.
-  size_t NextQueue = 0;  ///< Round-robin submit cursor.
-  bool Stopping = false;
+  Mutex StateMutex;
+  CondVar WorkAvailable; ///< Signalled on submit/stop.
+  CondVar AllDone;       ///< Signalled when Unfinished==0.
+  /// Queued + currently executing tasks.
+  size_t Unfinished SUS_GUARDED_BY(StateMutex) = 0;
+  /// Round-robin submit cursor.
+  size_t NextQueue SUS_GUARDED_BY(StateMutex) = 0;
+  bool Stopping SUS_GUARDED_BY(StateMutex) = false;
 };
 
 } // namespace sus

@@ -2,8 +2,9 @@
 
 #include "support/Trace.h"
 
+#include "support/Sync.h"
+
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -25,14 +26,15 @@ struct SpanRecord {
 
 /// The ring plus everything needed to drain it. One mutex serializes
 /// writers; a span is recorded once, on destruction, so the critical
-/// section is a handful of stores.
+/// section is a handful of stores. M is a leaf lock: nothing else is
+/// ever acquired while it is held.
 struct Ring {
-  std::mutex M;
-  std::vector<SpanRecord> Slots;
-  size_t Capacity = 0;
-  size_t Next = 0;     ///< Write cursor (wraps).
-  size_t Count = 0;    ///< Live records, <= Capacity.
-  size_t Dropped = 0;  ///< Overwritten records.
+  Mutex M;
+  std::vector<SpanRecord> Slots SUS_GUARDED_BY(M);
+  size_t Capacity SUS_GUARDED_BY(M) = 0;
+  size_t Next SUS_GUARDED_BY(M) = 0;    ///< Write cursor (wraps).
+  size_t Count SUS_GUARDED_BY(M) = 0;   ///< Live records, <= Capacity.
+  size_t Dropped SUS_GUARDED_BY(M) = 0; ///< Overwritten records.
 };
 
 Ring &ring() {
@@ -45,6 +47,9 @@ Ring &ring() {
 std::atomic<uint32_t> NextTid{0};
 
 uint32_t currentTid() {
+  // Relaxed is enough: fetch_add is a single atomic RMW, so every thread
+  // still draws a unique id — uniqueness is the only invariant; no other
+  // data is published through this counter, so no ordering is needed.
   thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
   return Tid;
 }
@@ -83,7 +88,7 @@ void trace::detail::record(const char *Name, const char *Category,
                            const char *CountKey, int64_t CountValue) {
   uint32_t Tid = currentTid();
   Ring &R = ring();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   if (R.Capacity == 0)
     return; // Disabled (or never enabled) between open and close.
   SpanRecord &Slot = R.Slots[R.Next];
@@ -99,39 +104,48 @@ void trace::detail::record(const char *Name, const char *Category,
 void trace::enable(size_t Capacity) {
   Ring &R = ring();
   {
-    std::lock_guard<std::mutex> Lock(R.M);
+    MutexLock Lock(R.M);
     R.Capacity = Capacity == 0 ? 1 : Capacity;
     R.Slots.assign(R.Capacity, SpanRecord{});
     R.Next = R.Count = R.Dropped = 0;
   }
+  // Relaxed store is safe even though it publishes the gate *after* the
+  // ring was initialized above: Enabled is only a hint. A recorder that
+  // observes Enabled==true must still acquire R.M before touching the
+  // ring, and that acquire synchronizes with the release of R.M in the
+  // block above, making the initialized Capacity/Slots visible. A
+  // recorder that races ahead of that handoff sees Capacity==0 under the
+  // lock and drops the span — never a torn ring.
   detail::Enabled.store(true, std::memory_order_relaxed);
 }
 
 void trace::disable() {
+  // Relaxed: disabling is advisory. In-flight spans that already loaded
+  // Enabled==true still record through R.M, which is the real serializer.
   detail::Enabled.store(false, std::memory_order_relaxed);
 }
 
 void trace::reset() {
   Ring &R = ring();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   R.Next = R.Count = R.Dropped = 0;
 }
 
 size_t trace::spanCount() {
   Ring &R = ring();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   return R.Count;
 }
 
 size_t trace::droppedSpans() {
   Ring &R = ring();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   return R.Dropped;
 }
 
 void trace::writeChromeTrace(std::ostream &OS) {
   Ring &R = ring();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   // Chrome wants microseconds; keep nanosecond resolution as a
   // zero-padded fractional part.
   auto WriteMicros = [&OS](uint64_t Nanos) {

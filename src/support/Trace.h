@@ -40,6 +40,12 @@ void record(const char *Name, const char *Category, uint64_t StartNanos,
 
 /// True while span collection is on. The one-atomic-load gate every
 /// disabled span bottoms out in.
+///
+/// Relaxed is deliberate and sufficient: the gate carries no data. Every
+/// recorder that acts on a true reading still takes the ring mutex, and
+/// that mutex (released by enable() after initializing the ring) provides
+/// the happens-before edge for the ring state itself. See
+/// trace::enable() in Trace.cpp for the full argument.
 inline bool enabled() {
   return detail::Enabled.load(std::memory_order_relaxed);
 }

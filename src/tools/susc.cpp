@@ -57,6 +57,12 @@ struct CliOptions {
   /// "Flag absent" sentinel for the resource limits below.
   static constexpr uint64_t NoLimit = ~uint64_t(0);
 
+  /// --help/-h was seen: the caller prints usage and exits 0. Kept as a
+  /// flag (instead of exiting inside the parser) so no library-level
+  /// code calls std::exit — which is also what concurrency-mt-unsafe
+  /// expects of functions that may one day run inside susd.
+  bool Help = false;
+
   std::string InputPath;
   std::string OnlyPlan;
   std::string DotLts;
@@ -307,8 +313,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!parseDiagFormat(Arg, Opts.Format))
         return false;
     } else if (Arg == "--help" || Arg == "-h") {
-      printUsage(std::cout);
-      std::exit(0);
+      Opts.Help = true;
+      return true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "susc: unknown option '" << Arg << "'\n";
       printUsage(std::cerr);
@@ -591,6 +597,7 @@ int runTool(const CliOptions &Opts) {
 //===----------------------------------------------------------------------===//
 
 struct LintCliOptions {
+  bool Help = false; ///< --help/-h: print usage, exit 0 (see CliOptions).
   std::string InputPath;
   analysis::LintOptions Lint;
   DiagFormat Format = DiagFormat::Text;
@@ -622,8 +629,8 @@ bool parseLintArgs(int Argc, char **Argv, LintCliOptions &Opts) {
     } else if (Arg == "--list-passes") {
       Opts.ListPasses = true;
     } else if (Arg == "--help" || Arg == "-h") {
-      printLintUsage(std::cout);
-      std::exit(0);
+      Opts.Help = true;
+      return true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "susc: unknown option '" << Arg << "'\n";
       printLintUsage(std::cerr);
@@ -681,6 +688,7 @@ int runLint(const LintCliOptions &Opts) {
 //===----------------------------------------------------------------------===//
 
 struct PlanCliOptions {
+  bool Help = false; ///< --help/-h: print usage, exit 0 (see CliOptions).
   std::string InputPath;
   std::string TraceOut;
   std::string MetricsOut;
@@ -738,8 +746,8 @@ bool parsePlanArgs(int Argc, char **Argv, PlanCliOptions &Opts) {
       if (!takeValue(Argc, Argv, I, Arg, Opts.MetricsOut))
         return false;
     } else if (Arg == "--help" || Arg == "-h") {
-      printPlanUsage(std::cout);
-      std::exit(0);
+      Opts.Help = true;
+      return true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "susc: unknown option '" << Arg << "'\n";
       printPlanUsage(std::cerr);
@@ -947,6 +955,20 @@ bool writeObservability(const std::string &TraceOut,
   return Ok;
 }
 
+/// True when \p Arg was almost certainly meant as a subcommand, not an
+/// input path: no option prefix, no path separator or extension, and no
+/// file of that name exists. Keeps `susc plna file.sus` a crisp
+/// "unknown subcommand" instead of "cannot open 'plna'", while
+/// extensionless-but-real input files still verify.
+bool looksLikeSubcommand(const std::string &Arg) {
+  if (Arg.empty() || Arg[0] == '-')
+    return false;
+  if (Arg.find('/') != std::string::npos ||
+      Arg.find('.') != std::string::npos)
+    return false;
+  return !std::ifstream(Arg).good();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -954,6 +976,10 @@ int main(int Argc, char **Argv) {
     PlanCliOptions Opts;
     if (!parsePlanArgs(Argc, Argv, Opts))
       return 2;
+    if (Opts.Help) {
+      printPlanUsage(std::cout);
+      return 0;
+    }
     enableObservability(Opts.TraceOut, Opts.MetricsOut);
     int Code = runPlan(Opts);
     if (!writeObservability(Opts.TraceOut, Opts.MetricsOut) && Code == 0)
@@ -964,15 +990,29 @@ int main(int Argc, char **Argv) {
     LintCliOptions Opts;
     if (!parseLintArgs(Argc, Argv, Opts))
       return 2;
+    if (Opts.Help) {
+      printLintUsage(std::cout);
+      return 0;
+    }
     enableObservability(Opts.TraceOut, Opts.MetricsOut);
     int Code = runLint(Opts);
     if (!writeObservability(Opts.TraceOut, Opts.MetricsOut) && Code == 0)
       Code = 2;
     return Code;
   }
+  if (Argc > 1 && looksLikeSubcommand(Argv[1])) {
+    std::cerr << "susc: unknown subcommand '" << Argv[1]
+              << "'; valid subcommands are 'lint' and 'plan' (or pass a "
+                 ".sus file to verify)\n";
+    return 2;
+  }
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
+  if (Opts.Help) {
+    printUsage(std::cout);
+    return 0;
+  }
   enableObservability(Opts.TraceOut, Opts.MetricsOut);
   int Code = runTool(Opts);
   if (!writeObservability(Opts.TraceOut, Opts.MetricsOut) && Code == 0)

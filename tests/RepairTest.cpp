@@ -111,7 +111,8 @@ TEST_F(RepairTest, AliasedExpressionsAreNotRetiredEarly) {
   Publish.Changes.push_back(applyPublish(Ex.Repo, Alias, Ex.S1));
 
   Verifier V(Ctx, Ex.Repo, Ex.Registry);
-  V.applyDelta(Publish);
+  VerifierCache::EvictionStats PublishEvicted = V.applyDelta(Publish);
+  EXPECT_EQ(PublishEvicted.ComplianceEvicted, 0u); // Cold cache: no-op.
   VerificationReport Report = V.verifyClient(Ex.C1, Ex.LC1);
   size_t MentionAlias = plansMentioning(Report, {Alias});
   ASSERT_GT(MentionAlias, 0u);

@@ -1,0 +1,141 @@
+//===- tests/SyncTest.cpp - Annotated sync primitive tests ----------------===//
+//
+// Runtime behavior of the capability-annotated wrappers in support/Sync.h:
+// mutual exclusion, RAII release, tryLock semantics and CondVar wakeups.
+// The TSan CI leg runs this binary, so every assertion here doubles as a
+// data-race probe on the wrappers themselves. The *static* halves of the
+// contract — that the annotations reject an unguarded access, a missing
+// SUS_REQUIRES, a lock-order inversion — live in tests/negcompile/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace sus;
+
+namespace {
+
+TEST(SyncTest, MutexLockProvidesMutualExclusion) {
+  Mutex M;
+  int Counter = 0; // Guarded by M by convention of this test.
+  constexpr int Threads = 8;
+  constexpr int PerThread = 10000;
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&M, &Counter] {
+      for (int I = 0; I < PerThread; ++I) {
+        MutexLock Lock(M);
+        ++Counter;
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  MutexLock Lock(M);
+  EXPECT_EQ(Counter, Threads * PerThread);
+}
+
+TEST(SyncTest, MutexLockReleasesOnScopeExit) {
+  Mutex M;
+  {
+    MutexLock Lock(M);
+  }
+  // Deadlocks (and times out) if the scope above leaked the lock.
+  MutexLock Again(M);
+  SUCCEED();
+}
+
+TEST(SyncTest, TryLockReportsContention) {
+  Mutex M;
+  ASSERT_TRUE(M.tryLock());
+  // Non-reentrant: a second tryLock from another thread must fail while
+  // the first hold is live. (Same-thread re-try is UB for std::mutex, so
+  // probe from a helper thread.)
+  bool SecondAcquired = true;
+  std::thread Prober([&M, &SecondAcquired] { SecondAcquired = M.tryLock(); });
+  Prober.join();
+  EXPECT_FALSE(SecondAcquired);
+  M.unlock();
+
+  std::thread Retry([&M] {
+    ASSERT_TRUE(M.tryLock());
+    M.unlock();
+  });
+  Retry.join();
+}
+
+TEST(SyncTest, CondVarHandsOffPredicate) {
+  Mutex M;
+  CondVar CV;
+  bool Ready = false; // Guarded by M.
+  int Observed = 0;
+
+  std::thread Consumer([&] {
+    MutexLock Lock(M);
+    while (!Ready) // Explicit loop: the Sync.h waiting idiom.
+      CV.wait(Lock);
+    Observed = 42;
+  });
+
+  {
+    MutexLock Lock(M);
+    Ready = true;
+  }
+  CV.notifyOne();
+  Consumer.join();
+  EXPECT_EQ(Observed, 42);
+}
+
+TEST(SyncTest, CondVarNotifyAllWakesEveryWaiter) {
+  Mutex M;
+  CondVar CV;
+  bool Go = false;   // Guarded by M.
+  int Arrived = 0;   // Guarded by M.
+  constexpr int Waiters = 4;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Waiters);
+  for (int T = 0; T < Waiters; ++T)
+    Threads.emplace_back([&] {
+      MutexLock Lock(M);
+      while (!Go)
+        CV.wait(Lock);
+      ++Arrived;
+    });
+
+  {
+    MutexLock Lock(M);
+    Go = true;
+  }
+  CV.notifyAll();
+  for (std::thread &T : Threads)
+    T.join();
+
+  MutexLock Lock(M);
+  EXPECT_EQ(Arrived, Waiters);
+}
+
+// The ThreadPool is the heaviest Sync.h consumer (two-level lock order,
+// condvar waits on both sides): hammer submit/waitIdle cycles so TSan
+// sees the full discipline under churn.
+TEST(SyncTest, ThreadPoolStressUnderAnnotatedPrimitives) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  for (int Round = 0; Round < 50; ++Round) {
+    for (int I = 0; I < 20; ++I)
+      Pool.submit([&Ran](unsigned) { Ran.fetch_add(1); });
+    Pool.waitIdle();
+  }
+  EXPECT_EQ(Ran.load(), 50 * 20);
+}
+
+} // namespace

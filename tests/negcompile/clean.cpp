@@ -1,0 +1,47 @@
+//===- negcompile/clean.cpp - positive control: MUST compile everywhere ---===//
+//
+// Exercises the same shapes as the violation fixtures, done correctly.
+// If this fixture stops compiling, the harness is broken (bad include
+// path, bad flags) — every "rejected violation" result would be
+// meaningless, so the driver hard-fails on it first.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+struct Account {
+  sus::Mutex M;
+  long Balance SUS_GUARDED_BY(M) = 0;
+};
+
+long deposit(Account &A, long Delta) {
+  sus::MutexLock Lock(A.M);
+  A.Balance += Delta;
+  return A.Balance;
+}
+
+class Ledger {
+public:
+  void postLocked(long Delta) SUS_REQUIRES(M) { Total += Delta; }
+
+  void post(long Delta) {
+    sus::MutexLock Lock(M);
+    postLocked(Delta);
+  }
+
+private:
+  sus::Mutex M;
+  long Total SUS_GUARDED_BY(M) = 0;
+};
+
+struct TwoLocks {
+  sus::Mutex A;
+  sus::Mutex B SUS_ACQUIRED_AFTER(A);
+};
+
+void ordered(TwoLocks &T) {
+  sus::MutexLock LockA(T.A);
+  sus::MutexLock LockB(T.B);
+}
+
+void exercise(Ledger &L) { L.post(1); }

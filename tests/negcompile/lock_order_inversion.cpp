@@ -1,0 +1,19 @@
+//===- negcompile/lock_order_inversion.cpp - MUST NOT COMPILE under Clang -===//
+//
+// Acquires two mutexes against their declared SUS_ACQUIRED_AFTER order.
+// The ordering check lives in -Wthread-safety-beta, which the harness
+// (and the thread-safety CI job) enables alongside -Wthread-safety.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+struct TwoLocks {
+  sus::Mutex A;
+  sus::Mutex B SUS_ACQUIRED_AFTER(A);
+};
+
+void inverted(TwoLocks &T) {
+  sus::MutexLock LockB(T.B);
+  sus::MutexLock LockA(T.A); // VIOLATION: A is ordered before B.
+}

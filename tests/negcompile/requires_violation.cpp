@@ -1,0 +1,23 @@
+//===- negcompile/requires_violation.cpp - MUST NOT COMPILE under Clang ---===//
+//
+// Calls a SUS_REQUIRES(M) method without holding M — the "forgot to lock
+// before the ...Locked helper" mistake the annotations exist to catch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+class Ledger {
+public:
+  void postLocked(long Delta) SUS_REQUIRES(M) { Total += Delta; }
+
+  void post(long Delta) {
+    postLocked(Delta); // VIOLATION: caller must hold M.
+  }
+
+private:
+  sus::Mutex M;
+  long Total SUS_GUARDED_BY(M) = 0;
+};
+
+void exercise(Ledger &L) { L.post(1); }

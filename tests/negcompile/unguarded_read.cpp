@@ -1,0 +1,19 @@
+//===- negcompile/unguarded_read.cpp - MUST NOT COMPILE under Clang -------===//
+//
+// Reads a SUS_GUARDED_BY field without holding its mutex. Under
+// `-Wthread-safety -Werror` Clang must reject this translation unit; on
+// compilers where the annotations are no-ops it must compile cleanly
+// (that direction is checked too, so the fixture stays valid C++).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+struct Account {
+  sus::Mutex M;
+  long Balance SUS_GUARDED_BY(M) = 0;
+};
+
+long unguardedRead(Account &A) {
+  return A.Balance; // VIOLATION: A.M is not held.
+}
