@@ -1,0 +1,52 @@
+//===- bench/bench_fuzz.cpp - B10: differential fuzzing throughput --------===//
+///
+/// \file
+/// Experiment B10 (DESIGN.md §12): throughput of the seeded differential
+/// harness — programs generated per second, and full seeds checked per
+/// second through all oracles (compliance cross-check, BPA trace
+/// equivalence, fused-monitor vs legacy probe, chaos soak). Sets the
+/// budget for the nightly sweep: seeds/night = rate × wall budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Differential.h"
+#include "fuzz/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sus;
+
+namespace {
+
+void BM_GenerateProgram(benchmark::State &State) {
+  fuzz::GeneratorOptions Opts;
+  Opts.Depth = static_cast<unsigned>(State.range(0));
+  uint64_t Seed = 0;
+  for (auto _ : State) {
+    fuzz::GeneratedProgram P = fuzz::generateProgram(Seed++, Opts);
+    benchmark::DoNotOptimize(P.Decls);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_GenerateProgram)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_DifferentialSeed(benchmark::State &State) {
+  fuzz::FuzzOptions Opts;
+  Opts.Chaos = State.range(0) != 0;
+  uint64_t Seed = 0;
+  for (auto _ : State) {
+    fuzz::SeedReport R = fuzz::runSeed(Seed++, Opts);
+    if (!R.clean())
+      State.SkipWithError("differential harness found a divergence");
+    benchmark::DoNotOptimize(R.Divergences);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DifferentialSeed)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

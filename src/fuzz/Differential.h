@@ -1,0 +1,91 @@
+//===- fuzz/Differential.h - Differential fuzzing oracles -------*- C++ -*-===//
+///
+/// \file
+/// The differential harness: every generated program is pushed through a
+/// hierarchy of independent implementations that must agree —
+///
+///   parse        the program must parse (the generator promises this);
+///   compliance   product-automaton checker (Thm. 1) vs. the literal
+///                Def. 4 ready-set procedure, per request/service pair;
+///   bpa          hist::derive trace prefixes vs. the BPA translation's
+///                (plus canPerform spot checks on sampled BPA traces);
+///   monitor      fused-DFA session monitor vs. the legacy per-policy
+///                validity probe, label by label over a random trace;
+///   chaos        governed re-verification must be Inconclusive-or-
+///                correct and must never pollute shared caches.
+///
+/// Any disagreement is reported as a Divergence and the failing program
+/// is minimized declaration-by-declaration into a replayable reproducer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUS_FUZZ_DIFFERENTIAL_H
+#define SUS_FUZZ_DIFFERENTIAL_H
+
+#include "fuzz/Generator.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sus {
+namespace fuzz {
+
+/// Knobs for one differential run.
+struct FuzzOptions {
+  GeneratorOptions Gen;
+  unsigned BpaTraceDepth = 4;   ///< Trace-prefix comparison depth.
+  unsigned MonitorTraceLen = 48; ///< Labels fed to the monitor pair.
+  bool Chaos = true;            ///< Run the governor chaos soak too.
+  unsigned ChaosRounds = 2;     ///< Governed rounds per client.
+};
+
+/// One oracle disagreement (or unexpected parser outcome).
+struct Divergence {
+  std::string Check; ///< "parse", "compliance", "bpa", "monitor", "chaos".
+  std::string Detail;
+};
+
+/// Everything learned about one seed.
+struct SeedReport {
+  uint64_t Seed = 0;
+  GeneratedProgram Program;
+  std::vector<Divergence> Divergences;
+  /// Declaration-minimized reproducer; only set when divergences exist.
+  std::string MinimizedSource;
+
+  bool clean() const { return Divergences.empty(); }
+};
+
+/// Runs every oracle over \p Source (any .sus text, not necessarily
+/// generated). \p Seed keys the random traces and chaos schedules.
+/// Returns false when the program did not even parse.
+bool checkSource(const std::string &Source, uint64_t Seed,
+                 const FuzzOptions &Opts, std::vector<Divergence> &Out);
+
+/// Generates the program for \p Seed, runs the oracles, and minimizes on
+/// failure.
+SeedReport runSeed(uint64_t Seed, const FuzzOptions &Opts = {});
+
+/// Greedy ddmin-style declaration minimization: repeatedly drops any
+/// declaration whose removal keeps \p StillFails true. Deterministic and
+/// O(n²) predicate calls in the worst case, which is fine for the handful
+/// of declarations a generated program has.
+std::vector<std::string> minimizeDecls(
+    std::vector<std::string> Decls,
+    const std::function<bool(const std::vector<std::string> &)> &StillFails);
+
+/// Deterministic adversarial parser battery: oversized number literals,
+/// nesting ladders at and beyond the ParserBase depth limit, very long
+/// prefix/sequence spines, and seeded token soup, pushed through the
+/// lexer and all three parsers. Inputs that must parse have to parse;
+/// inputs that must be rejected have to fail with the expected
+/// diagnostic — and nothing may crash (stack overflow and signed-overflow
+/// UB show up as process death under the sanitizer legs). Returns the
+/// violations found.
+std::vector<Divergence> parserTorture();
+
+} // namespace fuzz
+} // namespace sus
+
+#endif // SUS_FUZZ_DIFFERENTIAL_H

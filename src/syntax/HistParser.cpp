@@ -11,6 +11,9 @@ using namespace sus::hist;
 using namespace sus::syntax;
 
 const Expr *HistParser::parseExpr() {
+  DepthGuard Guard(*this);
+  if (!Guard)
+    return nullptr;
   if (peek().isIdent("mu")) {
     next();
     if (!peek().is(TokenKind::Ident)) {
@@ -30,30 +33,34 @@ const Expr *HistParser::parseExpr() {
 
 bool HistParser::operandBranches(const Expr *E, bool WantInputs,
                                  std::vector<ChoiceBranch> &Out) {
-  if (const auto *C = dyn_cast<ChoiceExpr>(E)) {
-    bool IsExt = E->kind() == ExprKind::ExtChoice;
-    if (IsExt != WantInputs) {
-      error(WantInputs
-                ? "cannot mix output-guarded operand into external choice"
-                : "cannot mix input-guarded operand into internal choice");
-      return false;
-    }
-    for (const ChoiceBranch &B : C->branches())
-      Out.push_back(B);
-    return true;
+  // Walk the left spine of sequential compositions iteratively (the spine
+  // can be as long as the operand has ';' terms, so recursing here would
+  // ride the native stack), collecting the continuations to distribute
+  // into the guarded head: (a?.X); Y  ==>  a?.(X; Y).
+  std::vector<const Expr *> Tails;
+  while (const auto *S = dyn_cast<SeqExpr>(E)) {
+    Tails.push_back(S->tail());
+    E = S->head();
   }
-  if (const auto *S = dyn_cast<SeqExpr>(E)) {
-    // Distribute the continuation into the guarded head:
-    // (a?.X); Y  ==>  a?.(X; Y).
-    std::vector<ChoiceBranch> Head;
-    if (!operandBranches(S->head(), WantInputs, Head))
-      return false;
-    for (ChoiceBranch &B : Head)
-      Out.push_back({B.Guard, Ctx.seq(B.Body, S->tail())});
-    return true;
+  const auto *C = dyn_cast<ChoiceExpr>(E);
+  if (!C) {
+    error("choice operand must be guarded by a communication action");
+    return false;
   }
-  error("choice operand must be guarded by a communication action");
-  return false;
+  bool IsExt = E->kind() == ExprKind::ExtChoice;
+  if (IsExt != WantInputs) {
+    error(WantInputs
+              ? "cannot mix output-guarded operand into external choice"
+              : "cannot mix input-guarded operand into internal choice");
+    return false;
+  }
+  for (const ChoiceBranch &B : C->branches()) {
+    const Expr *Body = B.Body;
+    for (auto It = Tails.rbegin(); It != Tails.rend(); ++It)
+      Body = Ctx.seq(Body, *It);
+    Out.push_back({B.Guard, Body});
+  }
+  return true;
 }
 
 const Expr *HistParser::parseChoice() {
@@ -98,6 +105,9 @@ const Expr *HistParser::parseSeq() {
 }
 
 const Expr *HistParser::parsePrefix() {
+  DepthGuard Guard(*this);
+  if (!Guard)
+    return nullptr;
   // Action prefix: IDENT ('?'|'!') ['.' prefix].
   if (peek().is(TokenKind::Ident) &&
       (peek(1).is(TokenKind::Question) || peek(1).is(TokenKind::Bang))) {

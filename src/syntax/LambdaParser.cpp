@@ -114,6 +114,9 @@ std::optional<hist::PolicyRef> LambdaParser::parsePolicyRef() {
 }
 
 const Term *LambdaParser::parseAtom() {
+  DepthGuard Guard(*this);
+  if (!Guard)
+    return nullptr;
   const Token &T = peek();
 
   if (T.is(TokenKind::LParen)) {

@@ -3,6 +3,7 @@
 #include "syntax/Lexer.h"
 
 #include <cctype>
+#include <limits>
 
 using namespace sus;
 using namespace sus::syntax;
@@ -130,11 +131,24 @@ std::vector<Token> sus::syntax::tokenize(std::string_view Buffer,
       bool Negative = C == '-';
       if (Negative)
         Advance();
+      // Checked accumulation: the magnitude must fit int64_t. (The most
+      // negative value, whose magnitude is INT64_MAX+1, is also rejected —
+      // no SUS construct needs it, and keeping the bound symmetric keeps
+      // `Negative ? -N : N` free of overflow.)
       int64_t N = 0;
+      bool Overflow = false;
       while (I < Buffer.size() &&
              std::isdigit(static_cast<unsigned char>(Buffer[I]))) {
-        N = N * 10 + (Buffer[I] - '0');
+        int64_t Digit = Buffer[I] - '0';
+        if (N > (std::numeric_limits<int64_t>::max() - Digit) / 10)
+          Overflow = true;
+        else
+          N = N * 10 + Digit;
         Advance();
+      }
+      if (Overflow) {
+        Diags.error(Loc, "number literal out of range");
+        continue;
       }
       Push(TokenKind::Number, Loc, {}, Negative ? -N : N);
       continue;

@@ -78,10 +78,39 @@ public:
   size_t position() const { return Pos; }
   void setPosition(size_t P) { Pos = P < Tokens.size() ? P : Tokens.size(); }
 
+  /// Maximum recursive-descent nesting. Generous for real programs, small
+  /// enough that the parser never rides the native stack to exhaustion on
+  /// adversarial input (each level is a handful of frames).
+  static constexpr unsigned MaxDepth = 256;
+
+  /// RAII depth ticket for the recursive entry points. Construct one at
+  /// the top of every function that can re-enter itself through the token
+  /// stream; when it converts to false, the limit was exceeded, a
+  /// diagnostic has been reported, and the caller must bail out with its
+  /// failure value.
+  class DepthGuard {
+  public:
+    explicit DepthGuard(ParserBase &P) : P(P) {
+      Ok = ++P.Depth <= MaxDepth;
+      if (!Ok)
+        P.error("expression nesting too deep (limit " +
+                std::to_string(MaxDepth) + ")");
+    }
+    ~DepthGuard() { --P.Depth; }
+    DepthGuard(const DepthGuard &) = delete;
+    DepthGuard &operator=(const DepthGuard &) = delete;
+    explicit operator bool() const { return Ok; }
+
+  private:
+    ParserBase &P;
+    bool Ok;
+  };
+
 protected:
   const std::vector<Token> &Tokens;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
+  unsigned Depth = 0;
 };
 
 } // namespace syntax

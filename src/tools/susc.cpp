@@ -27,6 +27,7 @@
 #include "analysis/Lint.h"
 #include "core/Repair.h"
 #include "core/Verifier.h"
+#include "fuzz/Differential.h"
 #include "monitor/Fused.h"
 #include "policy/Compile.h"
 #include "hist/Bisim.h"
@@ -92,6 +93,7 @@ void printUsage(std::ostream &OS) {
   OS << "usage: susc [options] file.sus\n"
         "       susc lint [lint options] file.sus\n"
         "       susc plan [plan options] file.sus\n"
+        "       susc fuzz [fuzz options]\n"
         "  --plan NAME      check only the declared plan NAME\n"
         "  --run            execute the first valid plan of each client\n"
         "  --monitor MODE   with --run, probe validity with 'probe' (the\n"
@@ -915,6 +917,156 @@ int runPlan(const PlanCliOptions &Opts) {
 }
 
 //===----------------------------------------------------------------------===//
+// susc fuzz
+//===----------------------------------------------------------------------===//
+
+struct FuzzCliOptions {
+  bool Help = false; ///< --help/-h: print usage, exit 0 (see CliOptions).
+  uint64_t Seeds = 100;
+  uint64_t BaseSeed = 0;
+  bool Replay = false;
+  bool NoChaos = false;
+  uint64_t Depth = 4;
+  uint64_t Alphabet = 3;
+  uint64_t Policies = 2;
+  uint64_t Services = 3;
+  uint64_t Clients = 2;
+  uint64_t Width = 2;
+  uint64_t TraceLen = 48;
+};
+
+void printFuzzUsage(std::ostream &OS) {
+  OS << "usage: susc fuzz [options]\n"
+        "  --seeds N        sweep N consecutive seeds (default 100)\n"
+        "  --seed N         first (or, with --replay, only) seed\n"
+        "  --replay         re-run just --seed, printing the generated\n"
+        "                   program and every oracle verdict\n"
+        "  --no-chaos       skip the governor chaos soak\n"
+        "  --depth N / --alphabet N / --policies N / --services N /\n"
+        "  --clients N / --width N   generator difficulty knobs\n"
+        "  --trace-len N    labels fed to the monitor pair (default 48)\n"
+        "exit codes: 0 every seed clean, 1 divergence or parser-battery\n"
+        "            failure, 2 usage error\n";
+}
+
+bool parseFuzzArgs(int Argc, char **Argv, FuzzCliOptions &Opts) {
+  // Argv[1] is the "fuzz" subcommand itself.
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Count = [&](uint64_t MinValue, uint64_t &Out) {
+      std::string Value;
+      return takeValue(Argc, Argv, I, Arg, Value) &&
+             parseCountValue(Arg, Value, MinValue, Out);
+    };
+    if (Arg == "--seeds") {
+      if (!Count(1, Opts.Seeds))
+        return false;
+    } else if (Arg == "--seed") {
+      if (!Count(0, Opts.BaseSeed))
+        return false;
+    } else if (Arg == "--replay") {
+      Opts.Replay = true;
+    } else if (Arg == "--no-chaos") {
+      Opts.NoChaos = true;
+    } else if (Arg == "--depth") {
+      if (!Count(1, Opts.Depth))
+        return false;
+    } else if (Arg == "--alphabet") {
+      if (!Count(1, Opts.Alphabet))
+        return false;
+    } else if (Arg == "--policies") {
+      if (!Count(1, Opts.Policies))
+        return false;
+    } else if (Arg == "--services") {
+      if (!Count(1, Opts.Services))
+        return false;
+    } else if (Arg == "--clients") {
+      if (!Count(1, Opts.Clients))
+        return false;
+    } else if (Arg == "--width") {
+      if (!Count(1, Opts.Width))
+        return false;
+    } else if (Arg == "--trace-len") {
+      if (!Count(1, Opts.TraceLen))
+        return false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      Opts.Help = true;
+      return true;
+    } else {
+      std::cerr << "susc: unknown option '" << Arg
+                << "' (susc fuzz takes no input file)\n";
+      printFuzzUsage(std::cerr);
+      return false;
+    }
+  }
+  return true;
+}
+
+fuzz::FuzzOptions fuzzOptions(const FuzzCliOptions &Opts) {
+  fuzz::FuzzOptions O;
+  O.Gen.Depth = static_cast<unsigned>(Opts.Depth);
+  O.Gen.AlphabetSize = static_cast<unsigned>(Opts.Alphabet);
+  O.Gen.NumPolicies = static_cast<unsigned>(Opts.Policies);
+  O.Gen.NumServices = static_cast<unsigned>(Opts.Services);
+  O.Gen.NumClients = static_cast<unsigned>(Opts.Clients);
+  O.Gen.ChoiceWidth = static_cast<unsigned>(Opts.Width);
+  O.MonitorTraceLen = static_cast<unsigned>(Opts.TraceLen);
+  O.Chaos = !Opts.NoChaos;
+  return O;
+}
+
+void printDivergences(const std::vector<fuzz::Divergence> &Ds) {
+  for (const fuzz::Divergence &D : Ds)
+    std::cout << "  [" << D.Check << "] " << D.Detail << "\n";
+}
+
+int runFuzz(const FuzzCliOptions &Opts) {
+  // The deterministic adversarial battery runs once per invocation: it is
+  // what demonstrably catches the lexer-overflow and parser-depth bugs if
+  // their fixes regress.
+  std::vector<fuzz::Divergence> Battery = fuzz::parserTorture();
+  if (!Battery.empty()) {
+    std::cout << "fuzz: parser torture battery FAILED ("
+              << Battery.size() << " finding(s)):\n";
+    printDivergences(Battery);
+    return 1;
+  }
+
+  fuzz::FuzzOptions O = fuzzOptions(Opts);
+
+  if (Opts.Replay) {
+    fuzz::SeedReport R = fuzz::runSeed(Opts.BaseSeed, O);
+    std::cout << "=== seed " << R.Seed << " program ===\n"
+              << R.Program.source() << "=== oracles ===\n";
+    if (R.clean()) {
+      std::cout << "seed " << R.Seed << ": all oracles agree\n";
+      return 0;
+    }
+    std::cout << R.Divergences.size() << " divergence(s):\n";
+    printDivergences(R.Divergences);
+    std::cout << "=== minimized reproducer ===\n" << R.MinimizedSource;
+    return 1;
+  }
+
+  for (uint64_t S = Opts.BaseSeed; S < Opts.BaseSeed + Opts.Seeds; ++S) {
+    fuzz::SeedReport R = fuzz::runSeed(S, O);
+    if (!R.clean()) {
+      std::cout << "fuzz: seed " << S << " FAILED with "
+                << R.Divergences.size() << " divergence(s):\n";
+      printDivergences(R.Divergences);
+      std::cout << "=== minimized reproducer ===\n"
+                << R.MinimizedSource
+                << "replay with: susc fuzz --seed " << S << " --replay\n";
+      return 1;
+    }
+  }
+  std::cout << "fuzz: " << Opts.Seeds << " seed(s) starting at "
+            << Opts.BaseSeed << ", parser battery + differential oracles"
+            << (O.Chaos ? " + chaos soak" : "") << ": all clean\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Observability plumbing
 //===----------------------------------------------------------------------===//
 
@@ -1000,10 +1152,20 @@ int main(int Argc, char **Argv) {
       Code = 2;
     return Code;
   }
+  if (Argc > 1 && std::string(Argv[1]) == "fuzz") {
+    FuzzCliOptions Opts;
+    if (!parseFuzzArgs(Argc, Argv, Opts))
+      return 2;
+    if (Opts.Help) {
+      printFuzzUsage(std::cout);
+      return 0;
+    }
+    return runFuzz(Opts);
+  }
   if (Argc > 1 && looksLikeSubcommand(Argv[1])) {
     std::cerr << "susc: unknown subcommand '" << Argv[1]
-              << "'; valid subcommands are 'lint' and 'plan' (or pass a "
-                 ".sus file to verify)\n";
+              << "'; valid subcommands are 'fuzz', 'lint' and 'plan' (or "
+                 "pass a .sus file to verify)\n";
     return 2;
   }
   CliOptions Opts;

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -92,6 +93,34 @@ TEST(LexerTest, LoneMinusIsStray) {
   DiagnosticEngine Diags;
   tokenize("a - b", Diags);
   EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, Int64BoundaryLiteralsScanExactly) {
+  DiagnosticEngine Diags;
+  auto Max = tokenize("9223372036854775807", Diags);
+  ASSERT_EQ(Max.size(), 2u);
+  EXPECT_EQ(Max[0].Number, std::numeric_limits<int64_t>::max());
+  auto Min = tokenize("-9223372036854775807", Diags);
+  ASSERT_EQ(Min.size(), 2u);
+  EXPECT_EQ(Min[0].Number, -std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, OverflowingLiteralIsDiagnosedNotWrapped) {
+  // Regression: the scan used to accumulate N = N*10 + digit unchecked —
+  // signed-overflow UB on anything past INT64_MAX.
+  for (const char *Src :
+       {"9223372036854775808", "99999999999999999999999999999999999999"}) {
+    DiagnosticEngine Diags;
+    auto Tokens = tokenize(Src, Diags);
+    EXPECT_TRUE(Diags.hasErrors()) << Src;
+    // The bad literal is dropped, not emitted with a wrapped value.
+    ASSERT_EQ(Tokens.size(), 1u) << Src;
+    EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+    EXPECT_NE(Diags.diagnostics().front().Message.find(
+                  "number literal out of range"),
+              std::string::npos);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -717,6 +746,97 @@ TEST(FileParserTest, ReportsUsefulLocations) {
   parseSusFile(Ctx, "client c {\n  a! .\n}", Diags);
   ASSERT_TRUE(Diags.hasErrors());
   EXPECT_EQ(Diags.diagnostics().front().Loc.Line, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Recursion depth guard (regression: deeply nested input used to ride the
+// native stack into a stack-overflow crash; now every parser reports a
+// clean "nesting too deep" diagnostic past ParserBase::MaxDepth).
+//===----------------------------------------------------------------------===//
+
+std::string nested(const std::string &Core, unsigned Levels) {
+  std::string Out;
+  for (unsigned I = 0; I < Levels; ++I)
+    Out += "(";
+  Out += Core;
+  for (unsigned I = 0; I < Levels; ++I)
+    Out += ")";
+  return Out;
+}
+
+bool diagsSayTooDeep(const DiagnosticEngine &Diags) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Message.find("nesting too deep") != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(DepthGuardTest, HistParserUnderLimitParses) {
+  HistContext Ctx;
+  DiagnosticEngine Diags;
+  // Each paren level costs two depth tickets (expr + prefix), so 100
+  // levels sits comfortably under MaxDepth = 256.
+  EXPECT_NE(parseHistExpr(Ctx, nested("eps", 100), Diags), nullptr);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(DepthGuardTest, HistParserOverLimitFailsCleanly) {
+  HistContext Ctx;
+  for (unsigned Levels : {400u, 100000u}) {
+    DiagnosticEngine Diags;
+    EXPECT_EQ(parseHistExpr(Ctx, nested("eps", Levels), Diags), nullptr);
+    EXPECT_TRUE(diagsSayTooDeep(Diags)) << Levels << " levels";
+  }
+}
+
+TEST(DepthGuardTest, PrefixChainsHitTheSameLimit) {
+  HistContext Ctx;
+  DiagnosticEngine DiagsOk;
+  std::string Ok;
+  for (unsigned I = 0; I < 120; ++I)
+    Ok += "a?.";
+  EXPECT_NE(parseHistExpr(Ctx, Ok + "eps", DiagsOk), nullptr);
+  EXPECT_FALSE(DiagsOk.hasErrors());
+
+  DiagnosticEngine DiagsDeep;
+  std::string Deep;
+  for (unsigned I = 0; I < 5000; ++I)
+    Deep += "a?.";
+  EXPECT_EQ(parseHistExpr(Ctx, Deep + "eps", DiagsDeep), nullptr);
+  EXPECT_TRUE(diagsSayTooDeep(DiagsDeep));
+}
+
+TEST(DepthGuardTest, LongFlatSpinesAreNotLimited) {
+  // Flat ';' chains parse iteratively, and distributing a choice guard
+  // over an already-parsed seq spine walks it iteratively too — neither
+  // may trip the depth guard nor the native stack.
+  HistContext Ctx;
+  DiagnosticEngine Diags;
+  std::string Spine = "a?.%e";
+  for (unsigned I = 0; I < 1500; ++I)
+    Spine += "; %e";
+  EXPECT_NE(parseHistExpr(Ctx, Spine + " + b?.eps", Diags), nullptr);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(DepthGuardTest, LambdaParserOverLimitFailsCleanly) {
+  HistContext Ctx;
+  lambda::LambdaContext L(Ctx);
+  DiagnosticEngine DiagsOk;
+  EXPECT_NE(parseLambdaTerm(L, nested("unit", 100), DiagsOk), nullptr);
+  EXPECT_FALSE(DiagsOk.hasErrors());
+  DiagnosticEngine DiagsDeep;
+  EXPECT_EQ(parseLambdaTerm(L, nested("unit", 600), DiagsDeep), nullptr);
+  EXPECT_TRUE(diagsSayTooDeep(DiagsDeep));
+}
+
+TEST(DepthGuardTest, FileParserBehaviorsAreGuardedToo) {
+  HistContext Ctx;
+  DiagnosticEngine Diags;
+  auto File =
+      parseSusFile(Ctx, "service s { " + nested("eps", 600) + " }", Diags);
+  EXPECT_FALSE(File.has_value());
+  EXPECT_TRUE(diagsSayTooDeep(Diags));
 }
 
 } // namespace

@@ -1,0 +1,27 @@
+//===- tests/fuzz/fuzz_fileparser.cpp - libFuzzer FileParser harness ------===//
+///
+/// \file
+/// Parses arbitrary bytes as a whole .sus file: policy, service, client
+/// and plan declarations plus all the cross-declaration validation the
+/// file parser performs. The seed corpus holds small valid programs and
+/// the regression triggers (huge literal, deep nesting).
+///
+//===----------------------------------------------------------------------===//
+
+#include "hist/HistContext.h"
+#include "support/Diagnostics.h"
+#include "syntax/FileParser.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size > 1 << 16)
+    return 0;
+  std::string_view Buffer(reinterpret_cast<const char *>(Data), Size);
+  sus::hist::HistContext Ctx;
+  sus::DiagnosticEngine Diags;
+  (void)sus::syntax::parseSusFile(Ctx, Buffer, Diags, "fuzz.sus");
+  return 0;
+}

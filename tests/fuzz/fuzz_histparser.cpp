@@ -1,0 +1,27 @@
+//===- tests/fuzz/fuzz_histparser.cpp - libFuzzer harness for HistParser --===//
+///
+/// \file
+/// Parses arbitrary bytes as a hist expression. The parser must never
+/// crash: deep nesting is bounded by ParserBase::MaxDepth (regression:
+/// recursive descent used to ride the native stack into a crash), and
+/// any rejection must come as a clean diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hist/HistContext.h"
+#include "support/Diagnostics.h"
+#include "syntax/HistParser.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size > 1 << 16)
+    return 0;
+  std::string_view Buffer(reinterpret_cast<const char *>(Data), Size);
+  sus::hist::HistContext Ctx;
+  sus::DiagnosticEngine Diags;
+  (void)sus::syntax::parseHistExpr(Ctx, Buffer, Diags);
+  return 0;
+}

@@ -1,0 +1,28 @@
+//===- tests/fuzz/fuzz_lambdaparser.cpp - libFuzzer LambdaParser harness --===//
+///
+/// \file
+/// Parses arbitrary bytes as a lambda term. Same contract as the hist
+/// harness: no crashes, nesting bounded by the shared depth guard,
+/// rejections only via diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hist/HistContext.h"
+#include "lambda/LambdaContext.h"
+#include "support/Diagnostics.h"
+#include "syntax/LambdaParser.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size > 1 << 16)
+    return 0;
+  std::string_view Buffer(reinterpret_cast<const char *>(Data), Size);
+  sus::hist::HistContext Ctx;
+  sus::lambda::LambdaContext L(Ctx);
+  sus::DiagnosticEngine Diags;
+  (void)sus::syntax::parseLambdaTerm(L, Buffer, Diags);
+  return 0;
+}

@@ -1,0 +1,25 @@
+//===- tests/fuzz/fuzz_lexer.cpp - libFuzzer harness for the Lexer --------===//
+///
+/// \file
+/// Feeds arbitrary bytes to tokenize(). The lexer must never crash and
+/// must either diagnose or faithfully scan every byte sequence; the
+/// checked accumulation in the number scan (regression: signed-overflow
+/// UB on huge literals) is the main prize for the sanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "syntax/Lexer.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size > 1 << 16)
+    return 0;
+  std::string_view Buffer(reinterpret_cast<const char *>(Data), Size);
+  sus::DiagnosticEngine Diags;
+  (void)sus::syntax::tokenize(Buffer, Diags);
+  return 0;
+}

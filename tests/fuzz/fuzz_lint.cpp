@@ -1,0 +1,35 @@
+//===- tests/fuzz/fuzz_lint.cpp - libFuzzer harness for the lint passes ---===//
+///
+/// \file
+/// Parses arbitrary bytes as a .sus file and, when the parse succeeds,
+/// runs every registered lint pass over the result. Exercises the
+/// analysis layer on generator-adjacent shapes the hand-written lint
+/// fixtures never reach.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "hist/HistContext.h"
+#include "support/Diagnostics.h"
+#include "syntax/FileParser.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size > 1 << 16)
+    return 0;
+  std::string_view Buffer(reinterpret_cast<const char *>(Data), Size);
+  sus::hist::HistContext Ctx;
+  sus::DiagnosticEngine Diags;
+  std::optional<sus::syntax::SusFile> File =
+      sus::syntax::parseSusFile(Ctx, Buffer, Diags, "fuzz.sus");
+  if (!File)
+    return 0;
+  sus::analysis::LintOptions Opts;
+  sus::analysis::LintContext LC(Ctx, *File, "fuzz.sus", Opts, Diags);
+  (void)sus::analysis::runLintPasses(LC);
+  return 0;
+}
