@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""B11: daemon-served verification latency, warm vs cold (BENCH_daemon.json).
+
+Generates a B9-style multi-family repository as a .sus file (the same
+shape bench_plans.cpp builds in memory: each family speaks its own
+request/ack channel pair, publishes one good recursive responder and
+K-1 decoys that accept the family request but answer on a dead
+channel), then measures what a user actually pays per verification:
+
+  cold      a full one-shot process (`susd --warm`): parse 10k
+            services, compile, build the index, verify from an empty
+            cache — the pre-daemon cost of every single `susc` run;
+  snapshot  the same one-shot but loading a persistent cache snapshot
+            first (`susd --snapshot ... --warm`): parsing is still
+            paid, the memo tables are not;
+  daemon    one `susc --connect verify` request against a resident
+            warmed daemon: the parse, the DFAs, the index and every
+            memo table are already hot.
+
+Writes BENCH_daemon.json next to the repo root. The acceptance bar for
+PR 10 is daemon-served warm latency >= 5x better than cold.
+
+Usage: daemon_bench.py <susd> <susc> [--families N] [--per-family K]
+                       [--out BENCH_daemon.json]
+"""
+
+import argparse
+import json
+import os
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def generate_b9(path, families, per_family, clients):
+    with open(path, "w") as f:
+        f.write("# B11 benchmark repository: %d families x %d services.\n"
+                % (families, per_family))
+        for i in range(families):
+            q, a = "f%dq" % i, "f%da" % i
+            f.write("service f%dg { mu h . %s? . %s! . h }\n" % (i, q, a))
+            for j in range(1, per_family):
+                f.write("service f%dd%d { mu h . %s? . f%dx%d! . h }\n"
+                        % (i, j, q, i, j))
+        for c in range(clients):
+            fam_a, fam_b = (2 * c) % families, (2 * c + 1) % families
+            # Three request/ack rounds per session: enough depth that the
+            # compliance products and validity explorations (what the
+            # snapshot memoizes) dominate over raw parsing.
+            rounds_a = " . ".join("f%dq! . f%da?" % (fam_a, fam_a)
+                                  for _ in range(3))
+            rounds_b = " . ".join("f%dq! . f%da?" % (fam_b, fam_b)
+                                  for _ in range(3))
+            f.write("client c%d { open %d { %s } ; open %d { %s } }\n"
+                    % (c, 2 * c + 1, rounds_a, 2 * c + 2, rounds_b))
+
+
+def run_timed(argv):
+    start = time.monotonic()
+    r = subprocess.run(argv, capture_output=True, timeout=600)
+    elapsed_ms = (time.monotonic() - start) * 1000.0
+    if r.returncode != 0:
+        sys.exit("daemon_bench: %s exited %d:\n%s" %
+                 (" ".join(argv), r.returncode,
+                  r.stderr.decode(errors="replace")))
+    return elapsed_ms, r.stdout
+
+
+def median_timed(argv, runs):
+    times, out = [], b""
+    for _ in range(runs):
+        ms, out = run_timed(argv)
+        times.append(ms)
+    return statistics.median(times), out
+
+
+def wait_for_socket(path, proc, deadline_s=120):
+    end = time.time() + deadline_s
+    while time.time() < end:
+        if proc.poll() is not None:
+            sys.exit("daemon_bench: susd exited early (%d)" % proc.returncode)
+        if os.path.exists(path):
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.connect(path)
+                s.close()
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    sys.exit("daemon_bench: daemon socket never came up")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("susd")
+    ap.add_argument("susc")
+    ap.add_argument("--families", type=int, default=1000)
+    ap.add_argument("--per-family", type=int, default=10)
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--runs", type=int, default=3)
+    ap.add_argument("--out", default="BENCH_daemon.json")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="susd-bench-", dir="/tmp") as tmp:
+        sus = os.path.join(tmp, "b9.sus")
+        snap = os.path.join(tmp, "b9.snap")
+        sock = os.path.join(tmp, "susd.sock")
+        generate_b9(sus, args.families, args.per_family, args.clients)
+
+        # Cold one-shot (and cut the snapshot on the last run).
+        cold_ms, cold_out = median_timed([args.susd, "--warm", sus],
+                                         args.runs)
+        run_timed([args.susd, "--warm", "--save-snapshot", snap, sus])
+
+        # Snapshot-loaded one-shot: parse still paid, memo tables not.
+        snap_ms, snap_out = median_timed(
+            [args.susd, "--snapshot", snap, "--warm", sus], args.runs)
+        if snap_out != cold_out:
+            sys.exit("daemon_bench: snapshot-loaded output diverged")
+
+        # Resident daemon: per-request latency against warm state.
+        daemon = subprocess.Popen(
+            [args.susd, "--listen", sock, "--warm", sus],
+            stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+        try:
+            wait_for_socket(sock, daemon)
+            warm_ms, warm_out = median_timed(
+                [args.susc, "--connect", sock, "verify"],
+                max(args.runs, 10))
+            if warm_out != cold_out:
+                sys.exit("daemon_bench: daemon-served output diverged")
+            subprocess.run([args.susc, "--connect", sock, "shutdown"],
+                           capture_output=True, timeout=60)
+            daemon.wait(timeout=60)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    services = args.families * args.per_family
+    result = {
+        "experiment": "B11 - resident daemon: per-request verify latency "
+                      "against warm state vs the cold one-shot every plain "
+                      "susc run pays, plus the snapshot-loaded middle point",
+        "date": time.strftime("%Y-%m-%d"),
+        "host": {"cpus": os.cpu_count() or 1,
+                 "note": "wall-clock medians; all three modes print "
+                         "byte-identical verification reports"},
+        "workload": {
+            "services": services,
+            "families": args.families,
+            "per_family": args.per_family,
+            "clients": args.clients,
+            "requests_per_client": 2,
+        },
+        "latency_ms": {
+            "cold_oneshot": round(cold_ms, 2),
+            "snapshot_oneshot": round(snap_ms, 2),
+            "daemon_request_warm": round(warm_ms, 2),
+        },
+        "speedup": {
+            "daemon_vs_cold": round(cold_ms / warm_ms, 2),
+            "snapshot_vs_cold": round(cold_ms / snap_ms, 2),
+            "note": "the one-shot snapshot path still re-parses the "
+                    "10k-service file and re-interns the expression pool, "
+                    "which roughly offsets the memoized verification at "
+                    "this workload; the snapshot's payoff is the daemon's "
+                    "instant warm restart (identical verdict bytes, "
+                    "daemon_request_warm latency from request one)",
+        },
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=1)
+        f.write("\n")
+    print(json.dumps(result, indent=1))
+    if cold_ms / warm_ms < 5.0:
+        sys.exit("daemon_bench: FAIL: warm speedup %.2fx is below the 5x bar"
+                 % (cold_ms / warm_ms))
+    print("daemon_bench: warm speedup %.1fx (bar: 5x)" % (cold_ms / warm_ms))
+
+
+if __name__ == "__main__":
+    main()

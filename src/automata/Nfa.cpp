@@ -257,3 +257,25 @@ bool Dfa::accepts(const std::vector<SymbolCode> &Word) const {
   StateId S = run(Word);
   return S != NoState && AcceptingStates[S];
 }
+
+namespace sus {
+namespace automata {
+
+bool operator==(const Dfa &A, const Dfa &B) {
+  if (A.numStates() != B.numStates() || A.start() != B.start() ||
+      A.alphabet() != B.alphabet())
+    return false;
+  size_t N = A.numStates();
+  size_t NumSyms = A.numSymbols();
+  for (StateId S = 0; S < N; ++S) {
+    if (A.isAccepting(S) != B.isAccepting(S))
+      return false;
+    for (uint32_t Idx = 0; Idx < NumSyms; ++Idx)
+      if (A.stepIndex(S, Idx) != B.stepIndex(S, Idx))
+        return false;
+  }
+  return true;
+}
+
+} // namespace automata
+} // namespace sus

@@ -261,6 +261,12 @@ public:
   /// when sound. See SUS_AUDIT below.
   bool audit() const;
 
+  /// Observable structural equality: same states, start, acceptance,
+  /// alphabet and transition function (padding width is ignored — it is
+  /// a layout artifact). The serialization round-trip tests rely on this.
+  friend bool operator==(const Dfa &A, const Dfa &B);
+  friend bool operator!=(const Dfa &A, const Dfa &B) { return !(A == B); }
+
 private:
   /// Grows the table to cover \p NewSyms columns; \p InsertedAt is the
   /// rank the newest symbol received (columns at/after it shift right).

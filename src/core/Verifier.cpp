@@ -319,6 +319,11 @@ const plan::ServiceIndex *Verifier::index() {
   return Index.get();
 }
 
+void Verifier::adoptIndex(std::unique_ptr<plan::ServiceIndex> Warm) {
+  if (indexEffective())
+    Index = std::move(Warm);
+}
+
 VerifierCache::EvictionStats
 Verifier::applyDelta(const plan::RepositoryDelta &Delta) {
   VerifierCache::EvictionStats Evicted = Cache->invalidate(Delta, Repo);

@@ -231,6 +231,20 @@ public:
   /// indexing is disabled by options.
   const plan::ServiceIndex *index();
 
+  /// Installs a pre-built candidate index (the snapshot warm-start path:
+  /// a ServiceIndex rebuilt from persisted summaries instead of fresh
+  /// contract analysis). The index must describe this verifier's
+  /// repository. Ignored (dropped) when indexing is disabled by options.
+  void adoptIndex(std::unique_ptr<plan::ServiceIndex> Warm);
+
+  /// Replaces the session governor for subsequent checks — the daemon
+  /// re-arms per-request deadlines/budgets on a resident verifier this
+  /// way. Null disarms. Not thread-safe against concurrent verification:
+  /// callers serialize requests (susd holds its session lock).
+  void setGovernor(std::shared_ptr<ResourceGovernor> Governor) {
+    Options.Governor = std::move(Governor);
+  }
+
   /// Memoized H1 ⊢ H2 between a request body and a service. Under an
   /// armed governor this also returns true when the check was cut short:
   /// only a *conclusive* refutation may prune a binding. Trips are never

@@ -172,3 +172,42 @@ VerifierStats VerifierCache::stats() const {
   MutexLock Lock(M);
   return Stats;
 }
+
+VerifierCache::Entries VerifierCache::exportEntries() const {
+  MutexLock Lock(M);
+  Entries Out;
+  Out.Projections.reserve(Projections.size());
+  for (const auto &[E, P] : Projections)
+    Out.Projections.emplace_back(E, P);
+  Out.Compliances.reserve(Compliances.size());
+  for (const auto &[Key, R] : Compliances)
+    Out.Compliances.push_back({Key.first, Key.second, R});
+  Out.Validities.reserve(Validities.size());
+  for (const auto &[Key, R] : Validities)
+    Out.Validities.push_back({Key.Client, Key.Loc, Key.Pi, Key.MaxStates, R});
+  return Out;
+}
+
+size_t VerifierCache::absorb(const Entries &E) {
+  MutexLock Lock(M);
+  size_t Inserted = 0;
+  for (const auto &[Expr, Proj] : E.Projections)
+    Inserted += Projections.emplace(Expr, Proj).second;
+  for (const ComplianceEntry &C : E.Compliances) {
+    if (C.Result.Exhausted)
+      continue; // Inconclusive results never enter the memo.
+    Inserted +=
+        Compliances.emplace(std::make_pair(C.RequestBody, C.Service), C.Result)
+            .second;
+  }
+  for (const ValidityEntry &V : E.Validities) {
+    if (V.Result.Failure == validity::PlanFailureKind::ResourceExhausted)
+      continue;
+    Inserted += Validities
+                    .emplace(ValidityKey{V.Client, V.ClientLoc, V.Pi,
+                                         V.MaxStates},
+                             V.Result)
+                    .second;
+  }
+  return Inserted;
+}

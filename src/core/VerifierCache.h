@@ -113,6 +113,43 @@ public:
   /// by every session this cache serves (monitor::FusedCache is itself
   /// thread-safe, so no VerifierCache lock is involved).
   monitor::FusedCache &fusedMonitors() { return FusedMonitors; }
+  const monitor::FusedCache &fusedMonitors() const { return FusedMonitors; }
+
+  /// One memoized compliance verdict, keys flattened for serialization.
+  struct ComplianceEntry {
+    const hist::Expr *RequestBody = nullptr;
+    const hist::Expr *Service = nullptr;
+    contract::ComplianceResult Result;
+  };
+
+  /// One memoized static-validity verdict, keys flattened likewise.
+  struct ValidityEntry {
+    const hist::Expr *Client = nullptr;
+    plan::Loc ClientLoc;
+    plan::Plan Pi;
+    size_t MaxStates = 0;
+    validity::StaticValidityResult Result;
+  };
+
+  /// A by-value view of every memo table, the unit the snapshot codecs
+  /// (core/Snapshot.h) encode and absorb. Deterministically ordered (map
+  /// iteration order), so identical caches export identical entries.
+  struct Entries {
+    std::vector<std::pair<const hist::Expr *, const hist::Expr *>>
+        Projections;
+    std::vector<ComplianceEntry> Compliances;
+    std::vector<ValidityEntry> Validities;
+  };
+
+  /// Copies out every memoized entry (for snapshotting). The cache never
+  /// holds inconclusive results, so everything exported is conclusive.
+  Entries exportEntries() const;
+
+  /// Merges \p E into the memo tables without overwriting anything
+  /// already present (live entries were computed in this very process —
+  /// they win). Exhausted entries are skipped defensively. Returns how
+  /// many entries were newly inserted.
+  size_t absorb(const Entries &E);
 
 private:
   /// (client, location, plan bindings, MaxStates) — the plan signature.

@@ -1,0 +1,143 @@
+//===- daemon/Protocol.cpp - The susd wire protocol -----------------------===//
+
+#include "daemon/Protocol.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+using namespace sus;
+using namespace sus::daemon;
+
+namespace {
+
+bool needsEscape(unsigned char C) {
+  return C == '%' || C == ' ' || C == '=' || C < 0x20 || C == 0x7f;
+}
+
+int hexDigit(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+} // namespace
+
+std::string daemon::escape(const std::string &S) {
+  static const char *Hex = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    if (needsEscape(C)) {
+      Out.push_back('%');
+      Out.push_back(Hex[C >> 4]);
+      Out.push_back(Hex[C & 0xf]);
+    } else {
+      Out.push_back(static_cast<char>(C));
+    }
+  }
+  return Out;
+}
+
+bool daemon::unescape(const std::string &S, std::string &Out) {
+  Out.clear();
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '%') {
+      Out.push_back(S[I]);
+      continue;
+    }
+    if (I + 2 >= S.size())
+      return false; // Truncated escape ("%", "%a" at end of string).
+    int Hi = hexDigit(S[I + 1]);
+    int Lo = hexDigit(S[I + 2]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.push_back(static_cast<char>((Hi << 4) | Lo));
+    I += 2;
+  }
+  return true;
+}
+
+std::string daemon::formatRequest(const Request &R) {
+  std::string Line = "sus/1 " + escape(R.Verb);
+  for (const auto &[K, V] : R.Params)
+    Line += " " + escape(K) + "=" + escape(V);
+  return Line;
+}
+
+bool daemon::parseRequest(const std::string &Line, Request &R,
+                          std::string &Err) {
+  if (Line.size() > MaxRequestLine) {
+    Err = "request line exceeds " + std::to_string(MaxRequestLine) + " bytes";
+    return false;
+  }
+  std::vector<std::string> Tokens;
+  std::istringstream In(Line);
+  std::string Tok;
+  while (In >> Tok)
+    Tokens.push_back(Tok);
+  if (Tokens.empty() || Tokens[0] != "sus/1") {
+    Err = "request does not start with 'sus/1'";
+    return false;
+  }
+  if (Tokens.size() < 2) {
+    Err = "request has no verb";
+    return false;
+  }
+  if (!unescape(Tokens[1], R.Verb)) {
+    Err = "malformed escape in verb";
+    return false;
+  }
+  R.Params.clear();
+  for (size_t I = 2; I < Tokens.size(); ++I) {
+    size_t Eq = Tokens[I].find('=');
+    if (Eq == std::string::npos) {
+      Err = "parameter '" + Tokens[I] + "' is not key=value";
+      return false;
+    }
+    std::string Key, Value;
+    if (!unescape(Tokens[I].substr(0, Eq), Key) ||
+        !unescape(Tokens[I].substr(Eq + 1), Value)) {
+      Err = "malformed escape in parameter '" + Tokens[I] + "'";
+      return false;
+    }
+    if (!R.Params.emplace(Key, Value).second) {
+      Err = "duplicate parameter '" + Key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string daemon::formatResponseHeader(const Response &R) {
+  return "sus/1 " + std::to_string(R.Exit) + " " +
+         std::to_string(R.Body.size());
+}
+
+bool daemon::parseResponseHeader(const std::string &Line, int &Exit,
+                                 uint64_t &PayloadLen, std::string &Err) {
+  std::istringstream In(Line);
+  std::string Proto;
+  long long ExitField = -1;
+  unsigned long long Len = 0;
+  if (!(In >> Proto >> ExitField >> Len) || Proto != "sus/1" ||
+      ExitField < 0 || ExitField > 255) {
+    Err = "malformed response header '" + Line + "'";
+    return false;
+  }
+  std::string Trailing;
+  if (In >> Trailing) {
+    Err = "trailing tokens in response header";
+    return false;
+  }
+  Exit = static_cast<int>(ExitField);
+  PayloadLen = Len;
+  return true;
+}

@@ -6,6 +6,8 @@
 #include "bpa/FromHist.h"
 #include "contract/Compliance.h"
 #include "contract/Project.h"
+#include "core/Snapshot.h"
+#include "core/Verifier.h"
 #include "fuzz/Chaos.h"
 #include "hist/Derive.h"
 #include "hist/HistContext.h"
@@ -239,6 +241,107 @@ void monitorOracle(hist::HistContext &Ctx, const syntax::SusFile &File,
         {"monitor", "chunked probe disagreement on a 6-label lookahead"});
 }
 
+/// Verifies every client through a dedicated verifier over \p Cache and
+/// renders the full report stream. Byte equality of this string across a
+/// snapshot round trip is the warm-restart contract (DESIGN.md §13).
+std::string verifyAllInto(hist::HistContext &Ctx, const syntax::SusFile &File,
+                          core::Verifier &V) {
+  std::ostringstream OS;
+  for (const auto &[Name, Client] : File.Clients) {
+    core::VerificationReport Report = V.verifyClient(Client, Name);
+    core::printReport(Report, Ctx, OS);
+  }
+  return OS.str();
+}
+
+/// Oracle 4: persistence. A snapshot cut after a cold verification must
+/// reload into a *fresh* context (simulating a restarted process) and the
+/// warm verifier must reproduce the cold verdict stream byte for byte.
+/// Then a seeded corruption battery — single-bit flips and truncations of
+/// the blob — must be rejected cleanly every time: loadSnapshot returns
+/// !Ok with a diagnostic, never crashes, never absorbs a partial load.
+void snapshotOracle(hist::HistContext &Ctx, const syntax::SusFile &File,
+                    const std::string &Source, uint64_t Seed,
+                    const FuzzOptions &Opts, std::vector<Divergence> &Out) {
+  // Cold run: fill a cache, render the reports, cut the snapshot.
+  core::VerifierOptions VOpts;
+  VOpts.UseIndex = true;
+  auto ColdCache = std::make_shared<core::VerifierCache>();
+  core::Verifier Cold(Ctx, File.Repo, File.Registry, VOpts, ColdCache);
+  std::string ColdText = verifyAllInto(Ctx, File, Cold);
+  std::string Bytes =
+      core::saveSnapshot(Ctx, File.Repo, *ColdCache, Cold.index());
+  if (Bytes.empty()) {
+    Out.push_back({"snapshot", "saveSnapshot produced an empty blob"});
+    return;
+  }
+
+  // Warm run: fresh context + re-parse stands in for the new process.
+  hist::HistContext Ctx2;
+  DiagnosticEngine Diags2;
+  std::optional<syntax::SusFile> File2 =
+      syntax::parseSusFile(Ctx2, Source, Diags2, "fuzz.sus");
+  if (!File2) {
+    Out.push_back({"snapshot", "re-parse failed: " + renderDiags(Diags2)});
+    return;
+  }
+  auto WarmCache = std::make_shared<core::VerifierCache>();
+  core::SnapshotLoadResult Load =
+      core::loadSnapshot(Bytes, Ctx2, File2->Repo, *WarmCache);
+  if (!Load.Ok) {
+    Out.push_back({"snapshot", "round trip rejected: " + Load.Error});
+    return;
+  }
+  core::Verifier Warm(Ctx2, File2->Repo, File2->Registry, VOpts, WarmCache);
+  if (!Load.IndexEntries.empty())
+    Warm.adoptIndex(std::make_unique<plan::ServiceIndex>(
+        Ctx2, File2->Repo, Load.IndexEntries));
+  std::string WarmText = verifyAllInto(Ctx2, *File2, Warm);
+  if (WarmText != ColdText) {
+    Out.push_back({"snapshot",
+                   "warm-restart verdicts differ from the cold run (cold " +
+                       std::to_string(ColdText.size()) + " bytes, warm " +
+                       std::to_string(WarmText.size()) + " bytes)"});
+    return;
+  }
+
+  // Corruption battery. Every mutant targets a scratch cache so a buggy
+  // partial absorb cannot poison later probes.
+  auto mustReject = [&](const std::string &Mutant, const std::string &What) {
+    core::VerifierCache Scratch;
+    core::SnapshotLoadResult C =
+        core::loadSnapshot(Mutant, Ctx2, File2->Repo, Scratch);
+    if (C.Ok)
+      Out.push_back({"snapshot", "corrupt blob accepted: " + What});
+    else if (C.Error.empty())
+      Out.push_back(
+          {"snapshot", "corrupt blob rejected without a diagnostic: " + What});
+  };
+
+  std::mt19937_64 Rng(Seed * 0x9e3779b97f4a7c15ull + 7);
+  for (unsigned I = 0; I < Opts.SnapshotFlips; ++I) {
+    std::string Mutant = Bytes;
+    size_t Pos = Rng() % Mutant.size();
+    Mutant[Pos] = static_cast<char>(
+        static_cast<unsigned char>(Mutant[Pos]) ^ (1u << (Rng() % 8)));
+    mustReject(Mutant, "bit flip at offset " + std::to_string(Pos));
+  }
+  for (unsigned I = 0; I < Opts.SnapshotCuts; ++I) {
+    size_t Len = Rng() % Bytes.size();
+    mustReject(Bytes.substr(0, Len),
+               "truncation to " + std::to_string(Len) + " bytes");
+  }
+  mustReject(Bytes + std::string(1, '\0'), "one trailing garbage byte");
+
+  // The pristine blob must still load after all that (rejections are
+  // side-effect free), including into the cache that already absorbed it.
+  core::SnapshotLoadResult Again =
+      core::loadSnapshot(Bytes, Ctx2, File2->Repo, *WarmCache);
+  if (!Again.Ok)
+    Out.push_back(
+        {"snapshot", "pristine blob no longer loads: " + Again.Error});
+}
+
 } // namespace
 
 bool sus::fuzz::checkSource(const std::string &Source, uint64_t Seed,
@@ -256,6 +359,8 @@ bool sus::fuzz::checkSource(const std::string &Source, uint64_t Seed,
   complianceOracle(*Ctx, *File, Out);
   bpaOracle(*Ctx, *File, Opts.BpaTraceDepth, Out);
   monitorOracle(*Ctx, *File, Seed, Opts.MonitorTraceLen, Out);
+  if (Opts.Snapshot)
+    snapshotOracle(*Ctx, *File, Source, Seed, Opts, Out);
   if (Opts.Chaos)
     chaosSoak(*Ctx, *File, Seed, Opts.ChaosRounds, Out);
   return true;

@@ -11,6 +11,10 @@
 ///                (plus canPerform spot checks on sampled BPA traces);
 ///   monitor      fused-DFA session monitor vs. the legacy per-policy
 ///                validity probe, label by label over a random trace;
+///   snapshot     a cache snapshot cut after a cold verification must
+///                reload into a fresh context and reproduce the exact
+///                verdict stream — and seeded bit-flips / truncations
+///                of the blob must all be rejected cleanly;
 ///   chaos        governed re-verification must be Inconclusive-or-
 ///                correct and must never pollute shared caches.
 ///
@@ -38,11 +42,15 @@ struct FuzzOptions {
   unsigned MonitorTraceLen = 48; ///< Labels fed to the monitor pair.
   bool Chaos = true;            ///< Run the governor chaos soak too.
   unsigned ChaosRounds = 2;     ///< Governed rounds per client.
+  bool Snapshot = true;         ///< Run the snapshot round-trip oracle.
+  unsigned SnapshotFlips = 16;  ///< Seeded single-bit corruptions tried.
+  unsigned SnapshotCuts = 6;    ///< Seeded truncations tried.
 };
 
 /// One oracle disagreement (or unexpected parser outcome).
 struct Divergence {
-  std::string Check; ///< "parse", "compliance", "bpa", "monitor", "chaos".
+  std::string Check; ///< "parse", "compliance", "bpa", "monitor",
+                     ///< "snapshot", "chaos".
   std::string Detail;
 };
 

@@ -373,3 +373,21 @@ FusedCache::Stats FusedCache::stats() const {
   MutexLock Lock(M);
   return S;
 }
+
+std::vector<std::shared_ptr<const FusedPolicyAutomaton>>
+FusedCache::snapshot() const {
+  MutexLock Lock(M);
+  std::vector<std::shared_ptr<const FusedPolicyAutomaton>> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Fp, Fused] : Entries)
+    Out.push_back(Fused);
+  return Out;
+}
+
+void FusedCache::restore(
+    std::shared_ptr<const FusedPolicyAutomaton> Fused) {
+  if (!Fused)
+    return;
+  MutexLock Lock(M);
+  Entries.emplace(Fused->Fingerprint, std::move(Fused));
+}

@@ -172,6 +172,13 @@ public:
   };
   Stats stats() const;
 
+  /// Every cached fusion, in fingerprint order (for snapshotting).
+  std::vector<std::shared_ptr<const FusedPolicyAutomaton>> snapshot() const;
+
+  /// Re-inserts a deserialized fusion under its fingerprint; an existing
+  /// entry (fused live in this process) wins.
+  void restore(std::shared_ptr<const FusedPolicyAutomaton> Fused);
+
 private:
   /// Leaf lock over the table and stats. fuse() deliberately *releases*
   /// M while building the product (fusion can take milliseconds and may

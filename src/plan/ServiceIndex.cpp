@@ -51,10 +51,43 @@ ServiceIndex::ServiceIndex(HistContext &Ctx, const Repository &Repo)
   ++Stats.Rebuilds;
 }
 
+ServiceIndex::ServiceIndex(HistContext &Ctx, const Repository &Repo,
+                           const std::vector<SnapshotEntry> &Warm)
+    : Ctx(Ctx) {
+  std::map<std::pair<Loc, const Expr *>, const contract::ContractSummary *>
+      ByKey;
+  for (const SnapshotEntry &E : Warm)
+    ByKey.emplace(std::make_pair(E.Location, E.Service), &E.Summary);
+  MutexLock Lock(M);
+  for (const auto &[Location, Service] : Repo.services()) {
+    auto It = ByKey.find(std::make_pair(Location, Service));
+    if (It != ByKey.end())
+      installLocked(Location, Service, *It->second);
+    else
+      insertLocked(Location, Service);
+  }
+  ++Stats.Rebuilds;
+}
+
+std::vector<ServiceIndex::SnapshotEntry> ServiceIndex::snapshotEntries()
+    const {
+  MutexLock Lock(M);
+  std::vector<SnapshotEntry> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Location, E] : Entries)
+    Out.push_back({Location, E.Service, E.Summary});
+  return Out;
+}
+
 void ServiceIndex::insertLocked(Loc Location, const Expr *Service) {
+  installLocked(Location, Service, contract::summarizeContract(Ctx, Service));
+}
+
+void ServiceIndex::installLocked(Loc Location, const Expr *Service,
+                                 contract::ContractSummary Summary) {
   Entry E;
   E.Service = Service;
-  E.Summary = contract::summarizeContract(Ctx, Service);
+  E.Summary = std::move(Summary);
   if (!E.Summary.Screenable) {
     Unscreened.insert(Location);
   } else {

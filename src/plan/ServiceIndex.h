@@ -67,6 +67,27 @@ class ServiceIndex {
 public:
   ServiceIndex(hist::HistContext &Ctx, const Repository &Repo);
 
+  /// One indexed service with its (expensive-to-compute) summary, the
+  /// unit of index persistence (serialized by core/Snapshot).
+  struct SnapshotEntry {
+    Loc Location;
+    const hist::Expr *Service = nullptr;
+    contract::ContractSummary Summary;
+  };
+
+  /// Warm build: like the plain constructor, but a repository entry whose
+  /// (location, service) matches one of \p Warm reuses its summary
+  /// instead of re-summarizing — loading a snapshot of a 10k-service
+  /// repository skips 10k projection+ready-set computations. Entries not
+  /// matching the live repository are ignored; unmatched live services
+  /// are summarized fresh, so a stale snapshot degrades to a cold build,
+  /// never to a wrong index.
+  ServiceIndex(hist::HistContext &Ctx, const Repository &Repo,
+               const std::vector<SnapshotEntry> &Warm);
+
+  /// Every indexed (location, service, summary), ordered by location.
+  std::vector<SnapshotEntry> snapshotEntries() const;
+
   /// The candidate locations for \p RequestBody: a superset of the
   /// locations whose service complies with it, sorted by location. The
   /// result is memoized per (hash-consed) body; churn invalidates the
@@ -91,6 +112,10 @@ private:
   /// Registers/unregisters ℓ's bucket contributions.
   void insertLocked(Loc Location, const hist::Expr *Service) SUS_REQUIRES(M);
   void removeLocked(Loc Location) SUS_REQUIRES(M);
+
+  /// insertLocked with a pre-computed summary (the warm-start path).
+  void installLocked(Loc Location, const hist::Expr *Service,
+                     contract::ContractSummary Summary) SUS_REQUIRES(M);
 
   /// Single-threaded by contract (see the thread-safety note above); the
   /// lock does not cover calls into it.

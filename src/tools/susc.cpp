@@ -27,6 +27,8 @@
 #include "analysis/Lint.h"
 #include "core/Repair.h"
 #include "core/Verifier.h"
+#include "daemon/Protocol.h"
+#include "daemon/Socket.h"
 #include "fuzz/Differential.h"
 #include "monitor/Fused.h"
 #include "policy/Compile.h"
@@ -94,6 +96,7 @@ void printUsage(std::ostream &OS) {
         "       susc lint [lint options] file.sus\n"
         "       susc plan [plan options] file.sus\n"
         "       susc fuzz [fuzz options]\n"
+        "       susc --connect SOCKET VERB [key=value]...\n"
         "  --plan NAME      check only the declared plan NAME\n"
         "  --run            execute the first valid plan of each client\n"
         "  --monitor MODE   with --run, probe validity with 'probe' (the\n"
@@ -924,6 +927,7 @@ struct FuzzCliOptions {
   bool Help = false; ///< --help/-h: print usage, exit 0 (see CliOptions).
   uint64_t Seeds = 100;
   uint64_t BaseSeed = 0;
+  bool SeedSet = false; ///< --seed was given explicitly.
   bool Replay = false;
   bool NoChaos = false;
   uint64_t Depth = 4;
@@ -939,8 +943,9 @@ void printFuzzUsage(std::ostream &OS) {
   OS << "usage: susc fuzz [options]\n"
         "  --seeds N        sweep N consecutive seeds (default 100)\n"
         "  --seed N         first (or, with --replay, only) seed\n"
-        "  --replay         re-run just --seed, printing the generated\n"
-        "                   program and every oracle verdict\n"
+        "  --replay         re-run just --seed (which must be given\n"
+        "                   explicitly), printing the generated program\n"
+        "                   and every oracle verdict\n"
         "  --no-chaos       skip the governor chaos soak\n"
         "  --depth N / --alphabet N / --policies N / --services N /\n"
         "  --clients N / --width N   generator difficulty knobs\n"
@@ -964,6 +969,7 @@ bool parseFuzzArgs(int Argc, char **Argv, FuzzCliOptions &Opts) {
     } else if (Arg == "--seed") {
       if (!Count(0, Opts.BaseSeed))
         return false;
+      Opts.SeedSet = true;
     } else if (Arg == "--replay") {
       Opts.Replay = true;
     } else if (Arg == "--no-chaos") {
@@ -998,6 +1004,13 @@ bool parseFuzzArgs(int Argc, char **Argv, FuzzCliOptions &Opts) {
       printFuzzUsage(std::cerr);
       return false;
     }
+  }
+  // --replay without --seed used to silently replay the default seed 0 —
+  // almost never what a bug report meant. Demand the seed explicitly.
+  if (Opts.Replay && !Opts.SeedSet) {
+    std::cerr << "susc: --replay requires an explicit --seed "
+                 "(the failing seed printed by the sweep)\n";
+    return false;
   }
   return true;
 }
@@ -1107,6 +1120,76 @@ bool writeObservability(const std::string &TraceOut,
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// susc --connect (daemon client mode)
+//===----------------------------------------------------------------------===//
+
+/// Ceiling on a daemon response payload the client will buffer. Far above
+/// any real report; a garbage header cannot balloon the client.
+constexpr uint64_t MaxResponsePayload = uint64_t(1) << 30;
+
+void printConnectUsage(std::ostream &OS) {
+  OS << "usage: susc --connect SOCKET VERB [key=value]...\n"
+        "  sends one request to a listening susd and exits with the code\n"
+        "  the daemon returns (the plain susc exit contract)\n"
+        "  verbs: ping, stats, verify, lint, churn, snapshot, shutdown\n"
+        "  common keys: client=NAME plan=NAME tenant=NAME deadline_ms=N\n"
+        "               max_product_states=N max_subset_states=N\n"
+        "               rounds=N seed=N file=PATH enumerate=0\n";
+}
+
+int runConnect(int Argc, char **Argv) {
+  if (Argc >= 3 && (std::string(Argv[2]) == "--help" ||
+                    std::string(Argv[2]) == "-h")) {
+    printConnectUsage(std::cout);
+    return 0;
+  }
+  if (Argc < 4) {
+    printConnectUsage(std::cerr);
+    return 2;
+  }
+  std::string SocketPath = Argv[2];
+  daemon::Request Req;
+  Req.Verb = Argv[3];
+  for (int I = 4; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    size_t Eq = Arg.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      std::cerr << "susc: request parameter '" << Arg
+                << "' is not key=value\n";
+      return 2;
+    }
+    Req.Params[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+  }
+
+  std::string Err;
+  int Fd = daemon::connectTo(SocketPath, Err);
+  if (Fd < 0) {
+    std::cerr << "susc: " << Err << "\n";
+    return 2;
+  }
+  int Code = 2;
+  std::string Header, Body;
+  int Exit = 2;
+  uint64_t PayloadLen = 0;
+  if (!daemon::writeAll(Fd, daemon::formatRequest(Req) + "\n", Err) ||
+      !daemon::readLine(Fd, Header, /*MaxLen=*/4096, Err)) {
+    std::cerr << "susc: " << Err << "\n";
+  } else if (!daemon::parseResponseHeader(Header, Exit, PayloadLen, Err)) {
+    std::cerr << "susc: " << Err << "\n";
+  } else if (PayloadLen > MaxResponsePayload) {
+    std::cerr << "susc: response payload of " << PayloadLen
+              << " bytes exceeds the client cap\n";
+  } else if (!daemon::readExact(Fd, PayloadLen, Body, Err)) {
+    std::cerr << "susc: " << Err << "\n";
+  } else {
+    std::cout << Body;
+    Code = Exit;
+  }
+  daemon::closeFd(Fd);
+  return Code;
+}
+
 /// True when \p Arg was almost certainly meant as a subcommand, not an
 /// input path: no option prefix, no path separator or extension, and no
 /// file of that name exists. Keeps `susc plna file.sus` a crisp
@@ -1124,6 +1207,8 @@ bool looksLikeSubcommand(const std::string &Arg) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::string(Argv[1]) == "--connect")
+    return runConnect(Argc, Argv);
   if (Argc > 1 && std::string(Argv[1]) == "plan") {
     PlanCliOptions Opts;
     if (!parsePlanArgs(Argc, Argv, Opts))

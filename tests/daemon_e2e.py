@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""End-to-end test for the resident verification daemon (susd).
+
+Drives the shipped binaries the way a user would and asserts the PR's
+headline contracts:
+
+  1. Warm restart equivalence: a one-shot verify that loads a snapshot
+     must print byte-for-byte the output of the run that saved it.
+  2. Version/corruption rejection: a snapshot with a bumped format
+     version, a truncated tail, or a flipped bit must be rejected with
+     exit 2 and a one-line diagnostic (never a partial load or a crash).
+  3. Concurrent serving: N threads x M `susc --connect` verify requests
+     against one daemon must all return identical bytes and exit codes,
+     and a shutdown request must stop the daemon with exit 0.
+
+Usage: daemon_e2e.py <susd> <susc> <file.sus>
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# The version field sits after the 8-byte magic (DESIGN.md #13).
+VERSION_OFFSET = 8
+
+
+def run(argv, **kwargs):
+    return subprocess.run(argv, capture_output=True, text=False,
+                          timeout=120, **kwargs)
+
+
+def fail(msg):
+    print("daemon_e2e: FAIL:", msg)
+    sys.exit(1)
+
+
+def expect_rejected(susd, sus_file, snap_path, what, needle=b""):
+    r = run([susd, "--snapshot", snap_path, "--warm", sus_file])
+    if r.returncode != 2:
+        fail("%s: expected exit 2, got %d\nstderr: %s"
+             % (what, r.returncode, r.stderr.decode(errors="replace")))
+    if b"snapshot rejected" not in r.stderr:
+        fail("%s: no rejection diagnostic\nstderr: %s"
+             % (what, r.stderr.decode(errors="replace")))
+    if needle and needle not in r.stderr:
+        fail("%s: diagnostic does not mention %r\nstderr: %s"
+             % (what, needle, r.stderr.decode(errors="replace")))
+
+
+def check_snapshot_restart(susd, sus_file, tmp):
+    snap = os.path.join(tmp, "cache.snap")
+    cold = run([susd, "--warm", "--save-snapshot", snap, sus_file])
+    if cold.returncode != 0:
+        fail("cold warm-up failed: %s" % cold.stderr.decode(errors="replace"))
+    warm = run([susd, "--snapshot", snap, "--warm", sus_file])
+    if warm.returncode != 0:
+        fail("warm restart failed: %s" % warm.stderr.decode(errors="replace"))
+    if warm.stdout != cold.stdout:
+        fail("warm restart output differs from the cold run\n"
+             "cold %d bytes, warm %d bytes" %
+             (len(cold.stdout), len(warm.stdout)))
+    if b"snapshot loaded" not in warm.stderr:
+        fail("warm restart did not report the loaded snapshot")
+    print("daemon_e2e: warm restart is byte-identical")
+
+    blob = open(snap, "rb").read()
+
+    bumped = bytearray(blob)
+    bumped[VERSION_OFFSET] += 1
+    bumped_path = os.path.join(tmp, "bumped.snap")
+    open(bumped_path, "wb").write(bytes(bumped))
+    expect_rejected(susd, sus_file, bumped_path,
+                    "version-bumped snapshot", b"version")
+
+    trunc_path = os.path.join(tmp, "trunc.snap")
+    open(trunc_path, "wb").write(blob[:len(blob) // 2])
+    expect_rejected(susd, sus_file, trunc_path, "truncated snapshot")
+
+    flipped = bytearray(blob)
+    flipped[len(flipped) * 2 // 3] ^= 0x04
+    flip_path = os.path.join(tmp, "flip.snap")
+    open(flip_path, "wb").write(bytes(flipped))
+    expect_rejected(susd, sus_file, flip_path, "bit-flipped snapshot")
+    print("daemon_e2e: bad snapshots rejected with exit 2")
+
+
+def wait_for_socket(path, proc, deadline_s=30):
+    end = time.time() + deadline_s
+    while time.time() < end:
+        if proc.poll() is not None:
+            fail("susd exited early with code %d" % proc.returncode)
+        if os.path.exists(path):
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.connect(path)
+                s.close()
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    fail("susd socket %s never came up" % path)
+
+
+def check_daemon(susd, susc, sus_file, tmp):
+    sock = os.path.join(tmp, "susd.sock")
+    daemon = subprocess.Popen(
+        [susd, "--listen", sock, "--workers", "4", sus_file],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    try:
+        wait_for_socket(sock, daemon)
+
+        results = []
+        lock = threading.Lock()
+
+        def client(n):
+            for _ in range(3):
+                r = run([susc, "--connect", sock, "verify"])
+                with lock:
+                    results.append((r.returncode, r.stdout))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if len(results) != 12:
+            fail("expected 12 client runs, got %d" % len(results))
+        codes = {c for c, _ in results}
+        bodies = {b for _, b in results}
+        if codes != {0}:
+            fail("verify exit codes disagree: %s" % codes)
+        if len(bodies) != 1:
+            fail("concurrent verify outputs are not identical")
+        if b"== client" not in next(iter(bodies)):
+            fail("verify output looks wrong: %r" % next(iter(bodies))[:80])
+        print("daemon_e2e: 12 concurrent verifies, identical bytes")
+
+        stats = run([susc, "--connect", sock, "stats"])
+        if stats.returncode != 0 or b"cache:" not in stats.stdout:
+            fail("stats verb failed: %s" % stats.stdout.decode(errors="replace"))
+
+        bad = run([susc, "--connect", sock, "frobnicate"])
+        if bad.returncode != 2:
+            fail("unknown verb: expected exit 2, got %d" % bad.returncode)
+
+        down = run([susc, "--connect", sock, "shutdown"])
+        if down.returncode != 0:
+            fail("shutdown request failed with %d" % down.returncode)
+        code = daemon.wait(timeout=30)
+        if code != 0:
+            fail("daemon exit code %d after shutdown" % code)
+        print("daemon_e2e: clean shutdown")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail("usage: daemon_e2e.py <susd> <susc> <file.sus>")
+    susd, susc, sus_file = sys.argv[1:]
+    # AF_UNIX sun_path is ~108 bytes; keep the socket under /tmp, not the
+    # (potentially deep) build tree.
+    with tempfile.TemporaryDirectory(prefix="susd-e2e-", dir="/tmp") as tmp:
+        check_snapshot_restart(susd, sus_file, tmp)
+        check_daemon(susd, susc, sus_file, tmp)
+    print("daemon_e2e: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
